@@ -1,0 +1,56 @@
+// Ablation: static curve-quality analysis (Section 1's "ability to analyze
+// the quality of the schedules generated"). For each Figure-1 curve in 2-D
+// and 3-D: continuity (jumps), locality (mean step length), and the
+// per-dimension inversion rate of randomly sampled ordered pairs — a
+// workload-independent predictor of the priority-inversion behavior each
+// curve induces as SFC1.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sfc/locality.h"
+#include "sfc/registry.h"
+
+namespace csfc {
+namespace {
+
+void RunDims(uint32_t dims, uint32_t bits) {
+  std::printf("== Curve analysis: %u dims, %u bits/dim ==\n\n", dims, bits);
+  std::vector<std::string> headers{"curve", "jumps", "mean step L1",
+                                   "max step"};
+  for (uint32_t k = 0; k < dims; ++k) {
+    headers.push_back("inv-rate d" + std::to_string(k));
+  }
+  for (uint32_t k = 0; k < dims; ++k) {
+    headers.push_back("irreg d" + std::to_string(k));
+  }
+  TablePrinter t(headers);
+  for (const auto& name : bench::Curves()) {
+    auto curve = MakeCurve(name, GridSpec{.dims = dims, .bits = bits});
+    if (!curve.ok()) continue;
+    auto stats = AnalyzeCurve(**curve);
+    if (!stats.ok()) continue;
+    std::vector<std::string> row{std::string(name),
+                                 std::to_string(stats->jumps),
+                                 FormatDouble(stats->mean_step_l1, 3),
+                                 std::to_string(stats->max_step_l1)};
+    for (double r : stats->dim_inversion_rate) {
+      row.push_back(FormatDouble(r, 3));
+    }
+    for (uint64_t irr : stats->dim_irregularity) {
+      row.push_back(std::to_string(irr));
+    }
+    t.AddRow(std::move(row));
+  }
+  bench::Emit(t, "ablation_curves_" + std::to_string(dims) + "d");
+}
+
+}  // namespace
+}  // namespace csfc
+
+int main() {
+  csfc::RunDims(2, 6);
+  csfc::RunDims(3, 4);
+  csfc::RunDims(4, 3);
+  return 0;
+}

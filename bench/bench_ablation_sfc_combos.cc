@@ -1,0 +1,109 @@
+// Ablation: the 7^3 SFC-combination space of Section 5 ("if we limit
+// ourselves to the seven space-filling curves ... we will have 7^3
+// different versions"). The paper samples this space rather than sweeping
+// it exhaustively; this bench does the same, evaluating every SFC1 choice
+// against a panel of SFC2/SFC3 settings and reporting the three headline
+// metrics per combination, so the interaction between the stages is
+// visible.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sched/edf.h"
+
+namespace csfc {
+namespace {
+
+void Run() {
+  WorkloadConfig wc;
+  wc.seed = 42;
+  wc.count = 3000;
+  wc.mean_interarrival_ms = 12.0;
+  wc.burst_size = 10;
+  wc.priority_dims = 3;
+  wc.priority_levels = 8;
+  wc.deadline_lo_ms = 100.0;
+  wc.deadline_hi_ms = 900.0;
+  wc.bytes_lo = 8 * 1024;
+  wc.bytes_hi = 8 * 1024;
+  const auto trace = bench::MustGenerate(wc);
+
+  SimulatorConfig sc;
+  sc.service_model = ServiceModel::kFullDisk;
+  sc.metric_dims = 3;
+  sc.metric_levels = 8;
+
+  const RunMetrics edf = bench::MustRun(
+      sc, trace, [] { return std::make_unique<EdfScheduler>(); });
+
+  TablePrinter t({"sfc1", "sfc2", "sfc3", "inv% (vs edf)", "miss% (vs edf)",
+                  "mean seek ms"});
+  struct Stage2Choice {
+    const char* label;
+    Stage2Mode mode;
+    double f;
+    const char* curve;
+  };
+  const std::vector<Stage2Choice> stage2s = {
+      {"f=1", Stage2Mode::kFormula, 1.0, ""},
+      {"diagonal", Stage2Mode::kCurve, 0.0, "diagonal"},
+      {"hilbert", Stage2Mode::kCurve, 0.0, "hilbert"},
+  };
+  struct Stage3Choice {
+    const char* label;
+    uint32_t r;  // 0 = use a curve instead
+    const char* curve;
+  };
+  const std::vector<Stage3Choice> stage3s = {
+      {"R=3", 3, ""},
+      {"cscan-curve", 0, "cscan"},
+      {"hilbert-curve", 0, "hilbert"},
+  };
+
+  for (const auto& sfc1 : bench::Curves()) {
+    for (const auto& s2 : stage2s) {
+      for (const auto& s3 : stage3s) {
+        CascadedConfig cfg =
+            PresetFull(std::string(sfc1), 3, 3, 1.0, 3, 3832, 1.0, 900.0);
+        cfg.encapsulator.stage2_mode = s2.mode;
+        if (s2.mode == Stage2Mode::kFormula) {
+          cfg.encapsulator.f = s2.f;
+        } else {
+          cfg.encapsulator.sfc2 = s2.curve;
+          cfg.encapsulator.stage2_bits = 8;
+        }
+        if (s3.r > 0) {
+          cfg.encapsulator.stage3_mode = Stage3Mode::kPartitionedCScan;
+          cfg.encapsulator.partitions_r = s3.r;
+        } else {
+          cfg.encapsulator.stage3_mode = Stage3Mode::kCurve;
+          cfg.encapsulator.sfc3 = s3.curve;
+          cfg.encapsulator.stage3_bits = 8;
+        }
+        const RunMetrics m =
+            bench::MustRun(sc, trace, bench::CascadedFactory(cfg));
+        t.AddRow(
+            {std::string(sfc1), s2.label, s3.label,
+             FormatDouble(
+                 Percent(static_cast<double>(m.total_inversions()),
+                         static_cast<double>(edf.total_inversions())),
+                 1),
+             FormatDouble(
+                 Percent(static_cast<double>(m.deadline_misses),
+                         static_cast<double>(edf.deadline_misses)),
+                 1),
+             FormatDouble(m.mean_seek_ms(), 3)});
+      }
+    }
+  }
+  std::printf("== Ablation: sampled SFC1 x SFC2 x SFC3 combinations ==\n\n");
+  bench::Emit(t, "ablation_sfc_combos");
+}
+
+}  // namespace
+}  // namespace csfc
+
+int main() {
+  csfc::Run();
+  return 0;
+}

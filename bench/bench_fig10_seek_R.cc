@@ -1,0 +1,97 @@
+// Figure 10: the effect of the SFC3 partition count R on (a) priority
+// inversion (% of C-SCAN), (b) deadline losses (normalized to C-SCAN) and
+// (c) seek time, against the C-SCAN and EDF baselines.
+//
+// Setup (Section 5.3): small blocks so seek time matters; three priority
+// dimensions plus deadlines; SFC1/SFC2 fixed (hilbert, f = 1); SFC3 is the
+// R-partitioned C-Scan stage. R = 1 sorts on seek alone; large R sorts on
+// priority alone; the sweet spot balances all three metrics.
+//
+// The dispatcher runs with a full-space window (batch mode) and
+// re-characterizes each forming batch against the current head, so every
+// partition is served in one coherent cylinder sweep — without this the
+// enqueue-time distances of different instants interleave and the sweep
+// degenerates toward random order (see EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sched/edf.h"
+#include "sched/scan_family.h"
+
+namespace csfc {
+namespace {
+
+void Run() {
+  WorkloadConfig wc;
+  wc.seed = 42;
+  wc.count = 4000;
+  wc.mean_interarrival_ms = 12.0;
+  wc.burst_size = 10;  // batched arrivals keep a reorderable queue depth
+  wc.priority_dims = 3;
+  wc.priority_levels = 8;
+  wc.deadline_lo_ms = 100.0;
+  wc.deadline_hi_ms = 900.0;
+  wc.bytes_lo = 8 * 1024;  // small blocks: seek-dominated service
+  wc.bytes_hi = 8 * 1024;
+  const auto trace = bench::MustGenerate(wc);
+
+  SimulatorConfig sc;
+  sc.service_model = ServiceModel::kFullDisk;
+  sc.metric_dims = 3;
+  sc.metric_levels = 8;
+
+  const RunMetrics cscan = bench::MustRun(sc, trace, [] {
+    return std::make_unique<ScanScheduler>(ScanVariant::kCScan, 3832);
+  });
+  const RunMetrics edf = bench::MustRun(
+      sc, trace, [] { return std::make_unique<EdfScheduler>(); });
+
+  std::printf("baselines:\n");
+  std::printf("  cscan: inversions=%llu misses=%llu seek=%.1f ms total\n",
+              static_cast<unsigned long long>(cscan.total_inversions()),
+              static_cast<unsigned long long>(cscan.deadline_misses),
+              cscan.total_seek_ms);
+  std::printf("  edf:   inversions=%llu misses=%llu seek=%.1f ms total\n\n",
+              static_cast<unsigned long long>(edf.total_inversions()),
+              static_cast<unsigned long long>(edf.deadline_misses),
+              edf.total_seek_ms);
+
+  TablePrinter t({"R", "inversion% (vs cscan)", "misses (norm. to cscan)",
+                  "mean seek ms", "edf inv%", "edf miss norm", "edf seek"});
+  const double cs_inv = static_cast<double>(cscan.total_inversions());
+  const double cs_miss = static_cast<double>(cscan.deadline_misses);
+  for (uint32_t r = 1; r <= 10; ++r) {
+    const CascadedConfig cfg =
+        PresetFull("hilbert", 3, 3, /*f=*/1.0, r, 3832, /*window=*/1.0,
+                   /*deadline_horizon_ms=*/900.0);
+    const RunMetrics m =
+        bench::MustRun(sc, trace, bench::CascadedFactory(cfg));
+    t.AddRow({std::to_string(r),
+              FormatDouble(
+                  Percent(static_cast<double>(m.total_inversions()), cs_inv),
+                  1),
+              FormatDouble(static_cast<double>(m.deadline_misses) /
+                               (cs_miss > 0 ? cs_miss : 1.0),
+                           3),
+              FormatDouble(m.mean_seek_ms(), 3),
+              FormatDouble(
+                  Percent(static_cast<double>(edf.total_inversions()), cs_inv),
+                  1),
+              FormatDouble(static_cast<double>(edf.deadline_misses) /
+                               (cs_miss > 0 ? cs_miss : 1.0),
+                           3),
+              FormatDouble(edf.mean_seek_ms(), 3)});
+  }
+  std::printf("== Figure 10: effect of R on SFC3 (cascaded vs C-SCAN and "
+              "EDF) ==\n\n");
+  bench::Emit(t, "fig10_R");
+}
+
+}  // namespace
+}  // namespace csfc
+
+int main() {
+  csfc::Run();
+  return 0;
+}

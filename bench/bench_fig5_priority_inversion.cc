@@ -1,0 +1,64 @@
+// Figure 5: priority inversion (as % of FIFO) vs. blocking-window size for
+// the seven SFC1 curves, under normal and high load.
+//
+// Setup (Section 5.1): relaxed deadlines and transfer-dominated service so
+// SFC2/SFC3 drop out; three priority dimensions with 16 levels; requests
+// arrive exponentially (normal load: 25 ms mean interarrival; high load:
+// 12 ms). The window sweeps 0%..100% of the characterization space.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sched/fcfs.h"
+
+namespace csfc {
+namespace {
+
+void RunLoad(const char* label, double interarrival_ms, uint64_t count) {
+  WorkloadConfig wc;
+  wc.seed = 42;
+  wc.count = count;
+  wc.mean_interarrival_ms = interarrival_ms;
+  wc.priority_dims = 3;
+  wc.priority_levels = 16;
+  wc.relaxed_deadlines = true;
+  const auto trace = bench::MustGenerate(wc);
+
+  SimulatorConfig sc;
+  sc.service_model = ServiceModel::kTransferOnly;
+  sc.metric_dims = 3;
+  sc.metric_levels = 16;
+
+  const RunMetrics fifo = bench::MustRun(
+      sc, trace, [] { return std::make_unique<FcfsScheduler>(); });
+  const double base = static_cast<double>(fifo.total_inversions());
+
+  std::printf("== Figure 5 (%s load, interarrival %.0f ms): "
+              "priority inversion as %% of FIFO ==\n\n",
+              label, interarrival_ms);
+  std::vector<std::string> headers{"window%"};
+  for (const auto& c : bench::Curves()) headers.push_back(c);
+  TablePrinter t(headers);
+  for (int wpct = 0; wpct <= 100; wpct += 10) {
+    std::vector<std::string> row{std::to_string(wpct)};
+    for (const auto& curve : bench::Curves()) {
+      const CascadedConfig cfg =
+          PresetStage1Only(curve, 3, 4, wpct / 100.0);
+      const RunMetrics m =
+          bench::MustRun(sc, trace, bench::CascadedFactory(cfg));
+      row.push_back(FormatDouble(
+          Percent(static_cast<double>(m.total_inversions()), base), 1));
+    }
+    t.AddRow(std::move(row));
+  }
+  bench::Emit(t, std::string("fig5_") + label);
+}
+
+}  // namespace
+}  // namespace csfc
+
+int main() {
+  csfc::RunLoad("normal", 25.0, 3000);
+  csfc::RunLoad("high", 12.0, 3000);
+  return 0;
+}

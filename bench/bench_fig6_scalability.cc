@@ -1,0 +1,58 @@
+// Figure 6: scalability of the Cascaded-SFC scheduler — priority
+// inversion (as % of FIFO) vs. the number of QoS dimensions, 2..12
+// dimensions with 16 priority levels each, mean interarrival 25 ms.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sched/fcfs.h"
+
+namespace csfc {
+namespace {
+
+void Run() {
+  SimulatorConfig sc;
+  sc.service_model = ServiceModel::kTransferOnly;
+  sc.metric_levels = 16;
+
+  std::printf("== Figure 6: priority inversion (%% of FIFO) vs "
+              "#dimensions ==\n\n");
+  std::vector<std::string> headers{"dims"};
+  for (const auto& c : bench::Curves()) headers.push_back(c);
+  TablePrinter t(headers);
+
+  for (uint32_t dims = 2; dims <= 12; ++dims) {
+    WorkloadConfig wc;
+    wc.seed = 42;
+    wc.count = 2500;
+    wc.mean_interarrival_ms = 25.0;
+    wc.priority_dims = dims;
+    wc.priority_levels = 16;
+    wc.relaxed_deadlines = true;
+    const auto trace = bench::MustGenerate(wc);
+    sc.metric_dims = dims;
+
+    const RunMetrics fifo = bench::MustRun(
+        sc, trace, [] { return std::make_unique<FcfsScheduler>(); });
+    const double base = static_cast<double>(fifo.total_inversions());
+
+    std::vector<std::string> row{std::to_string(dims)};
+    for (const auto& curve : bench::Curves()) {
+      const CascadedConfig cfg = PresetStage1Only(curve, dims, 4, 0.05);
+      const RunMetrics m =
+          bench::MustRun(sc, trace, bench::CascadedFactory(cfg));
+      row.push_back(FormatDouble(
+          Percent(static_cast<double>(m.total_inversions()), base), 1));
+    }
+    t.AddRow(std::move(row));
+  }
+  bench::Emit(t, "fig6_scalability");
+}
+
+}  // namespace
+}  // namespace csfc
+
+int main() {
+  csfc::Run();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 9: selectivity — when deadline misses are inevitable, which
+// priority levels lose? The figure shows the number of misses per priority
+// level (8 levels) in each of the three QoS dimensions, for EDF and for
+// the Cascaded-SFC scheduler with three SFC1 choices. The ideal scheduler
+// concentrates all misses at level 7 (the least important).
+//
+// Setup: same workload as Figure 8, f = 1, load raised until ~10-20% of
+// deadlines miss.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sched/edf.h"
+
+namespace csfc {
+namespace {
+
+void Run() {
+  WorkloadConfig wc;
+  wc.seed = 42;
+  wc.count = 3000;
+  wc.mean_interarrival_ms = 13.0;  // enough pressure to force misses
+  wc.burst_size = 10;
+  wc.priority_dims = 3;
+  wc.priority_levels = 8;
+  wc.deadline_lo_ms = 500.0;
+  wc.deadline_hi_ms = 700.0;
+  wc.couple_size_to_priority = true;  // high priority = small A/V chunks
+  wc.bytes_lo = 32 * 1024;
+  wc.bytes_hi = 128 * 1024;
+  const auto trace = bench::MustGenerate(wc);
+
+  SimulatorConfig sc;
+  sc.service_model = ServiceModel::kTransferOnly;
+  sc.metric_dims = 3;
+  sc.metric_levels = 8;
+
+  struct Entry {
+    std::string label;
+    RunMetrics metrics;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"EDF", bench::MustRun(sc, trace, [] {
+                       return std::make_unique<EdfScheduler>();
+                     })});
+  for (const char* curve : {"hilbert", "peano", "scan"}) {
+    const CascadedConfig cfg =
+        PresetStage12(curve, 3, 3, /*f=*/1.0, /*window=*/0.05,
+                      /*deadline_horizon_ms=*/700.0);
+    entries.push_back(
+        {curve, bench::MustRun(sc, trace, bench::CascadedFactory(cfg))});
+  }
+
+  for (size_t dim = 0; dim < 3; ++dim) {
+    std::printf("== Figure 9: deadline misses per priority level, "
+                "dimension %zu (level 0 = most important) ==\n\n",
+                dim + 1);
+    std::vector<std::string> headers{"level"};
+    for (const auto& e : entries) headers.push_back(e.label);
+    TablePrinter t(headers);
+    for (uint32_t level = 0; level < 8; ++level) {
+      std::vector<std::string> row{std::to_string(level)};
+      for (const auto& e : entries) {
+        row.push_back(
+            std::to_string(e.metrics.misses_per_dim_level[dim][level]));
+      }
+      t.AddRow(std::move(row));
+    }
+    bench::Emit(t, "fig9_dim" + std::to_string(dim + 1));
+  }
+
+  std::printf("total misses: ");
+  for (const auto& e : entries) {
+    std::printf("%s=%llu  ", e.label.c_str(),
+                static_cast<unsigned long long>(e.metrics.deadline_misses));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace csfc
+
+int main() {
+  csfc::Run();
+  return 0;
+}

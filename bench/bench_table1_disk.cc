@@ -1,0 +1,69 @@
+// Table 1: the disk model. Prints the configured parameters next to the
+// quantities the model reproduces (mean random seek, full-stroke seek,
+// rotation period, zone transfer rates) so the calibration against the
+// published Quantum XP32150 figures is auditable.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "disk/disk_model.h"
+#include "disk/raid.h"
+
+namespace csfc {
+namespace {
+
+void Run() {
+  const DiskParams params = DiskParams::PanaVissDisk();
+  auto model = DiskModel::Create(params);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    std::abort();
+  }
+
+  std::printf("== Table 1: disk model (Quantum XP32150-class) ==\n\n");
+  TablePrinter t({"parameter", "configured", "paper (Table 1)"});
+  t.AddRow({"cylinders", std::to_string(params.cylinders), "3832"});
+  t.AddRow({"tracks/cylinder", std::to_string(params.tracks_per_cylinder),
+            "10"});
+  t.AddRow({"zones", std::to_string(params.zones), "16"});
+  t.AddRow({"sector bytes", std::to_string(params.sector_bytes), "512"});
+  t.AddRow({"rotation (RPM)", std::to_string(params.rpm), "7200"});
+  t.AddRow({"file block (KB)",
+            std::to_string(params.block_bytes / 1024), "64"});
+  t.AddRow({"RAID", "5 disks (4 data + 1 parity)", "5 disks (4D+1P)"});
+  bench::Emit(t, "table1_params");
+
+  TablePrinter v({"derived quantity", "model", "paper"});
+  v.AddRow({"mean random seek (ms)",
+            FormatDouble(model->MeanRandomSeekMs(), 3), "8.5"});
+  v.AddRow({"max seek (ms)", FormatDouble(model->MaxSeekMs(), 3), "18"});
+  v.AddRow({"single-cyl seek (ms)",
+            FormatDouble(params.seek.SeekMs(1), 3), "(typical ~2.5)"});
+  v.AddRow({"rotation (ms)", FormatDouble(model->RotationMs(), 3), "8.33"});
+  v.AddRow({"avg rot. latency (ms)",
+            FormatDouble(model->AvgRotationalLatencyMs(), 3), "4.17"});
+  v.AddRow({"outer-zone rate (MB/s)",
+            FormatDouble(model->ZoneRateMBps(0), 2), "(zoned)"});
+  v.AddRow({"inner-zone rate (MB/s)",
+            FormatDouble(model->ZoneRateMBps(params.zones - 1), 2),
+            "(zoned)"});
+  v.AddRow({"64KB transfer, outer (ms)",
+            FormatDouble(model->TransferTimeMs(0, 65536), 3), "-"});
+  v.AddRow({"64KB transfer, inner (ms)",
+            FormatDouble(model->TransferTimeMs(params.cylinders - 1, 65536), 3),
+            "-"});
+  bench::Emit(v, "table1_derived");
+
+  std::printf("seek curve samples (distance -> ms):\n");
+  for (uint32_t d : {1u, 10u, 100u, 600u, 1000u, 2000u, 3831u}) {
+    std::printf("  seek(%4u) = %6.3f\n", d, params.seek.SeekMs(d));
+  }
+}
+
+}  // namespace
+}  // namespace csfc
+
+int main() {
+  csfc::Run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Shared helpers for the figure-regeneration binaries. Each bench binary
+// prints the same rows/series the corresponding paper figure plots (plus a
+// CSV next to the binary when CSFC_BENCH_CSV_DIR is set).
+
+#ifndef CSFC_BENCH_BENCH_UTIL_H_
+#define CSFC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/presets.h"
+#include "exp/runner.h"
+#include "exp/table.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace csfc {
+namespace bench {
+
+/// Builds a SchedulerFactory from a CascadedConfig (validated eagerly:
+/// aborts the bench on a bad configuration rather than mid-sweep).
+inline SchedulerFactory CascadedFactory(const CascadedConfig& config) {
+  {
+    auto probe = CascadedSfcScheduler::Create(config);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "bad cascaded config: %s\n",
+                   probe.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  return [config] {
+    auto s = CascadedSfcScheduler::Create(config);
+    return std::move(*s);
+  };
+}
+
+/// Runs and unwraps, aborting with a message on error (benches have no
+/// meaningful recovery path).
+inline RunMetrics MustRun(const SimulatorConfig& sim,
+                          const std::vector<Request>& trace,
+                          const SchedulerFactory& factory) {
+  auto m = RunSchedulerOnTrace(sim, trace, factory);
+  if (!m.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 m.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*m);
+}
+
+/// Drains a generator config into a trace, aborting on config errors.
+inline std::vector<Request> MustGenerate(const WorkloadConfig& config) {
+  auto gen = SyntheticGenerator::Create(config);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "bad workload config: %s\n",
+                 gen.status().ToString().c_str());
+    std::abort();
+  }
+  return DrainGenerator(**gen);
+}
+
+/// Emits the table to stdout and, when CSFC_BENCH_CSV_DIR is set, to
+/// <dir>/<name>.csv.
+inline void Emit(const TablePrinter& table, const std::string& name) {
+  table.Print();
+  std::printf("\n");
+  if (const char* dir = std::getenv("CSFC_BENCH_CSV_DIR")) {
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    if (Status s = table.WriteCsv(path); !s.ok()) {
+      std::fprintf(stderr, "csv write failed: %s\n", s.ToString().c_str());
+    } else {
+      std::printf("(csv: %s)\n\n", path.c_str());
+    }
+  }
+}
+
+/// The seven Figure-1 curves in paper order.
+inline const std::vector<std::string>& Curves() {
+  static const std::vector<std::string> kCurves = {
+      "scan", "cscan", "peano", "gray", "hilbert", "spiral", "diagonal"};
+  return kCurves;
+}
+
+}  // namespace bench
+}  // namespace csfc
+
+#endif  // CSFC_BENCH_BENCH_UTIL_H_

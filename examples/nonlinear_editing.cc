@@ -1,0 +1,92 @@
+// Non-linear editing server (the Section-6 scenario): one disk, 85
+// concurrent editors mixing real-time playback reads, real-time ingest
+// writes and background ftp traffic, 8 user-priority levels. The example
+// compares FCFS, EDF-like, multi-queue-like and two SFC schedulers on the
+// weighted loss cost, and prints the per-level loss breakdown that shows
+// *which* users pay when the disk saturates.
+//
+//   $ ./nonlinear_editing [num_users]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/presets.h"
+#include "exp/runner.h"
+#include "exp/table.h"
+#include "sched/fcfs.h"
+#include "workload/mpeg.h"
+#include "workload/trace.h"
+
+using namespace csfc;
+
+int main(int argc, char** argv) {
+  const uint32_t users =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 85;
+
+  MpegWorkloadConfig mc;
+  mc.seed = 11;
+  mc.num_users = users;
+  // This models one member disk of the 5-disk RAID (each carries a fifth
+  // of every stream); editors run phase-staggered in steady state.
+  mc.stream_mbps = 1.5 / 5.0;
+  mc.user_phase_spread_ms = mc.PeriodMs() - mc.batch_jitter_ms;
+  mc.duration_ms = 30000.0;
+  auto gen = MpegStreamGenerator::Create(mc);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "%s\n", gen.status().ToString().c_str());
+    return 1;
+  }
+  const auto trace = DrainGenerator(**gen);
+  std::printf("editing workload: %u users, %zu requests over %.0f s\n\n",
+              users, trace.size(), mc.duration_ms / 1000.0);
+
+  SimulatorConfig sc;
+  sc.metric_dims = 1;
+  sc.metric_levels = 8;
+
+  struct Entry {
+    const char* label;
+    SchedulerFactory factory;
+  };
+  auto cascaded = [](const CascadedConfig& cfg) -> SchedulerFactory {
+    return [cfg] {
+      auto s = CascadedSfcScheduler::Create(cfg);
+      return std::move(*s);
+    };
+  };
+  const Entry entries[] = {
+      {"FCFS", [] { return std::make_unique<FcfsScheduler>(); }},
+      {"Sweep-X (EDF-like)",
+       cascaded(PresetStage2Curve("cscan", true, 3, 0.05, 150.0))},
+      {"Sweep-Y (multi-queue-like)",
+       cascaded(PresetStage2Curve("cscan", false, 3, 0.05, 150.0))},
+      {"Hilbert", cascaded(PresetStage2Curve("hilbert", false, 3, 0.05, 150.0))},
+      {"Peano", cascaded(PresetStage2Curve("peano", false, 3, 0.05, 150.0))},
+  };
+
+  TablePrinter t({"scheduler", "misses", "miss %", "wcost(11:1)",
+                  "losses by level 0..7"});
+  for (const Entry& e : entries) {
+    auto m = RunSchedulerOnTrace(sc, trace, e.factory);
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+      return 1;
+    }
+    std::string by_level;
+    for (uint32_t l = 0; l < 8; ++l) {
+      if (l) by_level += ' ';
+      by_level += std::to_string(m->misses_per_dim_level[0][l]);
+    }
+    t.AddRow({e.label, std::to_string(m->deadline_misses),
+              FormatDouble(100.0 * static_cast<double>(m->deadline_misses) /
+                               static_cast<double>(m->deadline_total),
+                           2),
+              FormatDouble(m->WeightedLossCost(), 3), by_level});
+  }
+  t.Print();
+  std::printf(
+      "\nReading the last column: an EDF-like order spreads losses across\n"
+      "all levels; the SFC schedulers concentrate them in the cheap\n"
+      "low-priority levels (the paper's selectivity property).\n");
+  return 0;
+}

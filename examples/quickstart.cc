@@ -1,0 +1,66 @@
+// Quickstart: build a Cascaded-SFC scheduler, hand it a few multi-QoS disk
+// requests, and watch the dispatch order respect priorities, deadlines and
+// the disk arm at once.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "core/cascaded_scheduler.h"
+#include "core/presets.h"
+
+using namespace csfc;
+
+int main() {
+  // A scheduler with all three stages: Hilbert over 3 priority dimensions
+  // (16 levels each), the f = 1 priority/deadline blend, and an R = 3
+  // partitioned cylinder sweep over a 3832-cylinder disk. The dispatcher
+  // is conditionally preemptive with a 5% blocking window.
+  const CascadedConfig config = PresetFull(
+      /*sfc1=*/"hilbert", /*dims=*/3, /*bits=*/4, /*f=*/1.0, /*r=*/3,
+      /*cylinders=*/3832, /*window=*/0.05, /*deadline_horizon_ms=*/700.0);
+  auto scheduler = CascadedSfcScheduler::Create(config);
+  if (!scheduler.ok()) {
+    std::fprintf(stderr, "config error: %s\n",
+                 scheduler.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("scheduler: %s\n\n", std::string((*scheduler)->name()).c_str());
+
+  // Five requests with clashing demands. Level 0 is the most important.
+  struct Spec {
+    const char* what;
+    PriorityLevel user, value, size_class;
+    double deadline_ms;
+    Cylinder cylinder;
+  };
+  const Spec specs[] = {
+      {"bulk ftp transfer", 15, 14, 15, 5000.0, 3700},
+      {"video frame, premium user", 1, 2, 3, 120.0, 900},
+      {"audio chunk, standard user", 6, 5, 2, 150.0, 950},
+      {"thumbnail fetch", 10, 12, 6, 600.0, 100},
+      {"video frame, premium user (2)", 1, 2, 3, 110.0, 2600},
+  };
+
+  DispatchContext ctx{.now = 0, .head = 800};
+  RequestId id = 0;
+  for (const Spec& s : specs) {
+    Request r;
+    r.id = id++;
+    r.priorities = PriorityVec{s.user, s.value, s.size_class};
+    r.deadline = MsToSim(s.deadline_ms);
+    r.cylinder = s.cylinder;
+    (*scheduler)->Enqueue(r, ctx);
+    std::printf("enqueued [%llu] %-30s  v_c = %.6f\n",
+                static_cast<unsigned long long>(r.id), s.what,
+                (*scheduler)->last_cvalue());
+  }
+
+  std::printf("\ndispatch order (lower v_c first, cylinder sweep within a "
+              "partition):\n");
+  while (auto r = (*scheduler)->Dispatch(ctx)) {
+    std::printf("  -> [%llu] %s\n", static_cast<unsigned long long>(r->id),
+                specs[r->id].what);
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace csfc {
+
+void RunningStat::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ == 0) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const uint64_t n = n_ + other.n_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) /
+                         static_cast<double>(n);
+  mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ = n;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  assert(hi > lo);
+  assert(buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  size_t i;
+  if (x < lo_) {
+    i = 0;
+  } else if (x >= hi_) {
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<size_t>((x - lo_) / width_);
+    i = std::min(i, counts_.size() - 1);
+  }
+  ++counts_[i];
+  ++total_;
+}
+
+double Histogram::bucket_lo(size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] == 0
+              ? 0.0
+              : (target - cum) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToAscii(size_t max_width) const {
+  uint64_t peak = 0;
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const size_t bar =
+        peak == 0 ? 0
+                  : static_cast<size_t>(static_cast<double>(counts_[i]) /
+                                        static_cast<double>(peak) *
+                                        static_cast<double>(max_width));
+    std::snprintf(line, sizeof(line), "[%10.3f) %8llu |", bucket_lo(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace csfc

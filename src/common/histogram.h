@@ -1,0 +1,73 @@
+// Streaming statistics helpers used by the metrics layer: a running
+// mean/variance accumulator (Welford) and a fixed-bucket histogram.
+
+#ifndef CSFC_COMMON_HISTOGRAM_H_
+#define CSFC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csfc {
+
+/// Online mean / variance / min / max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (division by n).
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void Merge(const RunningStat& other);
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Equal-width histogram over [lo, hi) with out-of-range values clamped to
+/// the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  /// Inclusive lower edge of bucket i.
+  double bucket_lo(size_t i) const;
+  uint64_t total() const { return total_; }
+
+  /// Value below which `q` (in [0,1]) of the mass lies, interpolated within
+  /// the bucket. Returns lo() for an empty histogram.
+  double Quantile(double q) const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Multi-line ASCII rendering, for debugging / example output.
+  std::string ToAscii(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace csfc
+
+#endif  // CSFC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,127 @@
+// A vector with inline storage for small sizes, used for per-request
+// priority vectors (typically 1-12 dimensions) to avoid a heap allocation
+// per simulated request.
+
+#ifndef CSFC_COMMON_SMALL_VECTOR_H_
+#define CSFC_COMMON_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace csfc {
+
+/// Vector of trivially-copyable T with N elements of inline storage.
+/// Spills to the heap beyond N. Only the operations the simulator needs are
+/// provided (this is deliberately not a full std::vector clone).
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector requires trivially copyable elements");
+
+ public:
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(size_t count, const T& value) {
+    for (size_t i = 0; i < count; ++i) push_back(value);
+  }
+
+  SmallVector(const SmallVector& other) { *this = other; }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this == &other) return *this;
+    clear();
+    for (const T& v : other) push_back(v);
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    size_ = 0;
+    heap_.clear();
+  }
+
+  void push_back(const T& v) {
+    if (size_ < N) {
+      inline_[size_] = v;
+    } else {
+      heap_.push_back(v);
+    }
+    ++size_;
+  }
+
+  void resize(size_t n, const T& fill = T()) {
+    while (size_ > n) pop_back();
+    while (size_ < n) push_back(fill);
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    if (size_ > N) heap_.pop_back();
+    --size_;
+  }
+
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return i < N ? inline_[i] : heap_[i - N];
+  }
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return i < N ? inline_[i] : heap_[i - N];
+  }
+
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  bool operator==(const SmallVector& other) const {
+    if (size_ != other.size_) return false;
+    for (size_t i = 0; i < size_; ++i) {
+      if ((*this)[i] != other[i]) return false;
+    }
+    return true;
+  }
+
+  /// Forward iterator (proxy-based because storage may be split between the
+  /// inline buffer and the heap spill).
+  template <typename Vec, typename Ref>
+  class Iter {
+   public:
+    Iter(Vec* v, size_t i) : v_(v), i_(i) {}
+    Ref operator*() const { return (*v_)[i_]; }
+    Iter& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const Iter& o) const { return i_ != o.i_; }
+    bool operator==(const Iter& o) const { return i_ == o.i_; }
+
+   private:
+    Vec* v_;
+    size_t i_;
+  };
+
+  using iterator = Iter<SmallVector, T&>;
+  using const_iterator = Iter<const SmallVector, const T&>;
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, size_); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size_); }
+
+ private:
+  T inline_[N] = {};
+  std::vector<T> heap_;
+  size_t size_ = 0;
+};
+
+}  // namespace csfc
+
+#endif  // CSFC_COMMON_SMALL_VECTOR_H_

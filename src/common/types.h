@@ -1,0 +1,45 @@
+// Core scalar types and time conventions shared by every csfc module.
+//
+// Simulation time is a signed 64-bit count of microseconds (`SimTime`).
+// Disk-model arithmetic is done in double milliseconds and converted at the
+// boundary with MsToSim/SimToMs.
+
+#ifndef CSFC_COMMON_TYPES_H_
+#define CSFC_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace csfc {
+
+/// Simulation timestamp / duration in microseconds.
+using SimTime = int64_t;
+
+/// One millisecond in SimTime units.
+inline constexpr SimTime kMillisecond = 1000;
+/// One second in SimTime units.
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Converts a duration in (possibly fractional) milliseconds to SimTime.
+constexpr SimTime MsToSim(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond) + 0.5);
+}
+
+/// Converts a SimTime duration to fractional milliseconds.
+constexpr double SimToMs(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Disk cylinder index.
+using Cylinder = uint32_t;
+
+/// A quantized priority level. Level 0 is the HIGHEST priority in every
+/// dimension, so that ascending characterization order serves important
+/// requests first (see DESIGN.md section 6).
+using PriorityLevel = uint32_t;
+
+/// Monotonically increasing request identifier.
+using RequestId = uint64_t;
+
+}  // namespace csfc
+
+#endif  // CSFC_COMMON_TYPES_H_

@@ -1,0 +1,53 @@
+#include "core/cascaded_scheduler.h"
+
+namespace csfc {
+
+Result<std::unique_ptr<CascadedSfcScheduler>> CascadedSfcScheduler::Create(
+    const CascadedConfig& config) {
+  Result<std::unique_ptr<Encapsulator>> e =
+      Encapsulator::Create(config.encapsulator);
+  if (!e.ok()) return e.status();
+  Result<Dispatcher> d = Dispatcher::Create(config.dispatcher);
+  if (!d.ok()) return d.status();
+  // Re-characterization only matters when some stage depends on the
+  // dispatch context (deadline urgency or cylinder distance).
+  const EncapsulatorConfig& ec = config.encapsulator;
+  const bool context_dependent =
+      ec.stage2_mode != Stage2Mode::kDisabled ||
+      ec.stage3_mode != Stage3Mode::kDisabled;
+  return std::unique_ptr<CascadedSfcScheduler>(new CascadedSfcScheduler(
+      std::move(*e), std::move(*d),
+      config.recharacterize_on_swap && context_dependent));
+}
+
+CascadedSfcScheduler::CascadedSfcScheduler(
+    std::unique_ptr<Encapsulator> encapsulator, Dispatcher dispatcher,
+    bool recharacterize_on_swap)
+    : encapsulator_(std::move(encapsulator)),
+      dispatcher_(std::make_unique<Dispatcher>(std::move(dispatcher))),
+      recharacterize_on_swap_(recharacterize_on_swap) {
+  name_ = "csfc[" + encapsulator_->config().Signature() + "]";
+}
+
+void CascadedSfcScheduler::Enqueue(const Request& r,
+                                   const DispatchContext& ctx) {
+  last_cvalue_ = encapsulator_->Characterize(r, ctx);
+  dispatcher_->Insert(last_cvalue_, r);
+}
+
+std::optional<Request> CascadedSfcScheduler::Dispatch(
+    const DispatchContext& ctx) {
+  if (recharacterize_on_swap_ && dispatcher_->NeedsSwapForPop()) {
+    dispatcher_->RekeyWaiting([this, &ctx](const Request& r) {
+      return encapsulator_->Characterize(r, ctx);
+    });
+  }
+  return dispatcher_->Pop();
+}
+
+void CascadedSfcScheduler::ForEachWaiting(
+    const std::function<void(const Request&)>& fn) const {
+  dispatcher_->ForEach(fn);
+}
+
+}  // namespace csfc

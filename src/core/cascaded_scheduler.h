@@ -1,0 +1,61 @@
+// The Cascaded-SFC multimedia disk scheduler: encapsulator + dispatcher
+// behind the common Scheduler interface, so it plugs into the same
+// simulator as every baseline.
+
+#ifndef CSFC_CORE_CASCADED_SCHEDULER_H_
+#define CSFC_CORE_CASCADED_SCHEDULER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/dispatcher.h"
+#include "core/encapsulator.h"
+#include "sched/scheduler.h"
+
+namespace csfc {
+
+/// Complete Cascaded-SFC configuration.
+struct CascadedConfig {
+  EncapsulatorConfig encapsulator;
+  DispatcherConfig dispatcher;
+  /// When a new batch forms (queue swap), recompute every waiting
+  /// request's v_c against the current head position and time, so each
+  /// batch's SFC3 sweep is coherent and deadline urgency is up to date.
+  /// Irrelevant (and skipped) when only priority stages are active.
+  bool recharacterize_on_swap = true;
+};
+
+/// The paper's scheduler.
+class CascadedSfcScheduler final : public Scheduler {
+ public:
+  static Result<std::unique_ptr<CascadedSfcScheduler>> Create(
+      const CascadedConfig& config);
+
+  std::string_view name() const override { return name_; }
+  void Enqueue(const Request& r, const DispatchContext& ctx) override;
+  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  size_t queue_size() const override { return dispatcher_->size(); }
+  void ForEachWaiting(
+      const std::function<void(const Request&)>& fn) const override;
+
+  /// The characterization value assigned to the most recent Enqueue (for
+  /// tests and introspection).
+  CValue last_cvalue() const { return last_cvalue_; }
+
+  const Dispatcher& dispatcher() const { return *dispatcher_; }
+  const Encapsulator& encapsulator() const { return *encapsulator_; }
+
+ private:
+  CascadedSfcScheduler(std::unique_ptr<Encapsulator> encapsulator,
+                       Dispatcher dispatcher, bool recharacterize_on_swap);
+
+  std::unique_ptr<Encapsulator> encapsulator_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  std::string name_;
+  CValue last_cvalue_ = 0.0;
+  bool recharacterize_on_swap_;
+};
+
+}  // namespace csfc
+
+#endif  // CSFC_CORE_CASCADED_SCHEDULER_H_

@@ -1,0 +1,32 @@
+#include "core/cvalue.h"
+
+#include <algorithm>
+
+#include "workload/request.h"
+
+namespace csfc {
+
+uint32_t QuantizeUnit(double v, uint32_t cells) {
+  if (v <= 0.0) return 0;
+  if (v >= 1.0) return cells - 1;
+  const uint32_t cell = static_cast<uint32_t>(v * cells);
+  return std::min(cell, cells - 1);
+}
+
+uint32_t QuantizeDeadline(SimTime deadline, SimTime now, SimTime horizon,
+                          uint32_t cells) {
+  if (deadline == kNoDeadline) return cells - 1;
+  if (deadline <= now) return 0;
+  const SimTime remaining = deadline - now;
+  if (remaining >= horizon) return cells - 1;
+  return QuantizeUnit(static_cast<double>(remaining) /
+                          static_cast<double>(horizon),
+                      cells);
+}
+
+uint32_t CScanDistance(Cylinder cyl, Cylinder head, uint32_t cylinders) {
+  if (cyl >= head) return cyl - head;
+  return cyl + cylinders - head;
+}
+
+}  // namespace csfc

@@ -1,0 +1,48 @@
+// Characterization values and stage quantization helpers.
+//
+// Every encapsulator stage produces a *characterization value* normalized
+// to [0, 1): the request's position along that stage's linear order, as a
+// fraction of the scheduling space. Normalizing keeps the blocking-window
+// parameter `w` of the conditionally-preemptive dispatcher meaningful as a
+// percentage of the space (exactly how Section 5 sweeps it) regardless of
+// grid resolutions.
+//
+// Doubles represent every curve index exactly (indices are < 2^62 but the
+// normalized quotient only needs to be order-preserving, which division by
+// a constant power-of-two count is for indices below 2^53; stage grids in
+// csfc are <= 2^48 cells).
+
+#ifndef CSFC_CORE_CVALUE_H_
+#define CSFC_CORE_CVALUE_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace csfc {
+
+/// Normalized characterization value in [0, 1).
+using CValue = double;
+
+/// Normalizes a curve index against its cell count.
+inline CValue NormalizeIndex(uint64_t index, uint64_t num_cells) {
+  return static_cast<double>(index) / static_cast<double>(num_cells);
+}
+
+/// Quantizes a normalized value in [0, 1] onto a grid with `cells` cells,
+/// clamping to the last cell.
+uint32_t QuantizeUnit(double v, uint32_t cells);
+
+/// Maps an absolute deadline to a grid cell: time-to-deadline at `now`,
+/// clamped to [0, horizon], scaled so cell 0 = already due (most urgent)
+/// and the last cell = relaxed / beyond the horizon.
+uint32_t QuantizeDeadline(SimTime deadline, SimTime now, SimTime horizon,
+                          uint32_t cells);
+
+/// Forward C-SCAN distance from `head` to `cyl` (wrapping upward sweep),
+/// in cylinders: 0 when the head is already there.
+uint32_t CScanDistance(Cylinder cyl, Cylinder head, uint32_t cylinders);
+
+}  // namespace csfc
+
+#endif  // CSFC_CORE_CVALUE_H_

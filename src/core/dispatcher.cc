@@ -1,0 +1,102 @@
+#include "core/dispatcher.h"
+
+#include <utility>
+
+namespace csfc {
+
+Status DispatcherConfig::Validate() const {
+  if (window < 0.0) {
+    return Status::InvalidArgument("window must be >= 0");
+  }
+  if (expand_reset && expansion_factor <= 1.0) {
+    return Status::InvalidArgument("expansion_factor must be > 1");
+  }
+  return Status::OK();
+}
+
+Result<Dispatcher> Dispatcher::Create(const DispatcherConfig& config) {
+  if (Status s = config.Validate(); !s.ok()) return s;
+  return Dispatcher(config);
+}
+
+Dispatcher::Dispatcher(const DispatcherConfig& config)
+    : config_(config), window_(config.window) {}
+
+void Dispatcher::Insert(CValue v, const Request& r) {
+  const auto key = std::make_pair(v, seq_++);
+  switch (config_.discipline) {
+    case QueueDiscipline::kFullyPreemptive:
+      active_.emplace(key, r);
+      return;
+    case QueueDiscipline::kNonPreemptive:
+      waiting_.emplace(key, r);
+      return;
+    case QueueDiscipline::kConditionallyPreemptive: {
+      if (!current_.has_value()) {
+        // Nothing has been served yet; the batch forms in q'.
+        waiting_.emplace(key, r);
+        return;
+      }
+      // Figure 3: the arrival is compared against T_cur, the request the
+      // disk is currently serving (the most recently dispatched one).
+      const CValue v_cur = *current_;
+      if (v < v_cur - window_) {
+        // Significantly higher priority: preempt (Figure 3c).
+        active_.emplace(key, r);
+        ++preemptions_;
+        if (config_.expand_reset) window_ *= config_.expansion_factor;
+      } else {
+        // Lower priority, or higher but inside the blocking window
+        // (Figures 3a and 3b): wait for the next batch.
+        waiting_.emplace(key, r);
+      }
+      return;
+    }
+  }
+}
+
+void Dispatcher::Swap() {
+  std::swap(active_, waiting_);
+  ++swaps_;
+  if (config_.expand_reset) window_ = config_.window;  // ER reset
+}
+
+std::optional<Request> Dispatcher::Pop() {
+  if (config_.discipline == QueueDiscipline::kConditionallyPreemptive &&
+      config_.serve_promote && !active_.empty() && !waiting_.empty()) {
+    // SP: promote q' requests that now significantly beat the batch head.
+    const CValue v_cur = active_.begin()->first.first;
+    auto it = waiting_.begin();
+    while (it != waiting_.end() && it->first.first < v_cur - window_) {
+      active_.insert(*it);
+      it = waiting_.erase(it);
+      ++promotions_;
+    }
+  }
+  if (active_.empty()) {
+    if (waiting_.empty()) return std::nullopt;
+    Swap();
+  }
+  auto it = active_.begin();
+  Request r = it->second;
+  current_ = it->first.first;
+  active_.erase(it);
+  return r;
+}
+
+void Dispatcher::RekeyWaiting(
+    const std::function<CValue(const Request&)>& key) {
+  Queue rekeyed;
+  for (auto& [old_key, r] : waiting_) {
+    rekeyed.emplace(std::make_pair(key(r), old_key.second), r);
+  }
+  waiting_ = std::move(rekeyed);
+}
+
+void Dispatcher::ForEach(
+    const std::function<void(const Request&)>& fn) const {
+  for (const auto& [key, r] : active_) fn(r);
+  for (const auto& [key, r] : waiting_) fn(r);
+}
+
+}  // namespace csfc

@@ -1,0 +1,135 @@
+// Part 2 of the Cascaded-SFC scheduler: the dispatcher (Section 3).
+//
+// Requests enter keyed by their characterization value v_c (lower value =
+// higher priority) and leave in one of three queue disciplines:
+//
+//  * Non-preemptive: two queues. The active queue q is served to
+//    exhaustion while arrivals collect in the waiting queue q'; when q
+//    empties, the queues swap. Starvation-free but suffers priority
+//    inversion (new urgent requests wait a whole batch).
+//
+//  * Fully-preemptive: a single queue; every arrival competes immediately.
+//    Perfect priority order, but a stream of urgent arrivals starves
+//    everything else.
+//
+//  * Conditionally-preemptive (the paper's contribution): an arrival
+//    preempts the current batch only if it beats the *currently served*
+//    request T_cur by more than the blocking window w: v_new < v_cur - w
+//    (Figure 3). Arrivals inside the window wait in q'. w = 0 degenerates
+//    to fully-preemptive; w >= 1 (the whole space) to non-preemptive.
+//
+// Two policies refine the conditional discipline:
+//
+//  * SP (Serve-and-Promote, Section 3.2): before each dispatch, requests
+//    in q' that now beat the next-to-be-served request by more than w are
+//    promoted into q — bounding the priority inversion caused by blocked
+//    windows.
+//
+//  * ER (Expand-and-Reset, Section 3.3): every preemption multiplies w by
+//    the expansion factor e, so a sustained burst of urgent arrivals
+//    drives the scheduler toward non-preemptive (starvation-free)
+//    operation; w resets to its configured value when the active batch is
+//    exhausted (queue swap). The scheduler thus oscillates between
+//    conditional and non-preemptive modes.
+
+#ifndef CSFC_CORE_DISPATCHER_H_
+#define CSFC_CORE_DISPATCHER_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/status.h"
+#include "core/cvalue.h"
+#include "workload/request.h"
+
+namespace csfc {
+
+/// Queue discipline of the dispatcher.
+enum class QueueDiscipline {
+  kNonPreemptive,
+  kFullyPreemptive,
+  kConditionallyPreemptive,
+};
+
+/// Dispatcher configuration.
+struct DispatcherConfig {
+  QueueDiscipline discipline = QueueDiscipline::kConditionallyPreemptive;
+  /// Blocking window w as a fraction of the characterization space [0, 1].
+  double window = 0.05;
+  /// SP policy (conditional discipline only).
+  bool serve_promote = true;
+  /// ER policy (conditional discipline only).
+  bool expand_reset = false;
+  /// ER expansion factor e (> 1).
+  double expansion_factor = 2.0;
+
+  Status Validate() const;
+};
+
+/// Priority-queue machinery shared by the three disciplines.
+class Dispatcher {
+ public:
+  static Result<Dispatcher> Create(const DispatcherConfig& config);
+
+  /// Inserts a request with characterization value `v`.
+  void Insert(CValue v, const Request& r);
+
+  /// Removes and returns the next request to serve (nullopt when empty).
+  std::optional<Request> Pop();
+
+  size_t size() const { return active_.size() + waiting_.size(); }
+  bool empty() const { return size() == 0; }
+
+  /// True when the next Pop() will swap the queues (the active batch is
+  /// exhausted and a new one is about to form from q').
+  bool NeedsSwapForPop() const { return active_.empty() && !waiting_.empty(); }
+
+  /// Recomputes the characterization value of every waiting (q') request
+  /// with `key`. Used by the Cascaded-SFC scheduler to re-characterize a
+  /// forming batch against the *current* head position and time, so the
+  /// SFC3 cylinder sweep of each batch is coherent (and deadline urgency
+  /// is current) instead of frozen at the various enqueue instants.
+  void RekeyWaiting(const std::function<CValue(const Request&)>& key);
+
+  /// Visits all pending requests (active then waiting).
+  void ForEach(const std::function<void(const Request&)>& fn) const;
+
+  /// Current blocking window (grows under ER).
+  double current_window() const { return window_; }
+  /// Total preemptions performed (conditional discipline).
+  uint64_t preemptions() const { return preemptions_; }
+  /// Total SP promotions performed.
+  uint64_t promotions() const { return promotions_; }
+  /// Total queue swaps.
+  uint64_t swaps() const { return swaps_; }
+
+  const DispatcherConfig& config() const { return config_; }
+
+ private:
+  explicit Dispatcher(const DispatcherConfig& config);
+
+  // Key: (v_c, insertion sequence) so exact ties dispatch FIFO.
+  using Queue = std::map<std::pair<CValue, uint64_t>, Request>;
+
+  void Swap();
+
+  DispatcherConfig config_;
+  double window_;
+  /// v_c of the most recently dispatched request — the paper's T_cur, the
+  /// request the disk is serving. Arrival comparisons use this, not the
+  /// queue head (Figure 3 vs. Figure 4 narrative). It persists after the
+  /// service completes; a stale value is harmless because the queues are
+  /// then empty and every path drains the newcomer immediately.
+  std::optional<CValue> current_;
+  Queue active_;   // q
+  Queue waiting_;  // q'
+  uint64_t seq_ = 0;
+  uint64_t preemptions_ = 0;
+  uint64_t promotions_ = 0;
+  uint64_t swaps_ = 0;
+};
+
+}  // namespace csfc
+
+#endif  // CSFC_CORE_DISPATCHER_H_

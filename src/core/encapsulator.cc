@@ -1,0 +1,222 @@
+#include "core/encapsulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sfc/registry.h"
+
+namespace csfc {
+
+namespace {
+// Weight of the Stage-2 tie-breaking secondary key. Small enough that it
+// can never reorder requests whose primary keys differ by one grid cell
+// (the smallest primary separation is ~2^-16 at the maximum stage-2 grid).
+constexpr double kTieEpsilon = 0x1.0p-24;
+}  // namespace
+
+Status EncapsulatorConfig::Validate() const {
+  if (stage1_enabled && priority_dims > 0) {
+    GridSpec spec{.dims = priority_dims, .bits = priority_bits};
+    if (Status s = spec.Validate(); !s.ok()) return s;
+    if (!IsKnownCurve(sfc1)) {
+      return Status::NotFound("unknown SFC1 curve: " + sfc1);
+    }
+  }
+  if (stage2_mode == Stage2Mode::kFormula && f < 0.0) {
+    return Status::InvalidArgument("stage-2 balance factor f must be >= 0");
+  }
+  if (stage2_mode == Stage2Mode::kCurve) {
+    GridSpec spec{.dims = 2, .bits = stage2_bits};
+    if (Status s = spec.Validate(); !s.ok()) return s;
+    if (!IsKnownCurve(sfc2)) {
+      return Status::NotFound("unknown SFC2 curve: " + sfc2);
+    }
+  }
+  if (stage2_mode != Stage2Mode::kDisabled && deadline_horizon_ms <= 0.0) {
+    return Status::InvalidArgument("deadline_horizon_ms must be > 0");
+  }
+  if (stage3_mode == Stage3Mode::kPartitionedCScan && partitions_r == 0) {
+    return Status::InvalidArgument("partitions_r (R) must be >= 1");
+  }
+  if (stage3_mode == Stage3Mode::kCurve) {
+    GridSpec spec{.dims = 2, .bits = stage3_bits};
+    if (Status s = spec.Validate(); !s.ok()) return s;
+    if (!IsKnownCurve(sfc3)) {
+      return Status::NotFound("unknown SFC3 curve: " + sfc3);
+    }
+  }
+  if (stage3_mode != Stage3Mode::kDisabled && cylinders < 2) {
+    return Status::InvalidArgument("cylinders must be >= 2");
+  }
+  if (stage3_mode == Stage3Mode::kPartitionedCScan && stage3_bits < 1) {
+    return Status::InvalidArgument("stage3_bits must be >= 1");
+  }
+  return Status::OK();
+}
+
+std::string EncapsulatorConfig::Signature() const {
+  std::string sig;
+  sig += stage1_enabled && priority_dims > 0 ? sfc1 : "off";
+  sig += '|';
+  switch (stage2_mode) {
+    case Stage2Mode::kDisabled:
+      sig += "off";
+      break;
+    case Stage2Mode::kFormula:
+      sig += "f=";
+      sig += std::to_string(f);
+      break;
+    case Stage2Mode::kCurve:
+      sig += sfc2;
+      sig += stage2_deadline_major ? "(dl-major)" : "(pri-major)";
+      break;
+  }
+  sig += '|';
+  switch (stage3_mode) {
+    case Stage3Mode::kDisabled:
+      sig += "off";
+      break;
+    case Stage3Mode::kPartitionedCScan:
+      sig += "R=";
+      sig += std::to_string(partitions_r);
+      break;
+    case Stage3Mode::kCurve:
+      sig += sfc3;
+      break;
+  }
+  return sig;
+}
+
+Result<std::unique_ptr<Encapsulator>> Encapsulator::Create(
+    const EncapsulatorConfig& config) {
+  if (Status s = config.Validate(); !s.ok()) return s;
+  std::unique_ptr<Encapsulator> e(new Encapsulator(config));
+  if (config.stage1_enabled && config.priority_dims > 0) {
+    GridSpec spec{.dims = config.priority_dims, .bits = config.priority_bits};
+    Result<CurvePtr> c = MakeCurve(config.sfc1, spec);
+    if (!c.ok()) return c.status();
+    e->curve1_ = std::move(*c);
+  }
+  if (config.stage2_mode == Stage2Mode::kCurve) {
+    GridSpec spec{.dims = 2, .bits = config.stage2_bits};
+    Result<CurvePtr> c = MakeCurve(config.sfc2, spec);
+    if (!c.ok()) return c.status();
+    e->curve2_ = std::move(*c);
+  }
+  if (config.stage3_mode == Stage3Mode::kCurve) {
+    GridSpec spec{.dims = 2, .bits = config.stage3_bits};
+    Result<CurvePtr> c = MakeCurve(config.sfc3, spec);
+    if (!c.ok()) return c.status();
+    e->curve3_ = std::move(*c);
+  }
+  return e;
+}
+
+Encapsulator::Encapsulator(const EncapsulatorConfig& config)
+    : config_(config) {}
+
+CValue Encapsulator::Characterize(const Request& r,
+                                  const DispatchContext& ctx) const {
+  const CValue v1 = Stage1(r);
+  const CValue v2 = Stage2(v1, r, ctx);
+  return Stage3(v2, r, ctx);
+}
+
+CValue Encapsulator::Stage1(const Request& r) const {
+  if (curve1_ == nullptr) {
+    // Pass-through: single-priority (or no-priority) applications skip
+    // SFC1 (Section 4.1).
+    if (r.priorities.empty()) return 0.0;
+    const uint32_t levels = uint32_t{1} << config_.priority_bits;
+    const PriorityLevel p = std::min(r.priorities[0], levels - 1);
+    return static_cast<double>(p) / static_cast<double>(levels);
+  }
+  uint32_t point[16];
+  const uint32_t levels = uint32_t{1} << config_.priority_bits;
+  for (uint32_t k = 0; k < config_.priority_dims; ++k) {
+    point[k] = std::min<uint32_t>(r.priority(k), levels - 1);
+  }
+  const uint64_t index = curve1_->Index(
+      std::span<const uint32_t>(point, config_.priority_dims));
+  return NormalizeIndex(index, curve1_->num_cells());
+}
+
+CValue Encapsulator::Stage2(CValue v1, const Request& r,
+                            const DispatchContext& ctx) const {
+  if (config_.stage2_mode == Stage2Mode::kDisabled) return v1;
+  const SimTime horizon = MsToSim(config_.deadline_horizon_ms);
+
+  if (config_.stage2_mode == Stage2Mode::kFormula) {
+    // Continuous deadline axis in [0, 1]: time-to-deadline over horizon.
+    double dl;
+    if (!r.has_deadline()) {
+      dl = 1.0;
+    } else if (r.deadline <= ctx.now) {
+      dl = 0.0;
+    } else {
+      dl = std::min(1.0, static_cast<double>(r.deadline - ctx.now) /
+                             static_cast<double>(horizon));
+    }
+    double v = (v1 + config_.f * dl) / (1.0 + config_.f);
+    switch (config_.stage2_tie) {
+      case Stage2TieBreak::kNone:
+        break;
+      case Stage2TieBreak::kEarliestDeadline:
+        v += kTieEpsilon * dl;
+        break;
+      case Stage2TieBreak::kHighestPriority:
+        v += kTieEpsilon * v1;
+        break;
+    }
+    return std::min(v, std::nextafter(1.0, 0.0));
+  }
+
+  // kCurve: quantize both axes onto the stage grid and walk the 2-D curve.
+  const uint32_t cells = uint32_t{1} << config_.stage2_bits;
+  const uint32_t pri_cell = QuantizeUnit(v1, cells);
+  const uint32_t dl_cell =
+      QuantizeDeadline(r.deadline, ctx.now, horizon, cells);
+  uint32_t point[2];
+  if (config_.stage2_deadline_major) {
+    point[0] = dl_cell;
+    point[1] = pri_cell;
+  } else {
+    point[0] = pri_cell;
+    point[1] = dl_cell;
+  }
+  const uint64_t index = curve2_->Index(std::span<const uint32_t>(point, 2));
+  return NormalizeIndex(index, curve2_->num_cells());
+}
+
+CValue Encapsulator::Stage3(CValue v2, const Request& r,
+                            const DispatchContext& ctx) const {
+  if (config_.stage3_mode == Stage3Mode::kDisabled) return v2;
+  const uint32_t y_v = CScanDistance(r.cylinder, ctx.head, config_.cylinders);
+
+  if (config_.stage3_mode == Stage3Mode::kPartitionedCScan) {
+    // Section 5.3: cut the priority-deadline axis into R partitions of
+    // width P_s; serve partition by partition, each in one cylinder sweep,
+    // ties on a cylinder broken by the priority-deadline value.
+    const uint32_t max_x = uint32_t{1} << config_.stage3_bits;
+    const uint32_t x_v = QuantizeUnit(v2, max_x);
+    const uint32_t r_parts = config_.partitions_r;
+    const uint32_t p_s = (max_x + r_parts - 1) / r_parts;  // partition width
+    const uint32_t p_n = x_v / p_s;                        // partition index
+    const uint64_t max_y = config_.cylinders;
+    const uint64_t raw =
+        (static_cast<uint64_t>(p_n) * max_y + y_v) * p_s + (x_v % p_s);
+    const uint64_t raw_max = static_cast<uint64_t>(r_parts) * max_y * p_s;
+    return static_cast<double>(raw) / static_cast<double>(raw_max);
+  }
+
+  // kCurve: 2-D curve over (priority-deadline, distance).
+  const uint32_t cells = uint32_t{1} << config_.stage3_bits;
+  uint32_t point[2];
+  point[0] = QuantizeUnit(v2, cells);
+  point[1] = QuantizeUnit(
+      static_cast<double>(y_v) / static_cast<double>(config_.cylinders), cells);
+  const uint64_t index = curve3_->Index(std::span<const uint32_t>(point, 2));
+  return NormalizeIndex(index, curve3_->num_cells());
+}
+
+}  // namespace csfc

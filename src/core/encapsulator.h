@@ -1,0 +1,118 @@
+// Part 1 of the Cascaded-SFC scheduler: the encapsulator (Figure 2).
+//
+// A disk request with D priority dimensions, a deadline and a cylinder is
+// a point in (D+2)-dimensional space. Three cascaded stages reduce it to a
+// single characterization value v_c in [0, 1):
+//
+//   Stage 1 (SFC1): a D-dimensional space-filling curve over the priority
+//     levels. Output: the request's normalized curve position. Purpose:
+//     minimize priority inversion (Section 5.1).
+//
+//   Stage 2 (SFC2): combines the Stage-1 output with the request deadline.
+//     Two modes:
+//       * kFormula  - the paper's tunable blend v2 = (v1 + f*dl) / (1+f)
+//         with a configurable tie-breaker; f < 1 favors priority, f > 1
+//         favors deadline (Section 5.2).
+//       * kCurve    - a generic 2-D SFC over the (priority, deadline) grid
+//         with a configurable axis assignment; this realizes the
+//         "Hilbert-as-SFC2" variants of Figure 9 and the -X / -Y
+//         configurations of Figure 11.
+//
+//   Stage 3 (SFC3): combines the Stage-2 output with the forward C-SCAN
+//     cylinder distance from the current head. Two modes:
+//       * kPartitionedCScan - the paper's R-partition formula (Section
+//         5.3): the priority-deadline axis is cut into R vertical
+//         partitions of width P_s; each partition is served in one
+//         cylinder sweep, ties on a cylinder broken by priority-deadline.
+//         R = 1 degenerates to a pure C-SCAN; large R to pure priority.
+//       * kCurve - a generic 2-D SFC over the (priority-deadline,
+//         distance) grid.
+//
+// Any stage may be disabled (Section 4.1 flexibility): a disabled Stage 1
+// passes dimension-0 priority through (or 0 when the request has no
+// priorities); disabled Stages 2/3 forward their input unchanged.
+//
+// v_c is computed when a request is enqueued: the deadline axis uses
+// time-to-deadline at that instant and the distance axis uses the head
+// position at that instant, exactly as the paper inserts requests into the
+// priority queue on arrival.
+
+#ifndef CSFC_CORE_ENCAPSULATOR_H_
+#define CSFC_CORE_ENCAPSULATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/cvalue.h"
+#include "sched/scheduler.h"
+#include "sfc/curve.h"
+#include "workload/request.h"
+
+namespace csfc {
+
+/// Stage-2 operating mode.
+enum class Stage2Mode { kDisabled, kFormula, kCurve };
+/// Stage-3 operating mode.
+enum class Stage3Mode { kDisabled, kPartitionedCScan, kCurve };
+/// Tie-breaking for the Stage-2 formula (applied as an infinitesimal
+/// secondary key).
+enum class Stage2TieBreak { kNone, kEarliestDeadline, kHighestPriority };
+
+/// Full encapsulator configuration.
+struct EncapsulatorConfig {
+  // --- Stage 1 ---
+  bool stage1_enabled = true;
+  std::string sfc1 = "hilbert";     ///< registry name of the D-dim curve
+  uint32_t priority_dims = 3;       ///< D
+  uint32_t priority_bits = 4;       ///< levels per dimension = 2^bits
+
+  // --- Stage 2 ---
+  Stage2Mode stage2_mode = Stage2Mode::kFormula;
+  double f = 1.0;                   ///< formula balance factor (>= 0)
+  Stage2TieBreak stage2_tie = Stage2TieBreak::kEarliestDeadline;
+  std::string sfc2 = "diagonal";    ///< curve for kCurve mode
+  uint32_t stage2_bits = 8;         ///< per-axis grid bits in kCurve mode
+  bool stage2_deadline_major = false;  ///< kCurve: deadline on axis 0 (X)
+  double deadline_horizon_ms = 1000.0; ///< deadline-axis scale
+
+  // --- Stage 3 ---
+  Stage3Mode stage3_mode = Stage3Mode::kPartitionedCScan;
+  uint32_t partitions_r = 3;        ///< R, number of cylinder sweeps
+  std::string sfc3 = "cscan";       ///< curve for kCurve mode
+  uint32_t stage3_bits = 8;         ///< per-axis grid bits
+  uint32_t cylinders = 3832;        ///< disk size for the distance axis
+
+  Status Validate() const;
+
+  /// Short config signature, e.g. "hilbert|f=1|R=3".
+  std::string Signature() const;
+};
+
+/// The encapsulator: maps requests to characterization values.
+class Encapsulator {
+ public:
+  static Result<std::unique_ptr<Encapsulator>> Create(
+      const EncapsulatorConfig& config);
+
+  /// Computes v_c in [0, 1) for `r` given the disk state in `ctx`.
+  CValue Characterize(const Request& r, const DispatchContext& ctx) const;
+
+  const EncapsulatorConfig& config() const { return config_; }
+
+ private:
+  explicit Encapsulator(const EncapsulatorConfig& config);
+
+  CValue Stage1(const Request& r) const;
+  CValue Stage2(CValue v1, const Request& r, const DispatchContext& ctx) const;
+  CValue Stage3(CValue v2, const Request& r, const DispatchContext& ctx) const;
+
+  EncapsulatorConfig config_;
+  CurvePtr curve1_;  // null when stage 1 is disabled or D == 0
+  CurvePtr curve2_;  // null unless stage2_mode == kCurve
+  CurvePtr curve3_;  // null unless stage3_mode == kCurve
+};
+
+}  // namespace csfc
+
+#endif  // CSFC_CORE_ENCAPSULATOR_H_

@@ -1,0 +1,57 @@
+#include "disk/raid.h"
+
+namespace csfc {
+
+Result<Raid5Layout> Raid5Layout::Create(uint32_t num_disks,
+                                        uint64_t blocks_per_disk,
+                                        const DiskParams& disk) {
+  if (num_disks < 3) {
+    return Status::InvalidArgument("RAID-5 needs at least 3 disks");
+  }
+  if (blocks_per_disk == 0) {
+    return Status::InvalidArgument("blocks_per_disk must be > 0");
+  }
+  if (Status s = disk.Validate(); !s.ok()) return s;
+  return Raid5Layout(num_disks, blocks_per_disk, disk);
+}
+
+Raid5Layout::Raid5Layout(uint32_t num_disks, uint64_t blocks_per_disk,
+                         const DiskParams& disk)
+    : num_disks_(num_disks),
+      blocks_per_disk_(blocks_per_disk),
+      cylinders_(disk.cylinders) {
+  blocks_per_cylinder_ = blocks_per_disk_ / cylinders_;
+  if (blocks_per_cylinder_ == 0) blocks_per_cylinder_ = 1;
+}
+
+RaidLocation Raid5Layout::Map(uint64_t lbn) const {
+  const uint32_t data = data_disks();
+  const uint64_t stripe = lbn / data;
+  const uint32_t within = static_cast<uint32_t>(lbn % data);
+  // Left-symmetric: parity rotates right-to-left; data blocks fill the
+  // remaining disks starting after the parity disk.
+  const uint32_t parity_disk =
+      static_cast<uint32_t>((num_disks_ - 1) - (stripe % num_disks_));
+  const uint32_t disk = (parity_disk + 1 + within) % num_disks_;
+  RaidLocation loc;
+  loc.disk = disk;
+  loc.block = stripe;
+  loc.cylinder = CylinderOfBlock(stripe);
+  return loc;
+}
+
+RaidLocation Raid5Layout::ParityOf(uint64_t lbn) const {
+  const uint64_t stripe = lbn / data_disks();
+  RaidLocation loc;
+  loc.disk = static_cast<uint32_t>((num_disks_ - 1) - (stripe % num_disks_));
+  loc.block = stripe;
+  loc.cylinder = CylinderOfBlock(stripe);
+  return loc;
+}
+
+Cylinder Raid5Layout::CylinderOfBlock(uint64_t pbn) const {
+  const uint64_t cyl = pbn / blocks_per_cylinder_;
+  return static_cast<Cylinder>(cyl >= cylinders_ ? cylinders_ - 1 : cyl);
+}
+
+}  // namespace csfc

@@ -1,0 +1,63 @@
+// RAID-5 layout of the PanaViss array (Table 1: 5 disks, 4 data + 1
+// parity, left-symmetric rotating parity). Maps a logical block number to
+// the member disk and physical block that hold it, and computes the parity
+// location of each stripe — enough to place multimedia streams across the
+// array and to model the extra parity write of a small-write.
+
+#ifndef CSFC_DISK_RAID_H_
+#define CSFC_DISK_RAID_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "disk/disk_model.h"
+
+namespace csfc {
+
+/// Physical location of a block inside the array.
+struct RaidLocation {
+  uint32_t disk = 0;      ///< member disk index, 0-based
+  uint64_t block = 0;     ///< physical block number on that disk
+  Cylinder cylinder = 0;  ///< cylinder holding the block
+};
+
+/// Left-symmetric RAID-5 address mapping.
+class Raid5Layout {
+ public:
+  /// `num_disks` >= 3 (data + parity); `blocks_per_disk` > 0.
+  /// `disk` supplies geometry so blocks can be placed on cylinders.
+  static Result<Raid5Layout> Create(uint32_t num_disks,
+                                    uint64_t blocks_per_disk,
+                                    const DiskParams& disk);
+
+  uint32_t num_disks() const { return num_disks_; }
+  uint32_t data_disks() const { return num_disks_ - 1; }
+  uint64_t blocks_per_disk() const { return blocks_per_disk_; }
+  /// Usable (data) capacity in blocks.
+  uint64_t data_blocks() const {
+    return blocks_per_disk_ * (num_disks_ - 1);
+  }
+
+  /// Maps a logical (data) block to its physical location.
+  /// `lbn` must be < data_blocks().
+  RaidLocation Map(uint64_t lbn) const;
+
+  /// Location of the parity block of the stripe containing `lbn`.
+  RaidLocation ParityOf(uint64_t lbn) const;
+
+  /// Cylinder holding physical block `pbn` (uniform blocks/cylinder).
+  Cylinder CylinderOfBlock(uint64_t pbn) const;
+
+ private:
+  Raid5Layout(uint32_t num_disks, uint64_t blocks_per_disk,
+              const DiskParams& disk);
+
+  uint32_t num_disks_;
+  uint64_t blocks_per_disk_;
+  uint32_t cylinders_;
+  uint64_t blocks_per_cylinder_;
+};
+
+}  // namespace csfc
+
+#endif  // CSFC_DISK_RAID_H_

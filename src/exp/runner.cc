@@ -1,0 +1,36 @@
+#include "exp/runner.h"
+
+namespace csfc {
+
+Result<RunMetrics> RunSchedulerOnTrace(const SimulatorConfig& sim_config,
+                                       const std::vector<Request>& trace,
+                                       const SchedulerFactory& factory) {
+  Result<DiskServerSimulator> sim = DiskServerSimulator::Create(sim_config);
+  if (!sim.ok()) return sim.status();
+  SchedulerPtr sched = factory();
+  if (sched == nullptr) {
+    return Status::Internal("scheduler factory returned null");
+  }
+  TraceReplayGenerator gen(trace);
+  return sim->Run(gen, *sched);
+}
+
+double Percent(double value, double base) {
+  return base == 0.0 ? 0.0 : 100.0 * value / base;
+}
+
+Result<std::vector<ComparisonRow>> ComparePolicies(
+    const SimulatorConfig& sim_config, const std::vector<Request>& trace,
+    const std::vector<SchedulerEntry>& entries) {
+  std::vector<ComparisonRow> rows;
+  rows.reserve(entries.size());
+  for (const SchedulerEntry& entry : entries) {
+    Result<RunMetrics> m =
+        RunSchedulerOnTrace(sim_config, trace, entry.factory);
+    if (!m.ok()) return m.status();
+    rows.push_back(ComparisonRow{entry.label, std::move(*m)});
+  }
+  return rows;
+}
+
+}  // namespace csfc

@@ -1,0 +1,47 @@
+// Experiment harness: capture a workload once, replay it through any
+// number of schedulers under identical conditions, and normalize metrics
+// against a baseline run — the methodology behind every figure in
+// Section 5/6 (priority inversion as % of FIFO, losses normalized to EDF
+// or C-SCAN, etc.).
+
+#ifndef CSFC_EXP_RUNNER_H_
+#define CSFC_EXP_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+namespace csfc {
+
+/// Runs `factory`'s scheduler over a replay of `trace` on a fresh
+/// simulator built from `sim_config`.
+Result<RunMetrics> RunSchedulerOnTrace(const SimulatorConfig& sim_config,
+                                       const std::vector<Request>& trace,
+                                       const SchedulerFactory& factory);
+
+/// Percentage helper: 100 * value / base (0 when base is 0).
+double Percent(double value, double base);
+
+/// A labelled scheduler entry for comparison sweeps.
+struct SchedulerEntry {
+  std::string label;
+  SchedulerFactory factory;
+};
+
+/// Result of ComparePolicies for one entry.
+struct ComparisonRow {
+  std::string label;
+  RunMetrics metrics;
+};
+
+/// Runs every entry over the same trace.
+Result<std::vector<ComparisonRow>> ComparePolicies(
+    const SimulatorConfig& sim_config, const std::vector<Request>& trace,
+    const std::vector<SchedulerEntry>& entries);
+
+}  // namespace csfc
+
+#endif  // CSFC_EXP_RUNNER_H_

@@ -1,0 +1,81 @@
+#include "exp/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+
+namespace csfc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string* out) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) *out += "  ";
+      *out += row[c];
+      out->append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim trailing spaces.
+    while (!out->empty() && out->back() == ' ') out->pop_back();
+    *out += '\n';
+  };
+  std::string out;
+  emit_row(headers_, &out);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, &out);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      const bool quote = row[c].find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        out << '"';
+        for (char ch : row[c]) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << row[c];
+      }
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace csfc

@@ -1,0 +1,43 @@
+// Plain-text table and CSV emission for the bench binaries: each figure
+// binary prints the same rows/series the paper plots.
+
+#ifndef CSFC_EXP_TABLE_H_
+#define CSFC_EXP_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace csfc {
+
+/// Column-aligned plain-text table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with aligned columns and a header rule.
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+  /// Writes the table as CSV to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("12.34").
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace csfc
+
+#endif  // CSFC_EXP_TABLE_H_

@@ -1,0 +1,63 @@
+#include "sched/dds.h"
+
+#include <algorithm>
+
+namespace csfc {
+
+uint64_t DdsScheduler::ScanKey(Cylinder cyl, Cylinder head) const {
+  const uint32_t cylinders = disk_->params().cylinders;
+  return cyl >= head ? cyl - head : static_cast<uint64_t>(cyl) + cylinders - head;
+}
+
+bool DdsScheduler::PlanFeasible(const DispatchContext& ctx) const {
+  SimTime clock = ctx.now;
+  Cylinder head = ctx.head;
+  for (const Request& r : plan_) {
+    const double ms = disk_->SeekTimeMs(head, r.cylinder) +
+                      disk_->AvgRotationalLatencyMs() +
+                      disk_->TransferTimeMs(r.cylinder, r.bytes);
+    clock += MsToSim(ms);
+    if (r.has_deadline() && clock > r.deadline) return false;
+    head = r.cylinder;
+  }
+  return true;
+}
+
+void DdsScheduler::Enqueue(const Request& r, const DispatchContext& ctx) {
+  // Insert in C-SCAN order relative to the current head.
+  const uint64_t key = ScanKey(r.cylinder, ctx.head);
+  auto pos = std::find_if(plan_.begin(), plan_.end(), [&](const Request& q) {
+    return ScanKey(q.cylinder, ctx.head) > key;
+  });
+  plan_.insert(pos, r);
+
+  // If the insertion broke a deadline, demote the lowest-priority request
+  // to the tail — one victim per arrival, exactly as the paper describes
+  // ("the scheduler chooses the lowest priority disk request in the queue
+  // and moves it to the tail"). This also bounds the per-arrival cost to
+  // O(queue) even under sustained overload.
+  if (plan_.size() > 1 && !PlanFeasible(ctx)) {
+    // Lowest priority = largest level number; ties demote the later one.
+    size_t victim = 0;
+    for (size_t i = 1; i + 1 < plan_.size(); ++i) {
+      if (plan_[i].priority(0) >= plan_[victim].priority(0)) victim = i;
+    }
+    Request demoted = plan_[victim];
+    plan_.erase(plan_.begin() + static_cast<ptrdiff_t>(victim));
+    plan_.push_back(demoted);
+  }
+}
+
+std::optional<Request> DdsScheduler::Dispatch(const DispatchContext&) {
+  if (plan_.empty()) return std::nullopt;
+  Request r = plan_.front();
+  plan_.erase(plan_.begin());
+  return r;
+}
+
+void DdsScheduler::ForEachWaiting(
+    const std::function<void(const Request&)>& fn) const {
+  for (const Request& r : plan_) fn(r);
+}
+
+}  // namespace csfc

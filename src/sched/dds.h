@@ -1,0 +1,49 @@
+// DDS — the deadline-driven scheduler of Kamel, Niranjan & Ghandeharizadeh
+// (ICDE 2000), the algorithm running in the PanaViss server this paper
+// builds on. An arriving request is inserted into the service plan in SCAN
+// order; if the insertion pushes any pending deadline past feasibility
+// (checked with service-time estimates from the disk model), the
+// lowest-priority request in the plan is demoted to the tail — one victim
+// per arrival, as the paper describes.
+//
+// Dimension 0 of the priority vector is the request priority (level 0 =
+// most important, demoted last).
+
+#ifndef CSFC_SCHED_DDS_H_
+#define CSFC_SCHED_DDS_H_
+
+#include <vector>
+
+#include "disk/disk_model.h"
+#include "sched/scheduler.h"
+
+namespace csfc {
+
+class DdsScheduler final : public Scheduler {
+ public:
+  /// `disk` must outlive the scheduler.
+  explicit DdsScheduler(const DiskModel* disk) : disk_(disk) {}
+
+  std::string_view name() const override { return "dds"; }
+  void Enqueue(const Request& r, const DispatchContext& ctx) override;
+  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  size_t queue_size() const override { return plan_.size(); }
+  void ForEachWaiting(
+      const std::function<void(const Request&)>& fn) const override;
+
+ private:
+  // C-SCAN position key of a cylinder relative to the head: distance of
+  // the upward sweep (with wraparound).
+  uint64_t ScanKey(Cylinder cyl, Cylinder head) const;
+
+  // True iff serving plan_ in order from `ctx` meets every deadline
+  // (estimated seek + expected latency + transfer per step).
+  bool PlanFeasible(const DispatchContext& ctx) const;
+
+  const DiskModel* disk_;
+  std::vector<Request> plan_;  // service order; front is served next
+};
+
+}  // namespace csfc
+
+#endif  // CSFC_SCHED_DDS_H_

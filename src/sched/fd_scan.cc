@@ -1,0 +1,77 @@
+#include "sched/fd_scan.h"
+
+namespace csfc {
+
+void FdScanScheduler::Enqueue(const Request& r, const DispatchContext&) {
+  by_cylinder_.emplace(r.cylinder, r);
+  if (r.has_deadline()) by_deadline_.emplace(r.deadline, r.id);
+  ++size_;
+}
+
+SimTime FdScanScheduler::EstimateFinish(const Request& r,
+                                        const DispatchContext& ctx) const {
+  const double ms = disk_->SeekTimeMs(ctx.head, r.cylinder) +
+                    disk_->AvgRotationalLatencyMs() +
+                    disk_->TransferTimeMs(r.cylinder, r.bytes);
+  return ctx.now + MsToSim(ms);
+}
+
+std::optional<Request> FdScanScheduler::Dispatch(const DispatchContext& ctx) {
+  if (by_cylinder_.empty()) return std::nullopt;
+
+  // Find the earliest feasible deadline and its cylinder.
+  const Request* target = nullptr;
+  for (const auto& [deadline, id] : by_deadline_) {
+    // Locate the request by scanning its deadline peers (ids are unique).
+    for (auto it = by_cylinder_.begin(); it != by_cylinder_.end(); ++it) {
+      if (it->second.id == id) {
+        if (EstimateFinish(it->second, ctx) <= deadline) target = &it->second;
+        break;
+      }
+    }
+    if (target != nullptr) break;
+  }
+
+  auto take = [&](std::multimap<Cylinder, Request>::iterator it) {
+    Request r = it->second;
+    by_cylinder_.erase(it);
+    for (auto dit = by_deadline_.lower_bound(r.deadline);
+         dit != by_deadline_.end() && dit->first == r.deadline; ++dit) {
+      if (dit->second == r.id) {
+        by_deadline_.erase(dit);
+        break;
+      }
+    }
+    --size_;
+    return r;
+  };
+
+  if (target == nullptr) {
+    // No feasible deadline: fall back to nearest-first (SSTF move).
+    auto above = by_cylinder_.lower_bound(ctx.head);
+    auto chosen = above != by_cylinder_.end() ? above : std::prev(above);
+    if (above != by_cylinder_.begin() && above != by_cylinder_.end()) {
+      auto below = std::prev(above);
+      if (ctx.head - below->first < above->first - ctx.head) chosen = below;
+    } else if (above == by_cylinder_.end()) {
+      chosen = std::prev(by_cylinder_.end());
+    }
+    return take(chosen);
+  }
+
+  // Serve the first pending request en route toward the target (including
+  // the target itself when nothing is closer in that direction).
+  if (target->cylinder >= ctx.head) {
+    auto it = by_cylinder_.lower_bound(ctx.head);  // first at/after head
+    return take(it);
+  }
+  auto it = by_cylinder_.upper_bound(ctx.head);
+  return take(std::prev(it));  // first at/below head going down
+}
+
+void FdScanScheduler::ForEachWaiting(
+    const std::function<void(const Request&)>& fn) const {
+  for (const auto& [cyl, r] : by_cylinder_) fn(r);
+}
+
+}  // namespace csfc

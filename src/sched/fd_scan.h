@@ -1,0 +1,41 @@
+// FD-SCAN (Abbott & Garcia-Molina, RTSS '89): at each scheduling point the
+// arm targets the request with the earliest *feasible* deadline — one the
+// disk can still reach in time, estimated with the seek model — and serves
+// requests encountered en route toward that target. If no deadline is
+// feasible, the nearest request is served (pure seek optimization).
+
+#ifndef CSFC_SCHED_FD_SCAN_H_
+#define CSFC_SCHED_FD_SCAN_H_
+
+#include <map>
+
+#include "disk/disk_model.h"
+#include "sched/scheduler.h"
+
+namespace csfc {
+
+class FdScanScheduler final : public Scheduler {
+ public:
+  /// `disk` must outlive the scheduler (used for feasibility estimates).
+  explicit FdScanScheduler(const DiskModel* disk) : disk_(disk) {}
+
+  std::string_view name() const override { return "fd-scan"; }
+  void Enqueue(const Request& r, const DispatchContext& ctx) override;
+  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  size_t queue_size() const override { return size_; }
+  void ForEachWaiting(
+      const std::function<void(const Request&)>& fn) const override;
+
+ private:
+  // Estimated completion time if the head went straight to `r` now.
+  SimTime EstimateFinish(const Request& r, const DispatchContext& ctx) const;
+
+  const DiskModel* disk_;
+  std::multimap<Cylinder, Request> by_cylinder_;
+  std::multimap<SimTime, RequestId> by_deadline_;  // deadline -> id index
+  size_t size_ = 0;
+};
+
+}  // namespace csfc
+
+#endif  // CSFC_SCHED_FD_SCAN_H_

@@ -1,0 +1,32 @@
+#include "sched/scan_edf.h"
+
+namespace csfc {
+
+void ScanEdfScheduler::Enqueue(const Request& r, const DispatchContext&) {
+  buckets_[Bucket(r.deadline)].emplace(r.cylinder, r);
+  ++size_;
+}
+
+std::optional<Request> ScanEdfScheduler::Dispatch(const DispatchContext& ctx) {
+  if (buckets_.empty()) return std::nullopt;
+  auto& [bucket, group] = *buckets_.begin();
+  // Within the earliest-deadline group, continue the upward sweep from the
+  // head; wrap to the lowest cylinder of the group (C-SCAN-style order, as
+  // in the paper's realization of SCAN-EDF via SFC3).
+  auto it = group.lower_bound(ctx.head);
+  if (it == group.end()) it = group.begin();
+  Request r = it->second;
+  group.erase(it);
+  if (group.empty()) buckets_.erase(buckets_.begin());
+  --size_;
+  return r;
+}
+
+void ScanEdfScheduler::ForEachWaiting(
+    const std::function<void(const Request&)>& fn) const {
+  for (const auto& [bucket, group] : buckets_) {
+    for (const auto& [cyl, r] : group) fn(r);
+  }
+}
+
+}  // namespace csfc

@@ -1,0 +1,39 @@
+// SCAN-RT (Kamel & Ito, '95): an arriving request is inserted into the
+// service plan in SCAN order only when the insertion would not push any
+// already-pending request past its deadline (estimated with the disk
+// model); otherwise the newcomer is appended to the tail of the plan.
+// The single-priority precursor of DDS.
+
+#ifndef CSFC_SCHED_SCAN_RT_H_
+#define CSFC_SCHED_SCAN_RT_H_
+
+#include <vector>
+
+#include "disk/disk_model.h"
+#include "sched/scheduler.h"
+
+namespace csfc {
+
+class ScanRtScheduler final : public Scheduler {
+ public:
+  /// `disk` must outlive the scheduler.
+  explicit ScanRtScheduler(const DiskModel* disk) : disk_(disk) {}
+
+  std::string_view name() const override { return "scan-rt"; }
+  void Enqueue(const Request& r, const DispatchContext& ctx) override;
+  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  size_t queue_size() const override { return plan_.size(); }
+  void ForEachWaiting(
+      const std::function<void(const Request&)>& fn) const override;
+
+ private:
+  uint64_t ScanKey(Cylinder cyl, Cylinder head) const;
+  bool PlanFeasible(const DispatchContext& ctx) const;
+
+  const DiskModel* disk_;
+  std::vector<Request> plan_;
+};
+
+}  // namespace csfc
+
+#endif  // CSFC_SCHED_SCAN_RT_H_

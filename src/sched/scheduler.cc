@@ -1,0 +1,6 @@
+// Intentionally almost empty: Scheduler is an interface; this TU anchors
+// its vtable/key function-free typeinfo in the library.
+
+#include "sched/scheduler.h"
+
+namespace csfc {}  // namespace csfc

@@ -1,0 +1,63 @@
+// The scheduler interface every disk-scheduling policy implements —
+// baselines (FCFS, SSTF, SCAN family, EDF, SCAN-EDF, FD-SCAN, SCAN-RT,
+// SSEDO/SSEDV, multi-queue, BUCKET, DDS) and the Cascaded-SFC scheduler.
+//
+// The simulator pushes arrivals with Enqueue() and pulls the next request
+// to serve with Dispatch() whenever the disk goes idle. Schedulers own all
+// ordering state (e.g. the SCAN direction); the context carries the
+// observable disk state.
+
+#ifndef CSFC_SCHED_SCHEDULER_H_
+#define CSFC_SCHED_SCHEDULER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "common/types.h"
+#include "workload/request.h"
+
+namespace csfc {
+
+/// Disk state visible to a scheduler at enqueue/dispatch time.
+struct DispatchContext {
+  /// Current simulation time.
+  SimTime now = 0;
+  /// Cylinder under the head (position after the most recent transfer).
+  Cylinder head = 0;
+};
+
+/// Abstract disk scheduling policy.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Policy name for reports ("edf", "cascaded-sfc[hilbert,...]", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Accepts an arriving request.
+  virtual void Enqueue(const Request& r, const DispatchContext& ctx) = 0;
+
+  /// Removes and returns the next request to serve, or nullopt if no
+  /// request is pending.
+  virtual std::optional<Request> Dispatch(const DispatchContext& ctx) = 0;
+
+  /// Number of pending requests.
+  virtual size_t queue_size() const = 0;
+
+  /// Visits every pending request (order unspecified). Used by the metrics
+  /// layer to count priority inversions at dispatch time.
+  virtual void ForEachWaiting(
+      const std::function<void(const Request&)>& fn) const = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+/// Factory signature used by the experiment harness so a fresh scheduler
+/// can be built per simulation run.
+using SchedulerFactory = std::function<SchedulerPtr()>;
+
+}  // namespace csfc
+
+#endif  // CSFC_SCHED_SCHEDULER_H_

@@ -1,0 +1,49 @@
+// The C-Scan curve (the paper also calls it Sweep): plain row-major order.
+// Every lower-dimensional block is traversed in the same direction, like a
+// C-SCAN disk arm that jumps back to cylinder 0 after each sweep. It is the
+// only Figure-1 curve with "free" inversions in its last dimension, which is
+// why the paper finds it ideal when one QoS dimension dominates all others
+// (Figure 7b).
+
+#include "sfc/curve.h"
+
+#include <cassert>
+
+namespace csfc {
+
+namespace {
+
+class CScanCurve final : public SpaceFillingCurve {
+ public:
+  explicit CScanCurve(GridSpec spec) : SpaceFillingCurve(spec) {}
+
+  std::string_view name() const override { return "cscan"; }
+
+  uint64_t Index(std::span<const uint32_t> point) const override {
+    assert(point.size() == dims());
+    uint64_t index = 0;
+    for (uint32_t i = 0; i < dims(); ++i) {
+      assert(point[i] < side());
+      index = (index << bits()) | point[i];
+    }
+    return index;
+  }
+
+  void Point(uint64_t index, std::span<uint32_t> out) const override {
+    assert(out.size() == dims());
+    const uint64_t mask = side() - 1;
+    for (uint32_t i = 0; i < dims(); ++i) {
+      const uint32_t shift = (dims() - 1 - i) * bits();
+      out[i] = static_cast<uint32_t>((index >> shift) & mask);
+    }
+  }
+};
+
+}  // namespace
+
+Result<CurvePtr> MakeCScanCurve(GridSpec spec) {
+  if (Status s = spec.Validate(); !s.ok()) return s;
+  return CurvePtr(new CScanCurve(spec));
+}
+
+}  // namespace csfc

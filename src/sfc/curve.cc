@@ -1,0 +1,24 @@
+#include "sfc/curve.h"
+
+#include <string>
+
+namespace csfc {
+
+Status GridSpec::Validate() const {
+  if (dims < 1 || dims > 16) {
+    return Status::InvalidArgument("GridSpec.dims must be in [1,16], got " +
+                                   std::to_string(dims));
+  }
+  if (bits < 1 || bits > 16) {
+    return Status::InvalidArgument("GridSpec.bits must be in [1,16], got " +
+                                   std::to_string(bits));
+  }
+  if (dims * bits > 62) {
+    return Status::InvalidArgument(
+        "GridSpec dims*bits must be <= 62 to fit a 64-bit index, got " +
+        std::to_string(dims * bits));
+  }
+  return Status::OK();
+}
+
+}  // namespace csfc

@@ -1,0 +1,139 @@
+// The Diagonal curve: cells are ordered by ascending coordinate sum
+// (anti-diagonal planes); within a plane cells are ordered
+// lexicographically, with the direction alternating between consecutive
+// planes so the curve zigzags across the space (in 2-D this is the classic
+// diagonal zigzag of Figure 1g).
+//
+// Ranking within a plane uses the counting function
+//   C_d(t) = #{ x in [0, N-1]^d : sum(x) = t },
+// precomputed with a prefix-sum DP; both rank and unrank are then
+// O(D log N) per mapping.
+
+#include "sfc/curve.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace csfc {
+
+namespace {
+
+class DiagonalCurve final : public SpaceFillingCurve {
+ public:
+  explicit DiagonalCurve(GridSpec spec) : SpaceFillingCurve(spec) {
+    const uint32_t d = dims();
+    const uint64_t n = side();
+    max_sum_ = static_cast<uint32_t>(static_cast<uint64_t>(d) * (n - 1));
+    // cum_[k][t] = #{ x in [0,N-1]^k : sum(x) <= t }, for k = 0..D.
+    cum_.assign(d + 1, std::vector<uint64_t>(max_sum_ + 2, 0));
+    // k = 0: the empty tuple has sum 0.
+    for (uint32_t t = 0; t <= max_sum_; ++t) cum_[0][t + 1] = 1;
+    for (uint32_t k = 1; k <= d; ++k) {
+      // counts_k(t) = cum_{k-1}(t) - cum_{k-1}(t - N); accumulate into cum_k.
+      uint64_t running = 0;
+      for (uint32_t t = 0; t <= max_sum_; ++t) {
+        const uint64_t upper = cum_[k - 1][t + 1];
+        const uint64_t lower =
+            t + 1 >= n ? cum_[k - 1][t + 1 - n] : 0;
+        running += upper - lower;
+        cum_[k][t + 1] = running;
+      }
+    }
+  }
+
+  std::string_view name() const override { return "diagonal"; }
+
+  uint64_t Index(std::span<const uint32_t> point) const override {
+    assert(point.size() == dims());
+    uint64_t t = 0;
+    for (uint32_t c : point) t += c;
+    const uint64_t plane_size = PlaneCount(dims(), t);
+    uint64_t rank = 0;
+    uint64_t r = t;
+    for (uint32_t j = 0; j < dims(); ++j) {
+      const uint32_t rem = dims() - 1 - j;
+      // Completions for v in [0, point[j]): sum over v of
+      // counts_rem(r - v) = cum_rem(r) - cum_rem(r - point[j]).
+      rank += SumRange(rem, r, point[j]);
+      r -= point[j];
+    }
+    if (t & 1) rank = plane_size - 1 - rank;  // zigzag
+    return PlaneOffset(t) + rank;
+  }
+
+  void Point(uint64_t index, std::span<uint32_t> out) const override {
+    assert(out.size() == dims());
+    // Locate the plane: largest t with PlaneOffset(t) <= index.
+    uint32_t lo = 0;
+    uint32_t hi = max_sum_;
+    while (lo < hi) {
+      const uint32_t mid = (lo + hi + 1) / 2;
+      if (PlaneOffset(mid) <= index) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    const uint32_t t = lo;
+    uint64_t rank = index - PlaneOffset(t);
+    if (t & 1) rank = PlaneCount(dims(), t) - 1 - rank;
+    uint64_t r = t;
+    for (uint32_t j = 0; j < dims(); ++j) {
+      const uint32_t rem = dims() - 1 - j;
+      // Largest v with SumRange(rem, r, v) <= rank.
+      const uint64_t vmax = std::min<uint64_t>(side() - 1, r);
+      uint64_t a = 0;
+      uint64_t b = vmax;
+      while (a < b) {
+        const uint64_t mid = (a + b + 1) / 2;
+        if (SumRange(rem, r, mid) <= rank) {
+          a = mid;
+        } else {
+          b = mid - 1;
+        }
+      }
+      rank -= SumRange(rem, r, a);
+      out[j] = static_cast<uint32_t>(a);
+      r -= a;
+    }
+    assert(r == 0);
+  }
+
+ private:
+  // #{ x in [0,N-1]^k : sum(x) = t }; 0 outside the valid range.
+  uint64_t PlaneCount(uint32_t k, uint64_t t) const {
+    if (t > max_sum_) return 0;
+    const uint64_t ut = t;
+    return cum_[k][ut + 1] - cum_[k][ut];
+  }
+
+  // Number of cells in planes 0..t-1 of the full D-dim grid.
+  uint64_t PlaneOffset(uint64_t t) const { return cum_[dims()][t]; }
+
+  // Sum over v in [0, m) of PlaneCount(k, r - v)
+  //   = cum_k(r) - cum_k(r - m), clamped to valid sums.
+  uint64_t SumRange(uint32_t k, uint64_t r, uint64_t m) const {
+    if (m == 0) return 0;
+    const uint64_t hi_t = std::min<uint64_t>(r, max_sum_);
+    const uint64_t upper = cum_[k][hi_t + 1];
+    uint64_t lower = 0;
+    if (r >= m) {
+      const uint64_t lo_t = std::min<uint64_t>(r - m, max_sum_);
+      lower = cum_[k][lo_t + 1];
+    }
+    return upper - lower;
+  }
+
+  uint32_t max_sum_;
+  std::vector<std::vector<uint64_t>> cum_;
+};
+
+}  // namespace
+
+Result<CurvePtr> MakeDiagonalCurve(GridSpec spec) {
+  if (Status s = spec.Validate(); !s.ok()) return s;
+  return CurvePtr(new DiagonalCurve(spec));
+}
+
+}  // namespace csfc

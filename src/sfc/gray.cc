@@ -1,0 +1,40 @@
+// The Gray curve: position i along the curve visits the cell whose
+// interleaved (Morton) coordinate equals the binary-reflected Gray code of
+// i. Consecutive curve positions therefore differ in exactly one interleaved
+// bit, i.e. in exactly one coordinate, by a power of two.
+
+#include "sfc/curve.h"
+
+#include <cassert>
+
+#include "sfc/bits.h"
+
+namespace csfc {
+
+namespace {
+
+class GrayCurve final : public SpaceFillingCurve {
+ public:
+  explicit GrayCurve(GridSpec spec) : SpaceFillingCurve(spec) {}
+
+  std::string_view name() const override { return "gray"; }
+
+  uint64_t Index(std::span<const uint32_t> point) const override {
+    assert(point.size() == dims());
+    return GrayDecode(InterleaveBits(point, dims(), bits()));
+  }
+
+  void Point(uint64_t index, std::span<uint32_t> out) const override {
+    assert(out.size() == dims());
+    DeinterleaveBits(GrayCode(index), dims(), bits(), out);
+  }
+};
+
+}  // namespace
+
+Result<CurvePtr> MakeGrayCurve(GridSpec spec) {
+  if (Status s = spec.Validate(); !s.ok()) return s;
+  return CurvePtr(new GrayCurve(spec));
+}
+
+}  // namespace csfc

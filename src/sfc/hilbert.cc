@@ -1,0 +1,114 @@
+// The Hilbert curve for arbitrary dimensionality, using the Butz algorithm
+// in John Skilling's "transpose" formulation (AIP Conf. Proc. 707, 2004).
+//
+// The transpose representation stores the Hilbert index as `dims` words of
+// `bits` bits each, where word i holds index bits i, i+dims, i+2*dims, ...
+// (most significant interleaved group first). AxesToTranspose converts grid
+// coordinates into this representation in place; interleaving the words then
+// yields the scalar index. TransposeToAxes is the exact inverse.
+
+#include "sfc/curve.h"
+
+#include <cassert>
+
+namespace csfc {
+
+namespace {
+
+// In-place coordinate -> transposed-Hilbert-index conversion (Skilling).
+void AxesToTranspose(uint32_t* x, uint32_t bits, uint32_t dims) {
+  const uint32_t m = uint32_t{1} << (bits - 1);
+  // Inverse undo of the Hilbert transform.
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    const uint32_t p = q - 1;
+    for (uint32_t i = 0; i < dims; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert low bits of x[0]
+      } else {
+        const uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (uint32_t i = 1; i < dims; ++i) x[i] ^= x[i - 1];
+  uint32_t t = 0;
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    if (x[dims - 1] & q) t ^= q - 1;
+  }
+  for (uint32_t i = 0; i < dims; ++i) x[i] ^= t;
+}
+
+// In-place transposed-Hilbert-index -> coordinate conversion (Skilling).
+void TransposeToAxes(uint32_t* x, uint32_t bits, uint32_t dims) {
+  const uint32_t n = uint32_t{2} << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  uint32_t t = x[dims - 1] >> 1;
+  for (uint32_t i = dims - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (uint32_t q = 2; q != n; q <<= 1) {
+    const uint32_t p = q - 1;
+    for (uint32_t i = dims; i-- > 0;) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+}
+
+class HilbertCurve final : public SpaceFillingCurve {
+ public:
+  explicit HilbertCurve(GridSpec spec) : SpaceFillingCurve(spec) {}
+
+  std::string_view name() const override { return "hilbert"; }
+
+  uint64_t Index(std::span<const uint32_t> point) const override {
+    assert(point.size() == dims());
+    uint32_t x[16];
+    for (uint32_t i = 0; i < dims(); ++i) {
+      assert(point[i] < side());
+      x[i] = point[i];
+    }
+    if (dims() > 1) AxesToTranspose(x, bits(), dims());
+    // Interleave the transpose words: bit b of word i becomes index bit
+    // b*dims + (dims-1-i).
+    uint64_t index = 0;
+    for (uint32_t b = 0; b < bits(); ++b) {
+      for (uint32_t i = 0; i < dims(); ++i) {
+        const uint64_t bit = (x[i] >> b) & 1u;
+        index |= bit << (static_cast<uint64_t>(b) * dims() + (dims() - 1 - i));
+      }
+    }
+    return index;
+  }
+
+  void Point(uint64_t index, std::span<uint32_t> out) const override {
+    assert(out.size() == dims());
+    uint32_t x[16] = {};
+    for (uint32_t b = 0; b < bits(); ++b) {
+      for (uint32_t i = 0; i < dims(); ++i) {
+        const uint32_t bit = static_cast<uint32_t>(
+            (index >> (static_cast<uint64_t>(b) * dims() + (dims() - 1 - i))) &
+            1u);
+        x[i] |= bit << b;
+      }
+    }
+    if (dims() > 1) TransposeToAxes(x, bits(), dims());
+    for (uint32_t i = 0; i < dims(); ++i) out[i] = x[i];
+  }
+};
+
+}  // namespace
+
+Result<CurvePtr> MakeHilbertCurve(GridSpec spec) {
+  if (Status s = spec.Validate(); !s.ok()) return s;
+  return CurvePtr(new HilbertCurve(spec));
+}
+
+}  // namespace csfc

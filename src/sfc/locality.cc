@@ -1,0 +1,76 @@
+#include "sfc/locality.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "common/random.h"
+
+namespace csfc {
+
+Result<LocalityStats> AnalyzeCurve(const SpaceFillingCurve& curve,
+                                   uint64_t max_cells, uint64_t pair_samples,
+                                   uint64_t seed) {
+  const uint64_t cells = curve.num_cells();
+  if (cells > max_cells) {
+    return Status::InvalidArgument(
+        "curve has " + std::to_string(cells) +
+        " cells, above the analysis cap of " + std::to_string(max_cells));
+  }
+  const uint32_t d = curve.dims();
+  LocalityStats stats;
+  stats.dim_inversion_rate.assign(d, 0.0);
+  stats.dim_irregularity.assign(d, 0);
+
+  // Full walk for step statistics.
+  std::vector<uint32_t> prev(d), cur(d);
+  curve.Point(0, std::span<uint32_t>(prev.data(), d));
+  double sum_l1 = 0.0;
+  for (uint64_t i = 1; i < cells; ++i) {
+    curve.Point(i, std::span<uint32_t>(cur.data(), d));
+    uint64_t l1 = 0;
+    for (uint32_t k = 0; k < d; ++k) {
+      if (cur[k] < prev[k]) ++stats.dim_irregularity[k];
+      l1 += static_cast<uint64_t>(
+          std::abs(static_cast<int64_t>(cur[k]) - static_cast<int64_t>(prev[k])));
+    }
+    sum_l1 += static_cast<double>(l1);
+    if (l1 == 1) {
+      ++stats.contiguous_steps;
+    } else {
+      ++stats.jumps;
+    }
+    stats.max_step_l1 = std::max(stats.max_step_l1, l1);
+    std::swap(prev, cur);
+  }
+  if (cells > 1) sum_l1 /= static_cast<double>(cells - 1);
+  stats.mean_step_l1 = sum_l1;
+
+  // Sampled ordered pairs for per-dimension inversion rates.
+  Rng rng(seed);
+  std::vector<uint64_t> inversions(d, 0);
+  std::vector<uint32_t> pa(d), pb(d);
+  uint64_t valid_pairs = 0;
+  for (uint64_t s = 0; s < pair_samples; ++s) {
+    uint64_t i = rng.Uniform(cells);
+    uint64_t j = rng.Uniform(cells);
+    if (i == j) continue;
+    if (i > j) std::swap(i, j);
+    curve.Point(i, std::span<uint32_t>(pa.data(), d));
+    curve.Point(j, std::span<uint32_t>(pb.data(), d));
+    for (uint32_t k = 0; k < d; ++k) {
+      if (pa[k] > pb[k]) ++inversions[k];
+    }
+    ++valid_pairs;
+  }
+  for (uint32_t k = 0; k < d; ++k) {
+    stats.dim_inversion_rate[k] =
+        valid_pairs == 0
+            ? 0.0
+            : static_cast<double>(inversions[k]) /
+                  static_cast<double>(valid_pairs);
+  }
+  return stats;
+}
+
+}  // namespace csfc

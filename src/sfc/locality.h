@@ -1,0 +1,54 @@
+// Offline analysis of curve quality: continuity (how often consecutive
+// curve cells are grid neighbors), locality (average coordinate movement per
+// curve step), and per-dimension order bias (a static proxy for the
+// priority-inversion behavior each curve induces when used as SFC1).
+//
+// These tools support the "ability to analyze the quality of the schedules
+// generated" claim of Section 1 and drive the bench_ablation_curves binary.
+
+#ifndef CSFC_SFC_LOCALITY_H_
+#define CSFC_SFC_LOCALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "sfc/curve.h"
+
+namespace csfc {
+
+/// Aggregate curve-quality statistics from a full walk of the curve.
+struct LocalityStats {
+  /// Steps where the next cell is an L1 grid neighbor (distance 1).
+  uint64_t contiguous_steps = 0;
+  /// Steps with L1 distance > 1 ("jumps").
+  uint64_t jumps = 0;
+  /// Mean L1 distance between consecutive cells.
+  double mean_step_l1 = 0.0;
+  /// Largest single-step L1 distance.
+  uint64_t max_step_l1 = 0;
+  /// Per-dimension fraction of *ordered* sampled pairs (i < j along the
+  /// curve) whose coordinates are inverted (coordinate of i greater than
+  /// coordinate of j). 0.5 means the curve carries no information about the
+  /// dimension; lower is better when the dimension encodes priority.
+  std::vector<double> dim_inversion_rate;
+  /// Per-dimension irregularity: the number of curve steps on which the
+  /// dimension's coordinate *decreases* — the metric of the authors'
+  /// companion analysis (Mokbel & Aref, CIKM'01; Mokbel, Aref & Kamel,
+  /// GeoInformatica'03, refs [18,19] of the paper). A dimension with zero
+  /// irregularity is carried monotonically by the curve (e.g. the sweep
+  /// major axis of C-Scan).
+  std::vector<uint64_t> dim_irregularity;
+};
+
+/// Walks the whole curve (requires num_cells() <= max_cells) and samples
+/// `pair_samples` random ordered pairs for the inversion rates.
+/// Deterministic for a fixed `seed`.
+Result<LocalityStats> AnalyzeCurve(const SpaceFillingCurve& curve,
+                                   uint64_t max_cells = uint64_t{1} << 22,
+                                   uint64_t pair_samples = 1 << 16,
+                                   uint64_t seed = 42);
+
+}  // namespace csfc
+
+#endif  // CSFC_SFC_LOCALITY_H_

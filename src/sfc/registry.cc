@@ -1,0 +1,29 @@
+#include "sfc/registry.h"
+
+#include <string>
+
+namespace csfc {
+
+Result<CurvePtr> MakeCurve(std::string_view name, GridSpec spec) {
+  if (name == "scan") return MakeScanCurve(spec);
+  if (name == "cscan" || name == "sweep") return MakeCScanCurve(spec);
+  if (name == "peano" || name == "zorder") return MakeZOrderCurve(spec);
+  if (name == "gray") return MakeGrayCurve(spec);
+  if (name == "hilbert") return MakeHilbertCurve(spec);
+  if (name == "spiral") return MakeSpiralCurve(spec);
+  if (name == "diagonal") return MakeDiagonalCurve(spec);
+  return Status::NotFound("unknown space-filling curve: " + std::string(name));
+}
+
+const std::vector<std::string_view>& AllCurveNames() {
+  static const std::vector<std::string_view> kNames = {
+      "scan", "cscan", "peano", "gray", "hilbert", "spiral", "diagonal"};
+  return kNames;
+}
+
+bool IsKnownCurve(std::string_view name) {
+  GridSpec tiny{.dims = 2, .bits = 1};
+  return MakeCurve(name, tiny).ok();
+}
+
+}  // namespace csfc

@@ -1,0 +1,28 @@
+// Name-based curve factory. All seven Figure-1 curve families are
+// registered under their paper names plus common aliases.
+
+#ifndef CSFC_SFC_REGISTRY_H_
+#define CSFC_SFC_REGISTRY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sfc/curve.h"
+
+namespace csfc {
+
+/// Creates a curve by name over the given grid. Recognized names (case
+/// sensitive): "scan", "cscan" (alias "sweep"), "peano" (alias "zorder"),
+/// "gray", "hilbert", "spiral", "diagonal".
+Result<CurvePtr> MakeCurve(std::string_view name, GridSpec spec);
+
+/// The seven canonical curve names, in the paper's Figure 1 order.
+const std::vector<std::string_view>& AllCurveNames();
+
+/// True iff `name` (canonical or alias) is registered.
+bool IsKnownCurve(std::string_view name);
+
+}  // namespace csfc
+
+#endif  // CSFC_SFC_REGISTRY_H_

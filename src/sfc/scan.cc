@@ -1,0 +1,64 @@
+// The Scan curve: boustrophedon (snake) sweep. Identical to C-Scan except
+// that each lower-dimensional block is traversed in alternating direction,
+// so consecutive cells along the whole curve are always grid neighbors.
+//
+// The mapping is reflected mixed-radix (base 2^bits) coding: process digits
+// most-significant first; a digit is reflected whenever the running parity
+// of the more significant *index* digits is odd.
+
+#include "sfc/curve.h"
+
+#include <cassert>
+
+namespace csfc {
+
+namespace {
+
+class ScanCurve final : public SpaceFillingCurve {
+ public:
+  explicit ScanCurve(GridSpec spec) : SpaceFillingCurve(spec) {}
+
+  std::string_view name() const override { return "scan"; }
+
+  // Reflected mixed-radix (base 2^bits) Gray coding: when a coordinate is
+  // odd, the traversal of every less significant dimension is reflected.
+  // The running reflection flag therefore toggles on the parity of the
+  // *coordinate*, on both directions of the mapping.
+
+  uint64_t Index(std::span<const uint32_t> point) const override {
+    assert(point.size() == dims());
+    const uint64_t n = side();
+    uint64_t index = 0;
+    bool flip = false;
+    for (uint32_t i = 0; i < dims(); ++i) {
+      const uint64_t c = point[i];
+      assert(c < n);
+      const uint64_t digit = flip ? n - 1 - c : c;
+      index = index * n + digit;
+      if (c & 1) flip = !flip;
+    }
+    return index;
+  }
+
+  void Point(uint64_t index, std::span<uint32_t> out) const override {
+    assert(out.size() == dims());
+    const uint64_t n = side();
+    bool flip = false;
+    // Extract digits most-significant first.
+    for (uint32_t i = 0; i < dims(); ++i) {
+      const uint32_t shift = (dims() - 1 - i) * bits();
+      const uint64_t digit = (index >> shift) & (n - 1);
+      out[i] = static_cast<uint32_t>(flip ? n - 1 - digit : digit);
+      if (out[i] & 1) flip = !flip;
+    }
+  }
+};
+
+}  // namespace
+
+Result<CurvePtr> MakeScanCurve(GridSpec spec) {
+  if (Status s = spec.Validate(); !s.ok()) return s;
+  return CurvePtr(new ScanCurve(spec));
+}
+
+}  // namespace csfc

@@ -1,0 +1,209 @@
+// The Spiral curve: starts at the center of the space and works outwards in
+// concentric L-infinity shells, so central cells come first along the curve.
+//
+// In 2-D the curve is the classical spiral: each ring is walked rotationally
+// (clockwise from the ring's top-left corner). For D != 2 the ring walk has
+// no canonical analogue, so cells within a shell are ordered
+// lexicographically; this preserves the property the scheduler cares about
+// (center-out shell ordering) and remains a bijection. Shell s of a grid
+// with side N (even) is the set of cells whose max per-coordinate distance
+// from the central 2^D block equals s; it occupies index range
+// [(2s)^D, (2s+2)^D).
+
+#include "sfc/curve.h"
+
+#include <cassert>
+
+namespace csfc {
+
+namespace {
+
+// base^exp without overflow checks; callers guarantee the result fits
+// because it never exceeds num_cells() <= 2^62.
+uint64_t Pow64(uint64_t base, uint32_t exp) {
+  uint64_t r = 1;
+  while (exp--) r *= base;
+  return r;
+}
+
+class SpiralCurve final : public SpaceFillingCurve {
+ public:
+  explicit SpiralCurve(GridSpec spec)
+      : SpaceFillingCurve(spec),
+        c_lo_(static_cast<uint32_t>(spec.side() / 2 - 1)),
+        c_hi_(static_cast<uint32_t>(spec.side() / 2)) {}
+
+  std::string_view name() const override { return "spiral"; }
+
+  uint64_t Index(std::span<const uint32_t> point) const override {
+    assert(point.size() == dims());
+    const uint32_t s = Shell(point);
+    const uint64_t offset = Pow64(2 * s, dims());
+    if (dims() == 2) return offset + RingPos2D(point, s);
+    return offset + LexRankInShell(point, s);
+  }
+
+  void Point(uint64_t index, std::span<uint32_t> out) const override {
+    assert(out.size() == dims());
+    const uint32_t s = ShellOfIndex(index);
+    const uint64_t rank = index - Pow64(2 * s, dims());
+    if (dims() == 2) {
+      RingPoint2D(rank, s, out);
+    } else {
+      LexUnrankInShell(rank, s, out);
+    }
+  }
+
+ private:
+  // Distance of coordinate x from the central block [c_lo_, c_hi_].
+  uint32_t Dist(uint32_t x) const {
+    if (x < c_lo_) return c_lo_ - x;
+    if (x > c_hi_) return x - c_hi_;
+    return 0;
+  }
+
+  uint32_t Shell(std::span<const uint32_t> point) const {
+    uint32_t s = 0;
+    for (uint32_t c : point) s = std::max(s, Dist(c));
+    return s;
+  }
+
+  // Smallest s with (2s+2)^D > index.
+  uint32_t ShellOfIndex(uint64_t index) const {
+    uint32_t lo = 0;
+    uint32_t hi = static_cast<uint32_t>(side() / 2 - 1);
+    while (lo < hi) {
+      const uint32_t mid = (lo + hi) / 2;
+      if (Pow64(2 * static_cast<uint64_t>(mid) + 2, dims()) > index) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  // --- 2-D rotational ring walk -------------------------------------------
+  // Ring s is the border of the square [a, b]^2 with a = c_lo_-s,
+  // b = c_hi_+s, side L = 2s+2. Clockwise from (a, a):
+  //   top    pos [0, L-1]        : (a, a+pos)
+  //   right  pos [L, 2L-2]       : (a+1+(pos-L), b)
+  //   bottom pos [2L-1, 3L-3]    : (b, b-1-(pos-(2L-1)))
+  //   left   pos [3L-2, 4L-5]    : (b-1-(pos-(3L-2)), a)
+
+  uint64_t RingPos2D(std::span<const uint32_t> p, uint32_t s) const {
+    const uint64_t a = c_lo_ - s;
+    const uint64_t b = c_hi_ + s;
+    const uint64_t l = 2 * static_cast<uint64_t>(s) + 2;
+    const uint64_t x0 = p[0];
+    const uint64_t x1 = p[1];
+    if (x0 == a) return x1 - a;                    // top (owns both corners)
+    if (x1 == b) return l + (x0 - a - 1);          // right
+    if (x0 == b) return 2 * l - 1 + (b - 1 - x1);  // bottom
+    assert(x1 == a);
+    return 3 * l - 2 + (b - 1 - x0);  // left
+  }
+
+  void RingPoint2D(uint64_t pos, uint32_t s, std::span<uint32_t> out) const {
+    const uint64_t a = c_lo_ - s;
+    const uint64_t b = c_hi_ + s;
+    const uint64_t l = 2 * static_cast<uint64_t>(s) + 2;
+    uint64_t x0, x1;
+    if (pos < l) {
+      x0 = a;
+      x1 = a + pos;
+    } else if (pos <= 2 * l - 2) {
+      x0 = a + 1 + (pos - l);
+      x1 = b;
+    } else if (pos <= 3 * l - 3) {
+      x0 = b;
+      x1 = b - 1 - (pos - (2 * l - 1));
+    } else {
+      assert(pos <= 4 * l - 5);
+      x0 = b - 1 - (pos - (3 * l - 2));
+      x1 = a;
+    }
+    out[0] = static_cast<uint32_t>(x0);
+    out[1] = static_cast<uint32_t>(x1);
+  }
+
+  // --- D != 2: lexicographic rank within the shell ------------------------
+  // A cell is in shell s iff every coordinate lies in A_s = [c_lo_-s,
+  // c_hi_+s] (|A_s| = 2s+2) and at least one coordinate is at distance
+  // exactly s (i.e. equals either end of A_s, when s > 0).
+
+  uint64_t LexRankInShell(std::span<const uint32_t> p, uint32_t s) const {
+    const uint32_t d = dims();
+    const int64_t lo = static_cast<int64_t>(c_lo_) - s;
+    const int64_t hi = static_cast<int64_t>(c_hi_) + s;
+    uint64_t rank = 0;
+    bool prefix_has_s = false;
+    for (uint32_t j = 0; j < d; ++j) {
+      const uint32_t rem = d - 1 - j;
+      const uint64_t full = Pow64(2 * s + 2, rem);
+      const uint64_t inner = Pow64(2 * s, rem);
+      const int64_t pj = p[j];
+      // Values v < pj with v in A_s, split into dist(v)==s ("outer", the two
+      // interval ends when s>0, the whole interval when s==0) and
+      // dist(v)<s ("inner").
+      const int64_t n_all = std::max<int64_t>(0, std::min(pj, hi + 1) - lo);
+      int64_t n_inner = 0;
+      if (s > 0) {
+        n_inner = std::max<int64_t>(0, std::min(pj, hi) - (lo + 1));
+      }
+      const int64_t n_outer = n_all - n_inner;
+      rank += static_cast<uint64_t>(n_outer) * full;
+      if (n_inner > 0) {
+        rank += static_cast<uint64_t>(n_inner) *
+                (prefix_has_s ? full : full - inner);
+      }
+      prefix_has_s = prefix_has_s || Dist(p[j]) == s;
+    }
+    return rank;
+  }
+
+  void LexUnrankInShell(uint64_t rank, uint32_t s,
+                        std::span<uint32_t> out) const {
+    const uint32_t d = dims();
+    const int64_t lo = static_cast<int64_t>(c_lo_) - s;
+    const int64_t hi = static_cast<int64_t>(c_hi_) + s;
+    bool prefix_has_s = false;
+    for (uint32_t j = 0; j < d; ++j) {
+      const uint32_t rem = d - 1 - j;
+      const uint64_t full = Pow64(2 * s + 2, rem);
+      const uint64_t inner = Pow64(2 * s, rem);
+      const uint64_t mid =
+          s == 0 ? full : (prefix_has_s ? full : full - inner);
+      int64_t v;
+      if (s == 0) {
+        // Every value in [lo, hi] is at distance 0 == s.
+        v = lo + static_cast<int64_t>(rank / full);
+        rank %= full;
+      } else if (rank < full) {
+        v = lo;  // left end, dist == s; rank stays relative to this subtree
+      } else if (mid > 0 &&
+                 rank < full + 2 * static_cast<uint64_t>(s) * mid) {
+        const uint64_t m = (rank - full) / mid;
+        v = lo + 1 + static_cast<int64_t>(m);
+        rank -= full + m * mid;
+      } else {
+        rank -= full + 2 * static_cast<uint64_t>(s) * mid;
+        v = hi;  // right end, dist == s
+      }
+      out[j] = static_cast<uint32_t>(v);
+      prefix_has_s = prefix_has_s || Dist(out[j]) == s;
+    }
+  }
+
+  const uint32_t c_lo_;
+  const uint32_t c_hi_;
+};
+
+}  // namespace
+
+Result<CurvePtr> MakeSpiralCurve(GridSpec spec) {
+  if (Status s = spec.Validate(); !s.ok()) return s;
+  return CurvePtr(new SpiralCurve(spec));
+}
+
+}  // namespace csfc

@@ -1,0 +1,106 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace csfc {
+
+uint64_t RunMetrics::total_inversions() const {
+  uint64_t total = 0;
+  for (uint64_t v : inversions_per_dim) total += v;
+  return total;
+}
+
+double RunMetrics::inversion_stddev() const {
+  if (inversions_per_dim.empty()) return 0.0;
+  double mean = 0.0;
+  for (uint64_t v : inversions_per_dim) mean += static_cast<double>(v);
+  mean /= static_cast<double>(inversions_per_dim.size());
+  double var = 0.0;
+  for (uint64_t v : inversions_per_dim) {
+    const double d = static_cast<double>(v) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(inversions_per_dim.size());
+  return std::sqrt(var);
+}
+
+uint64_t RunMetrics::min_dim_inversions() const {
+  if (inversions_per_dim.empty()) return 0;
+  return *std::min_element(inversions_per_dim.begin(),
+                           inversions_per_dim.end());
+}
+
+double RunMetrics::mean_seek_ms() const {
+  return completions == 0 ? 0.0
+                          : total_seek_ms / static_cast<double>(completions);
+}
+
+double RunMetrics::WeightedLossCost(size_t dim, double hi_weight,
+                                    double lo_weight) const {
+  if (dim >= misses_per_dim_level.size()) return 0.0;
+  const auto& misses = misses_per_dim_level[dim];
+  const auto& totals = totals_per_dim_level[dim];
+  const size_t levels = misses.size();
+  double cost = 0.0;
+  for (size_t l = 0; l < levels; ++l) {
+    if (totals[l] == 0) continue;
+    const double frac =
+        levels > 1 ? static_cast<double>(l) / static_cast<double>(levels - 1)
+                   : 0.0;
+    const double w = hi_weight + frac * (lo_weight - hi_weight);
+    cost += w * static_cast<double>(misses[l]) / static_cast<double>(totals[l]);
+  }
+  return cost;
+}
+
+MetricsCollector::MetricsCollector(uint32_t dims, uint32_t levels)
+    : dims_(dims), levels_(std::max(levels, 1u)) {
+  metrics_.inversions_per_dim.assign(dims_, 0);
+  metrics_.misses_per_dim_level.assign(
+      dims_, std::vector<uint64_t>(levels_, 0));
+  metrics_.totals_per_dim_level.assign(
+      dims_, std::vector<uint64_t>(levels_, 0));
+  if (dims_ > 0) metrics_.response_per_level.resize(levels_);
+}
+
+void MetricsCollector::OnArrival(const Request&) { ++metrics_.arrivals; }
+
+void MetricsCollector::OnDispatch(const Request& r, const Scheduler& sched) {
+  if (dims_ == 0) return;
+  sched.ForEachWaiting([&](const Request& w) {
+    const size_t dims = std::min<size_t>(dims_, w.priorities.size());
+    for (size_t k = 0; k < dims; ++k) {
+      // Waiting request more important (smaller level) than the dispatched
+      // one on dimension k: one inversion.
+      if (w.priorities[k] < r.priority(k)) ++metrics_.inversions_per_dim[k];
+    }
+  });
+}
+
+void MetricsCollector::OnCompletion(const Request& r, SimTime finish_time,
+                                    double seek_ms, double service_ms) {
+  ++metrics_.completions;
+  metrics_.total_seek_ms += seek_ms;
+  metrics_.total_service_ms += service_ms;
+  const double response = SimToMs(finish_time - r.arrival);
+  metrics_.response_ms.Add(response);
+  if (dims_ > 0 && !r.priorities.empty()) {
+    const size_t level = std::min<size_t>(r.priorities[0], levels_ - 1);
+    metrics_.response_per_level[level].Add(response);
+  }
+  metrics_.makespan = std::max(metrics_.makespan, finish_time);
+  if (r.has_deadline()) {
+    ++metrics_.deadline_total;
+    const bool missed = finish_time > r.deadline;
+    if (missed) ++metrics_.deadline_misses;
+    const size_t dims = std::min<size_t>(dims_, r.priorities.size());
+    for (size_t k = 0; k < dims; ++k) {
+      const size_t level = std::min<size_t>(r.priorities[k], levels_ - 1);
+      ++metrics_.totals_per_dim_level[k][level];
+      if (missed) ++metrics_.misses_per_dim_level[k][level];
+    }
+  }
+}
+
+}  // namespace csfc

@@ -1,0 +1,103 @@
+// Simulation metrics: everything Section 5/6 plots.
+//
+//  * Priority inversion (Section 5.1): at each dispatch, for each QoS
+//    dimension k, the number of still-waiting requests whose level on k is
+//    strictly more important than the dispatched request's. Experiments
+//    report totals as a percentage of the FIFO discipline's count on the
+//    same workload (normalization happens in the experiment harness).
+//  * Deadline misses, overall and per (dimension, level) — Figures 8-10
+//    plus the selectivity breakdown of Figure 9.
+//  * Seek-time and service accounting — Figure 10c.
+//  * The Section-6 weighted loss cost: sum over levels of w_i * m_i / r_i
+//    with weights decreasing linearly so the top level costs `hi_weight`
+//    times the bottom one.
+
+#ifndef CSFC_STATS_METRICS_H_
+#define CSFC_STATS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "sched/scheduler.h"
+#include "workload/request.h"
+
+namespace csfc {
+
+/// Aggregated results of one simulation run.
+struct RunMetrics {
+  uint64_t arrivals = 0;
+  uint64_t completions = 0;
+
+  /// Priority inversions per QoS dimension (see header comment).
+  std::vector<uint64_t> inversions_per_dim;
+  uint64_t total_inversions() const;
+  /// Population stddev of the per-dimension inversion counts (fairness
+  /// metric of Figure 7a).
+  double inversion_stddev() const;
+  /// Smallest per-dimension inversion count (the "most favored dimension"
+  /// of Figure 7b).
+  uint64_t min_dim_inversions() const;
+
+  /// Requests with deadlines that completed after them.
+  uint64_t deadline_misses = 0;
+  /// Requests that carried deadlines.
+  uint64_t deadline_total = 0;
+  /// misses_per_dim_level[k][l]: misses among requests at level l of
+  /// dimension k. totals_per_dim_level mirrors it with totals.
+  std::vector<std::vector<uint64_t>> misses_per_dim_level;
+  std::vector<std::vector<uint64_t>> totals_per_dim_level;
+
+  double total_seek_ms = 0.0;
+  double total_service_ms = 0.0;
+  /// Mean seek per served request.
+  double mean_seek_ms() const;
+
+  /// Completion - arrival, per request.
+  RunningStat response_ms;
+  /// Response-time statistics broken down by dimension-0 priority level
+  /// (empty when no dimensions are tracked). The per-level max is the
+  /// starvation indicator the ER policy exists to bound: a fully
+  /// preemptive dispatcher lets the low levels' max grow without bound.
+  std::vector<RunningStat> response_per_level;
+  /// Simulated time at the last completion.
+  SimTime makespan = 0;
+
+  /// Section-6 weighted loss cost over dimension `dim`: weights fall
+  /// linearly from hi_weight (level 0) to lo_weight (last level).
+  double WeightedLossCost(size_t dim = 0, double hi_weight = 11.0,
+                          double lo_weight = 1.0) const;
+};
+
+/// Collects RunMetrics during a simulation. The simulator drives it; tests
+/// may drive it directly.
+class MetricsCollector {
+ public:
+  /// `dims` QoS dimensions with `levels` levels each are tracked; requests
+  /// with fewer dimensions contribute to the dimensions they have.
+  MetricsCollector(uint32_t dims, uint32_t levels);
+
+  void OnArrival(const Request& r);
+
+  /// Called after `r` was removed from the scheduler queue, with the
+  /// scheduler still holding the remaining waiting requests.
+  void OnDispatch(const Request& r, const Scheduler& sched);
+
+  /// Called when service finishes. `seek_ms`/`service_ms` are that
+  /// request's contributions.
+  void OnCompletion(const Request& r, SimTime finish_time, double seek_ms,
+                    double service_ms);
+
+  const RunMetrics& metrics() const { return metrics_; }
+  RunMetrics TakeMetrics() { return std::move(metrics_); }
+
+ private:
+  uint32_t dims_;
+  uint32_t levels_;
+  RunMetrics metrics_;
+};
+
+}  // namespace csfc
+
+#endif  // CSFC_STATS_METRICS_H_

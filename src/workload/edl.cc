@@ -1,0 +1,128 @@
+#include "workload/edl.h"
+
+#include <algorithm>
+
+namespace csfc {
+
+Status EdlWorkloadConfig::Validate() const {
+  if (num_editors == 0) {
+    return Status::InvalidArgument("num_editors must be > 0");
+  }
+  if (ops_per_script == 0) {
+    return Status::InvalidArgument("ops_per_script must be > 0");
+  }
+  if (clip_blocks_lo == 0 || clip_blocks_hi < clip_blocks_lo) {
+    return Status::InvalidArgument("clip block range is invalid");
+  }
+  if (av_block_bytes == 0 || archive_block_bytes == 0) {
+    return Status::InvalidArgument("block sizes must be > 0");
+  }
+  if (period_ms <= 0) return Status::InvalidArgument("period_ms must be > 0");
+  if (deadline_hi_ms < deadline_lo_ms) {
+    return Status::InvalidArgument("deadline range is inverted");
+  }
+  if (play_weight < 0 || ingest_weight < 0 || archive_weight < 0 ||
+      play_weight + ingest_weight + archive_weight <= 0) {
+    return Status::InvalidArgument("op weights must be nonnegative, sum > 0");
+  }
+  if (priority_levels == 0) {
+    return Status::InvalidArgument("priority_levels must be > 0");
+  }
+  if (cylinders < 1) return Status::InvalidArgument("cylinders must be >= 1");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<EdlWorkloadGenerator>> EdlWorkloadGenerator::Create(
+    const EdlWorkloadConfig& config) {
+  if (Status s = config.Validate(); !s.ok()) return s;
+  return std::unique_ptr<EdlWorkloadGenerator>(
+      new EdlWorkloadGenerator(config));
+}
+
+EdlWorkloadGenerator::EdlWorkloadGenerator(const EdlWorkloadConfig& config)
+    : config_(config), rng_(config.seed) {
+  const double total_weight =
+      config_.play_weight + config_.ingest_weight + config_.archive_weight;
+  scripts_.resize(config_.num_editors);
+  levels_.resize(config_.num_editors);
+  for (uint32_t e = 0; e < config_.num_editors; ++e) {
+    levels_[e] =
+        static_cast<PriorityLevel>(rng_.Uniform(config_.priority_levels));
+    scripts_[e].reserve(config_.ops_per_script);
+    for (uint32_t i = 0; i < config_.ops_per_script; ++i) {
+      EdlOp op;
+      const double pick = rng_.NextDouble() * total_weight;
+      if (pick < config_.play_weight) {
+        op.kind = EdlOpKind::kPlayClip;
+      } else if (pick < config_.play_weight + config_.ingest_weight) {
+        op.kind = EdlOpKind::kIngest;
+      } else {
+        op.kind = EdlOpKind::kArchive;
+      }
+      op.start_cylinder =
+          static_cast<Cylinder>(rng_.Uniform(config_.cylinders));
+      op.blocks = static_cast<uint32_t>(
+          config_.clip_blocks_lo +
+          rng_.Uniform(config_.clip_blocks_hi - config_.clip_blocks_lo + 1));
+      scripts_[e].push_back(op);
+    }
+    // Editors start with a small random phase so scripts interleave.
+    ready_.push(EditorState{
+        .editor = e,
+        .op = 0,
+        .block = 0,
+        .next_time = MsToSim(rng_.UniformDouble(0.0, config_.period_ms))});
+  }
+}
+
+std::optional<Request> EdlWorkloadGenerator::Next() {
+  while (!ready_.empty()) {
+    EditorState state = ready_.top();
+    ready_.pop();
+    const std::vector<EdlOp>& script = scripts_[state.editor];
+    if (state.op >= script.size()) continue;  // editor finished
+    const EdlOp& op = script[state.op];
+
+    Request r;
+    r.id = next_id_++;
+    r.arrival = state.next_time;
+    r.stream = state.editor;
+    r.priorities.push_back(levels_[state.editor]);
+    r.cylinder = static_cast<Cylinder>(
+        (op.start_cylinder + state.block) % config_.cylinders);
+    switch (op.kind) {
+      case EdlOpKind::kPlayClip:
+        r.is_write = false;
+        r.bytes = config_.av_block_bytes;
+        r.deadline = r.arrival + MsToSim(rng_.UniformDouble(
+                                     config_.deadline_lo_ms,
+                                     config_.deadline_hi_ms));
+        break;
+      case EdlOpKind::kIngest:
+        r.is_write = true;
+        r.bytes = config_.av_block_bytes;
+        r.deadline = r.arrival + MsToSim(rng_.UniformDouble(
+                                     config_.deadline_lo_ms,
+                                     config_.deadline_hi_ms));
+        break;
+      case EdlOpKind::kArchive:
+        r.is_write = false;
+        r.bytes = config_.archive_block_bytes;
+        r.deadline = kNoDeadline;
+        break;
+    }
+
+    // Advance the editor's cursor.
+    ++state.block;
+    if (state.block >= op.blocks) {
+      state.block = 0;
+      ++state.op;
+    }
+    state.next_time += MsToSim(config_.period_ms);
+    ready_.push(state);
+    return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace csfc

@@ -1,0 +1,115 @@
+// The Edit Decision List (EDL) workload of Section 6: a non-linear editing
+// server executes per-editor scripts of operations — real-time clip
+// playback (sequential reads with deadlines), real-time ingest (sequential
+// writes with deadlines), and background archive/ftp transfers (large
+// blocks, no deadline). Each editor runs its script sequentially at stream
+// rate; editors are merged into one arrival-ordered request stream.
+//
+// Compared with MpegStreamGenerator (pure periodic streams), the EDL
+// generator produces the heterogeneous traffic the paper's NewsByte
+// scenario describes: mixes of urgent small-block A/V requests and bulk
+// non-real-time transfers competing for the same disk, keyed by editor
+// priority.
+
+#ifndef CSFC_WORKLOAD_EDL_H_
+#define CSFC_WORKLOAD_EDL_H_
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "workload/generator.h"
+
+namespace csfc {
+
+/// One step of an editor's script.
+enum class EdlOpKind {
+  kPlayClip,  ///< real-time sequential reads
+  kIngest,    ///< real-time sequential writes
+  kArchive,   ///< background bulk transfer, no deadline
+};
+
+/// A materialized script step.
+struct EdlOp {
+  EdlOpKind kind = EdlOpKind::kPlayClip;
+  Cylinder start_cylinder = 0;
+  uint32_t blocks = 1;  ///< requests this step issues
+};
+
+/// Configuration for EdlWorkloadGenerator.
+struct EdlWorkloadConfig {
+  uint64_t seed = 1;
+  /// Concurrent editors.
+  uint32_t num_editors = 16;
+  /// Script steps per editor.
+  uint32_t ops_per_script = 8;
+  /// Blocks per clip (uniform range).
+  uint32_t clip_blocks_lo = 4;
+  uint32_t clip_blocks_hi = 24;
+  /// Block size of real-time A/V requests.
+  uint64_t av_block_bytes = 64 * 1024;
+  /// Block size of archive transfers.
+  uint64_t archive_block_bytes = 256 * 1024;
+  /// Per-editor request period during real-time steps (ms). Archive steps
+  /// issue at the same pacing (a throttled background copy).
+  double period_ms = 40.0;
+  /// Relative deadline range for real-time requests (ms).
+  double deadline_lo_ms = 75.0;
+  double deadline_hi_ms = 150.0;
+  /// Probability weights of the three op kinds (normalized internally).
+  double play_weight = 0.6;
+  double ingest_weight = 0.3;
+  double archive_weight = 0.1;
+  /// Editor priority levels (level assigned uniformly per editor).
+  uint32_t priority_levels = 8;
+  uint32_t cylinders = 3832;
+
+  Status Validate() const;
+};
+
+/// Pull-based generator executing one script per editor.
+class EdlWorkloadGenerator final : public RequestGenerator {
+ public:
+  static Result<std::unique_ptr<EdlWorkloadGenerator>> Create(
+      const EdlWorkloadConfig& config);
+
+  std::optional<Request> Next() override;
+
+  /// The script assigned to editor `e` (for inspection/tests).
+  const std::vector<EdlOp>& script(uint32_t editor) const {
+    return scripts_[editor];
+  }
+  PriorityLevel editor_level(uint32_t editor) const {
+    return levels_[editor];
+  }
+
+ private:
+  explicit EdlWorkloadGenerator(const EdlWorkloadConfig& config);
+
+  struct EditorState {
+    uint32_t editor = 0;
+    size_t op = 0;        ///< current script step
+    uint32_t block = 0;   ///< next block within the step
+    SimTime next_time = 0;
+  };
+  struct LaterFirst {
+    bool operator()(const EditorState& a, const EditorState& b) const {
+      return a.next_time > b.next_time ||
+             (a.next_time == b.next_time && a.editor > b.editor);
+    }
+  };
+
+  EdlWorkloadConfig config_;
+  Rng rng_;
+  std::vector<std::vector<EdlOp>> scripts_;
+  std::vector<PriorityLevel> levels_;
+  std::priority_queue<EditorState, std::vector<EditorState>, LaterFirst>
+      ready_;
+  RequestId next_id_ = 0;
+};
+
+}  // namespace csfc
+
+#endif  // CSFC_WORKLOAD_EDL_H_

@@ -1,0 +1,110 @@
+// Synthetic workload generation for the Section-5 experiments: Poisson or
+// bursty arrivals of multi-priority, optionally real-time disk requests.
+//
+// Generators are pull-based: each Next() returns the next request in
+// arrival order, so the simulator can lazily interleave arrivals with
+// service completions. All randomness flows from the seed in the config.
+
+#ifndef CSFC_WORKLOAD_GENERATOR_H_
+#define CSFC_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <optional>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "workload/request.h"
+
+namespace csfc {
+
+/// How priority levels are assigned across requests.
+enum class PriorityDistribution {
+  kUniform,  ///< uniform over [0, levels)
+  kNormal,   ///< normal centered mid-scale, clamped (Section 6 workload)
+};
+
+/// How target cylinders are drawn.
+enum class CylinderDistribution {
+  kUniform,  ///< uniform over the disk
+  kZipf,     ///< Zipf-skewed toward low cylinders (hot outer zone), the
+             ///< classic hot-spot access pattern of shared media libraries
+};
+
+/// Configuration for SyntheticGenerator.
+struct WorkloadConfig {
+  uint64_t seed = 1;
+  /// Number of requests to generate.
+  uint64_t count = 10000;
+
+  /// Mean of the exponential interarrival distribution (ms).
+  double mean_interarrival_ms = 25.0;
+  /// Requests per burst; 1 = plain Poisson. With k > 1, bursts of k
+  /// requests share an arrival instant and burst interarrivals are
+  /// exponential with mean k * mean_interarrival_ms (same offered load).
+  uint32_t burst_size = 1;
+
+  /// Number of priority-like QoS dimensions (0 = none).
+  uint32_t priority_dims = 3;
+  /// Levels per dimension (level 0 = highest priority).
+  uint32_t priority_levels = 16;
+  PriorityDistribution priority_distribution = PriorityDistribution::kUniform;
+
+  /// Relative deadline range (ms after arrival); ignored when
+  /// relaxed_deadlines is true.
+  double deadline_lo_ms = 500.0;
+  double deadline_hi_ms = 700.0;
+  bool relaxed_deadlines = false;
+
+  /// Transfer size range (bytes), sampled uniformly...
+  uint64_t bytes_lo = 64 * 1024;
+  uint64_t bytes_hi = 64 * 1024;
+  /// ...unless this is set: then size scales linearly with the request's
+  /// dimension-0 priority level, from bytes_lo at level 0 (most important:
+  /// small audio/video chunks) to bytes_hi at the lowest level (bulk ftp) —
+  /// the Section 5.2 assumption that high-priority requests have smaller
+  /// service times.
+  bool couple_size_to_priority = false;
+
+  /// Disk size; cylinders are drawn over [0, cylinders).
+  uint32_t cylinders = 3832;
+  CylinderDistribution cylinder_distribution = CylinderDistribution::kUniform;
+  /// Skew of the kZipf distribution, in (0, 1); larger = hotter hot spot.
+  double zipf_theta = 0.8;
+  /// Fraction of write requests.
+  double write_fraction = 0.0;
+
+  Status Validate() const;
+};
+
+/// Abstract pull-based request source.
+class RequestGenerator {
+ public:
+  virtual ~RequestGenerator() = default;
+  /// Next request in nondecreasing arrival order; nullopt when exhausted.
+  virtual std::optional<Request> Next() = 0;
+};
+
+/// Generator implementing WorkloadConfig.
+class SyntheticGenerator final : public RequestGenerator {
+ public:
+  static Result<std::unique_ptr<SyntheticGenerator>> Create(
+      const WorkloadConfig& config);
+
+  std::optional<Request> Next() override;
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  explicit SyntheticGenerator(const WorkloadConfig& config);
+
+  WorkloadConfig config_;
+  Rng rng_;
+  std::optional<ZipfDistribution> zipf_;
+  uint64_t emitted_ = 0;
+  SimTime clock_ = 0;
+  uint32_t burst_left_ = 0;
+};
+
+}  // namespace csfc
+
+#endif  // CSFC_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,99 @@
+#include "workload/mpeg.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace csfc {
+
+Status MpegWorkloadConfig::Validate() const {
+  if (num_users == 0) return Status::InvalidArgument("num_users must be > 0");
+  if (stream_mbps <= 0) return Status::InvalidArgument("stream_mbps must be > 0");
+  if (block_bytes == 0) return Status::InvalidArgument("block_bytes must be > 0");
+  if (priority_levels < 1) {
+    return Status::InvalidArgument("priority_levels must be >= 1");
+  }
+  if (deadline_hi_ms < deadline_lo_ms) {
+    return Status::InvalidArgument("deadline range is inverted");
+  }
+  if (read_fraction < 0.0 || read_fraction > 1.0) {
+    return Status::InvalidArgument("read_fraction must be in [0,1]");
+  }
+  if (user_phase_spread_ms < 0.0) {
+    return Status::InvalidArgument("user_phase_spread_ms must be >= 0");
+  }
+  if (user_phase_spread_ms + batch_jitter_ms > PeriodMs()) {
+    return Status::InvalidArgument(
+        "user_phase_spread_ms + batch_jitter_ms must not exceed the stream "
+        "period, or consecutive periods would emit out of arrival order");
+  }
+  if (duration_ms <= 0) return Status::InvalidArgument("duration_ms must be > 0");
+  if (cylinders < 1) return Status::InvalidArgument("cylinders must be >= 1");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<MpegStreamGenerator>> MpegStreamGenerator::Create(
+    const MpegWorkloadConfig& config) {
+  if (Status s = config.Validate(); !s.ok()) return s;
+  return std::unique_ptr<MpegStreamGenerator>(new MpegStreamGenerator(config));
+}
+
+MpegStreamGenerator::MpegStreamGenerator(const MpegWorkloadConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      period_(MsToSim(config.PeriodMs())),
+      horizon_(MsToSim(config.duration_ms)) {
+  levels_.reserve(config_.num_users);
+  positions_.reserve(config_.num_users);
+  const double mid = (config_.priority_levels - 1) / 2.0;
+  for (uint32_t u = 0; u < config_.num_users; ++u) {
+    const double v = rng_.Normal(mid, config_.priority_levels / 4.0);
+    levels_.push_back(static_cast<PriorityLevel>(std::clamp(
+        v, 0.0, static_cast<double>(config_.priority_levels - 1))));
+    positions_.push_back(static_cast<Cylinder>(rng_.Uniform(config_.cylinders)));
+    phases_.push_back(
+        config_.user_phase_spread_ms > 0.0
+            ? MsToSim(rng_.UniformDouble(0.0, config_.user_phase_spread_ms))
+            : 0);
+  }
+}
+
+void MpegStreamGenerator::FillBatch() {
+  batch_.clear();
+  batch_pos_ = 0;
+  if (batch_time_ >= horizon_) return;
+  for (uint32_t u = 0; u < config_.num_users; ++u) {
+    Request r;
+    r.id = next_id_++;
+    r.arrival =
+        batch_time_ + phases_[u] +
+        MsToSim(rng_.UniformDouble(0.0, config_.batch_jitter_ms));
+    r.deadline = r.arrival + MsToSim(rng_.UniformDouble(
+                                 config_.deadline_lo_ms, config_.deadline_hi_ms));
+    r.cylinder = positions_[u];
+    // Advance the stream: blocks of a stream occupy consecutive cylinders
+    // once the per-cylinder capacity is exhausted; modeled as +1 cylinder
+    // per block with wraparound.
+    positions_[u] = (positions_[u] + 1) % config_.cylinders;
+    r.bytes = config_.block_bytes;
+    r.is_write = !rng_.Bernoulli(config_.read_fraction);
+    r.stream = u;
+    r.priorities.push_back(levels_[u]);
+    batch_.push_back(r);
+  }
+  std::sort(batch_.begin(), batch_.end(),
+            [](const Request& a, const Request& b) {
+              return a.arrival < b.arrival ||
+                     (a.arrival == b.arrival && a.id < b.id);
+            });
+  batch_time_ += period_;
+}
+
+std::optional<Request> MpegStreamGenerator::Next() {
+  if (batch_pos_ >= batch_.size()) {
+    FillBatch();
+    if (batch_.empty()) return std::nullopt;
+  }
+  return batch_[batch_pos_++];
+}
+
+}  // namespace csfc

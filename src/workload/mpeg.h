@@ -1,0 +1,98 @@
+// The Section-6 workload: a non-linear editing / broadcast server
+// (NewsByte-class) where 68..91 users per disk each sustain an MPEG-1
+// stream at 1.5 Mbps. Users issue one block-sized request per stream
+// period; requests arrive in bursts (the server works in batches), carry
+// one of 8 priority levels distributed normally across users, are an
+// even read/write editing mix, and must complete within a deadline drawn
+// uniformly from 75..150 ms.
+//
+// Streams are laid out contiguously on disk: each user's requests advance
+// cylinder-sequentially from a random start, wrapping at the end — giving
+// the per-stream spatial locality a real editing server exhibits.
+
+#ifndef CSFC_WORKLOAD_MPEG_H_
+#define CSFC_WORKLOAD_MPEG_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "workload/generator.h"
+
+namespace csfc {
+
+/// Configuration for MpegStreamGenerator.
+struct MpegWorkloadConfig {
+  uint64_t seed = 1;
+  /// Concurrent editing users on this disk (paper: 68..91).
+  uint32_t num_users = 80;
+  /// Per-stream bit rate in Mbps (paper: MPEG-1 at 1.5).
+  double stream_mbps = 1.5;
+  /// Block size per request (Table 1: 64 KB).
+  uint64_t block_bytes = 64 * 1024;
+  /// Number of user priority levels (paper: 8).
+  uint32_t priority_levels = 8;
+  /// Relative deadline range in ms (paper: 75..150).
+  double deadline_lo_ms = 75.0;
+  double deadline_hi_ms = 150.0;
+  /// Fraction of requests that are stream reads (rest are editing writes).
+  double read_fraction = 0.5;
+  /// Total simulated duration.
+  double duration_ms = 60000.0;
+  /// Per-request arrival jitter within a batch (ms); models queueing ahead
+  /// of the disk scheduler rather than a truly simultaneous burst.
+  double batch_jitter_ms = 2.0;
+  /// Spread of per-user phase offsets (ms). 0 aligns every user on the
+  /// same period boundary (one synchronized burst per period); setting it
+  /// to the stream period staggers users uniformly, the steady-state of a
+  /// server whose editors started at independent times.
+  double user_phase_spread_ms = 0.0;
+  /// Disk geometry for stream placement.
+  uint32_t cylinders = 3832;
+
+  Status Validate() const;
+
+  /// The stream period: time to consume one block at the stream rate.
+  double PeriodMs() const {
+    return static_cast<double>(block_bytes) * 8.0 / (stream_mbps * 1e6) *
+           1000.0;
+  }
+};
+
+/// Pull-based generator for the editing-server workload. Each user has a
+/// fixed priority level (normal across users, clamped), a fixed read/write
+/// role per request, and a private sequential cylinder walk.
+class MpegStreamGenerator final : public RequestGenerator {
+ public:
+  static Result<std::unique_ptr<MpegStreamGenerator>> Create(
+      const MpegWorkloadConfig& config);
+
+  std::optional<Request> Next() override;
+
+  const MpegWorkloadConfig& config() const { return config_; }
+
+  /// The priority level assigned to each user (index = user).
+  const std::vector<PriorityLevel>& user_levels() const { return levels_; }
+
+ private:
+  explicit MpegStreamGenerator(const MpegWorkloadConfig& config);
+
+  void FillBatch();
+
+  MpegWorkloadConfig config_;
+  Rng rng_;
+  SimTime period_;
+  SimTime horizon_;
+  SimTime batch_time_ = 0;
+  std::vector<PriorityLevel> levels_;
+  std::vector<Cylinder> positions_;    // per-user next cylinder
+  std::vector<SimTime> phases_;        // per-user period phase offset
+  std::vector<Request> batch_;         // current batch, arrival-sorted
+  size_t batch_pos_ = 0;
+  RequestId next_id_ = 0;
+};
+
+}  // namespace csfc
+
+#endif  // CSFC_WORKLOAD_MPEG_H_

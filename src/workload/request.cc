@@ -1,0 +1,23 @@
+#include "workload/request.h"
+
+#include <cstdio>
+
+namespace csfc {
+
+std::string Request::DebugString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "id=%llu t=%.3fms dl=%s cyl=%u pri=[",
+                static_cast<unsigned long long>(id), SimToMs(arrival),
+                has_deadline() ? std::to_string(SimToMs(deadline)).c_str()
+                               : "none",
+                cylinder);
+  std::string out(buf);
+  for (size_t i = 0; i < priorities.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(priorities[i]);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace csfc

@@ -1,0 +1,58 @@
+// The multimedia disk request: the multi-dimensional point the Cascaded-SFC
+// scheduler linearizes. A request carries D priority-like QoS parameters
+// (level 0 = most important), an absolute real-time deadline (or
+// kNoDeadline), a cylinder position, and a transfer size.
+
+#ifndef CSFC_WORKLOAD_REQUEST_H_
+#define CSFC_WORKLOAD_REQUEST_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/small_vector.h"
+#include "common/types.h"
+
+namespace csfc {
+
+/// Per-request vector of priority levels, one per QoS dimension.
+/// Inline capacity covers the paper's maximum of 12 dimensions.
+using PriorityVec = SmallVector<PriorityLevel, 12>;
+
+/// Sentinel deadline for requests with relaxed (no) deadlines.
+inline constexpr SimTime kNoDeadline = std::numeric_limits<SimTime>::max();
+
+/// A disk request flowing through the simulator.
+struct Request {
+  RequestId id = 0;
+  /// Absolute arrival time.
+  SimTime arrival = 0;
+  /// Absolute deadline; kNoDeadline when relaxed.
+  SimTime deadline = kNoDeadline;
+  /// Target cylinder.
+  Cylinder cylinder = 0;
+  /// Transfer size in bytes.
+  uint64_t bytes = 64 * 1024;
+  /// QoS priority levels; empty for single-class workloads.
+  PriorityVec priorities;
+  /// True for writes (affects nothing in the base disk model but is kept
+  /// for stream workloads and trace fidelity).
+  bool is_write = false;
+  /// Owning stream for stream workloads (0 when not applicable).
+  uint32_t stream = 0;
+
+  bool has_deadline() const { return deadline != kNoDeadline; }
+
+  /// The priority level on dimension `k`, or 0 if the request has fewer
+  /// dimensions.
+  PriorityLevel priority(size_t k) const {
+    return k < priorities.size() ? priorities[k] : 0;
+  }
+
+  /// Debug rendering: "id=3 t=12.5ms dl=100ms cyl=77 pri=[1,0,4]".
+  std::string DebugString() const;
+};
+
+}  // namespace csfc
+
+#endif  // CSFC_WORKLOAD_REQUEST_H_

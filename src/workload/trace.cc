@@ -1,0 +1,91 @@
+#include "workload/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace csfc {
+
+std::string FormatTraceLine(const Request& r) {
+  std::ostringstream out;
+  out << r.id << ' ' << r.arrival << ' '
+      << (r.has_deadline() ? r.deadline : -1) << ' ' << r.cylinder << ' '
+      << r.bytes << ' ' << (r.is_write ? 1 : 0) << ' ' << r.stream;
+  for (PriorityLevel p : r.priorities) out << ' ' << p;
+  return out.str();
+}
+
+Result<Request> ParseTraceLine(const std::string& line) {
+  std::istringstream in(line);
+  Request r;
+  int64_t deadline = 0;
+  int is_write = 0;
+  if (!(in >> r.id >> r.arrival >> deadline >> r.cylinder >> r.bytes >>
+        is_write >> r.stream)) {
+    return Status::InvalidArgument("malformed trace line: " + line);
+  }
+  if (deadline < -1) {
+    return Status::InvalidArgument("negative deadline in trace line: " + line);
+  }
+  r.deadline = deadline == -1 ? kNoDeadline : deadline;
+  r.is_write = is_write != 0;
+  PriorityLevel p;
+  while (in >> p) r.priorities.push_back(p);
+  if (!in.eof() && in.fail()) {
+    // trailing garbage that failed to parse as a priority level
+    in.clear();
+    std::string rest;
+    in >> rest;
+    if (!rest.empty()) {
+      return Status::InvalidArgument("trailing garbage in trace line: " + line);
+    }
+  }
+  return r;
+}
+
+Status SaveTrace(const std::string& path,
+                 const std::vector<Request>& requests) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "# csfc trace v1: id arrival_us deadline_us cyl bytes write stream "
+         "priorities...\n";
+  for (const Request& r : requests) out << FormatTraceLine(r) << '\n';
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Request>> LoadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::vector<Request> requests;
+  std::string line;
+  SimTime last_arrival = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    Result<Request> r = ParseTraceLine(line);
+    if (!r.ok()) return r.status();
+    if (r->arrival < last_arrival) {
+      return Status::InvalidArgument(
+          "trace is not arrival-ordered at request id " +
+          std::to_string(r->id));
+    }
+    last_arrival = r->arrival;
+    requests.push_back(std::move(*r));
+  }
+  return requests;
+}
+
+std::vector<Request> DrainGenerator(RequestGenerator& gen,
+                                    uint64_t max_requests) {
+  std::vector<Request> out;
+  for (uint64_t i = 0; i < max_requests; ++i) {
+    std::optional<Request> r = gen.Next();
+    if (!r) break;
+    out.push_back(std::move(*r));
+  }
+  return out;
+}
+
+}  // namespace csfc

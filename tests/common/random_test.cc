@@ -1,0 +1,182 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace csfc {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng r(0);
+  // xoshiro with all-zero state would emit zeros forever; splitmix
+  // expansion must prevent that.
+  bool any_nonzero = false;
+  for (int i = 0; i < 10; ++i) any_nonzero |= r.Next() != 0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.Uniform(17), 17u);
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng r(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng r(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = r.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformRangeDegenerate) {
+  Rng r(9);
+  EXPECT_EQ(r.UniformRange(5, 5), 5);
+  EXPECT_EQ(r.UniformRange(5, 4), 5);  // inverted collapses to lo
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleRange) {
+  Rng r(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.UniformDouble(10.0, 20.0);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LT(v, 20.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 15.0, 0.2);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng r(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.Exponential(25.0);
+  EXPECT_NEAR(sum / n, 25.0, 0.5);
+}
+
+TEST(RngTest, ExponentialIsPositive) {
+  Rng r(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(r.Exponential(1.0), 0.0);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng r(19);
+  const int n = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.Normal(8.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 8.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng r(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng r(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfDistribution zipf(100, 0.8);
+  Rng rng(33);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(rng), 100u);
+}
+
+TEST(ZipfTest, LowValuesAreHot) {
+  ZipfDistribution zipf(1000, 0.8);
+  Rng rng(35);
+  uint64_t low = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) low += zipf.Sample(rng) < 100;
+  // Under theta=0.8, the first 10% of values draw far more than 10% of
+  // the mass (analytically ~ (100/1000)^(1-0.8) = 63%).
+  EXPECT_GT(static_cast<double>(low) / n, 0.5);
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  ZipfDistribution mild(1000, 0.5);
+  ZipfDistribution hot(1000, 0.95);
+  Rng r1(37), r2(37);
+  uint64_t mild_zero = 0, hot_zero = 0;
+  for (int i = 0; i < 50000; ++i) {
+    mild_zero += mild.Sample(r1) == 0;
+    hot_zero += hot.Sample(r2) == 0;
+  }
+  EXPECT_GT(hot_zero, mild_zero * 2);
+}
+
+TEST(ZipfTest, DegenerateSingleValue) {
+  ZipfDistribution zipf(1, 0.8);
+  Rng rng(39);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == UINT64_MAX);
+  Rng r(1);
+  EXPECT_NE(r(), r());
+}
+
+}  // namespace
+}  // namespace csfc

@@ -1,0 +1,123 @@
+#include "common/small_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace csfc {
+namespace {
+
+using Vec4 = SmallVector<uint32_t, 4>;
+
+TEST(SmallVectorTest, StartsEmpty) {
+  Vec4 v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(SmallVectorTest, PushWithinInlineCapacity) {
+  Vec4 v;
+  for (uint32_t i = 0; i < 4; ++i) v.push_back(i * 10);
+  EXPECT_EQ(v.size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], i * 10);
+}
+
+TEST(SmallVectorTest, SpillsToHeap) {
+  Vec4 v;
+  for (uint32_t i = 0; i < 20; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 20u);
+  for (uint32_t i = 0; i < 20; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, InitializerList) {
+  Vec4 v{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[5], 6u);
+}
+
+TEST(SmallVectorTest, CountValueConstructor) {
+  Vec4 v(7, 9u);
+  EXPECT_EQ(v.size(), 7u);
+  for (size_t i = 0; i < 7; ++i) EXPECT_EQ(v[i], 9u);
+}
+
+TEST(SmallVectorTest, PopBackAcrossBoundary) {
+  Vec4 v{1, 2, 3, 4, 5, 6};
+  v.pop_back();
+  v.pop_back();  // crosses back into inline storage
+  v.pop_back();
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.back(), 3u);
+}
+
+TEST(SmallVectorTest, ResizeGrowsWithFill) {
+  Vec4 v{1};
+  v.resize(6, 42u);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[0], 1u);
+  for (size_t i = 1; i < 6; ++i) EXPECT_EQ(v[i], 42u);
+}
+
+TEST(SmallVectorTest, ResizeShrinks) {
+  Vec4 v{1, 2, 3, 4, 5, 6};
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2u);
+}
+
+TEST(SmallVectorTest, CopyPreservesContents) {
+  Vec4 a{1, 2, 3, 4, 5, 6};
+  Vec4 b(a);
+  EXPECT_EQ(a, b);
+  b.push_back(7);
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.size(), 6u);  // copy is deep
+}
+
+TEST(SmallVectorTest, AssignmentReplacesContents) {
+  Vec4 a{1, 2};
+  Vec4 b{9, 9, 9, 9, 9, 9};
+  a = b;
+  EXPECT_EQ(a, b);
+}
+
+TEST(SmallVectorTest, SelfAssignmentIsNoop) {
+  Vec4 a{1, 2, 3};
+  a = *&a;
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[2], 3u);
+}
+
+TEST(SmallVectorTest, IterationCoversInlineAndHeap) {
+  Vec4 v;
+  for (uint32_t i = 0; i < 10; ++i) v.push_back(i);
+  uint32_t sum = 0;
+  for (uint32_t x : v) sum += x;
+  EXPECT_EQ(sum, 45u);
+}
+
+TEST(SmallVectorTest, MutableIteration) {
+  Vec4 v{1, 2, 3, 4, 5};
+  for (auto it = v.begin(); it != v.end(); ++it) *it += 1;
+  EXPECT_EQ(v[0], 2u);
+  EXPECT_EQ(v[4], 6u);
+}
+
+TEST(SmallVectorTest, ClearResets) {
+  Vec4 v{1, 2, 3, 4, 5, 6};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  EXPECT_EQ(v[0], 1u);
+}
+
+TEST(SmallVectorTest, EqualityChecksSizeFirst) {
+  Vec4 a{1, 2, 3};
+  Vec4 b{1, 2};
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace csfc

@@ -1,0 +1,90 @@
+#include "core/cvalue.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/request.h"
+
+namespace csfc {
+namespace {
+
+TEST(NormalizeIndexTest, MapsIntoUnitInterval) {
+  EXPECT_DOUBLE_EQ(NormalizeIndex(0, 16), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizeIndex(8, 16), 0.5);
+  EXPECT_DOUBLE_EQ(NormalizeIndex(15, 16), 15.0 / 16.0);
+}
+
+TEST(NormalizeIndexTest, PreservesOrder) {
+  const uint64_t cells = uint64_t{1} << 48;
+  EXPECT_LT(NormalizeIndex(1234567, cells), NormalizeIndex(1234568, cells));
+}
+
+TEST(QuantizeUnitTest, EdgesAndClamping) {
+  EXPECT_EQ(QuantizeUnit(-0.5, 16), 0u);
+  EXPECT_EQ(QuantizeUnit(0.0, 16), 0u);
+  EXPECT_EQ(QuantizeUnit(0.999, 16), 15u);
+  EXPECT_EQ(QuantizeUnit(1.0, 16), 15u);
+  EXPECT_EQ(QuantizeUnit(2.0, 16), 15u);
+}
+
+TEST(QuantizeUnitTest, UniformBuckets) {
+  EXPECT_EQ(QuantizeUnit(0.24, 4), 0u);
+  EXPECT_EQ(QuantizeUnit(0.26, 4), 1u);
+  EXPECT_EQ(QuantizeUnit(0.51, 4), 2u);
+  EXPECT_EQ(QuantizeUnit(0.76, 4), 3u);
+}
+
+TEST(QuantizeDeadlineTest, UrgentMapsToZero) {
+  const SimTime horizon = MsToSim(1000);
+  EXPECT_EQ(QuantizeDeadline(/*deadline=*/50, /*now=*/100, horizon, 16), 0u);
+  EXPECT_EQ(QuantizeDeadline(100, 100, horizon, 16), 0u);
+}
+
+TEST(QuantizeDeadlineTest, RelaxedMapsToLastCell) {
+  const SimTime horizon = MsToSim(1000);
+  EXPECT_EQ(QuantizeDeadline(kNoDeadline, 0, horizon, 16), 15u);
+}
+
+TEST(QuantizeDeadlineTest, BeyondHorizonClampsToLastCell) {
+  const SimTime horizon = MsToSim(1000);
+  EXPECT_EQ(QuantizeDeadline(MsToSim(5000), 0, horizon, 16), 15u);
+}
+
+TEST(QuantizeDeadlineTest, ScalesLinearlyWithinHorizon) {
+  const SimTime horizon = MsToSim(1600);
+  // 400 ms remaining of a 1600 ms horizon = cell 4 of 16.
+  EXPECT_EQ(QuantizeDeadline(MsToSim(500), MsToSim(100), horizon, 16), 4u);
+  EXPECT_EQ(QuantizeDeadline(MsToSim(900), MsToSim(100), horizon, 16), 8u);
+}
+
+TEST(QuantizeDeadlineTest, MonotoneInDeadline) {
+  const SimTime horizon = MsToSim(700);
+  uint32_t prev = 0;
+  for (SimTime dl = 0; dl < MsToSim(900); dl += MsToSim(10)) {
+    const uint32_t cell = QuantizeDeadline(dl, 0, horizon, 32);
+    EXPECT_GE(cell, prev);
+    prev = cell;
+  }
+}
+
+TEST(CScanDistanceTest, ForwardAndWrap) {
+  EXPECT_EQ(CScanDistance(100, 100, 3832), 0u);
+  EXPECT_EQ(CScanDistance(150, 100, 3832), 50u);
+  EXPECT_EQ(CScanDistance(50, 100, 3832), 3832u - 50u);
+  EXPECT_EQ(CScanDistance(0, 3831, 3832), 1u);
+}
+
+TEST(CScanDistanceTest, CoversFullRange) {
+  for (Cylinder c = 0; c < 100; ++c) {
+    const uint32_t d = CScanDistance(c, 50, 100);
+    EXPECT_LT(d, 100u);
+  }
+}
+
+TEST(TimeConversionTest, RoundTripsMilliseconds) {
+  EXPECT_EQ(MsToSim(25.0), 25000);
+  EXPECT_DOUBLE_EQ(SimToMs(25000), 25.0);
+  EXPECT_EQ(MsToSim(0.5), 500);
+}
+
+}  // namespace
+}  // namespace csfc

@@ -1,0 +1,366 @@
+#include "core/encapsulator.h"
+
+#include <gtest/gtest.h>
+
+#include "sfc/registry.h"
+
+namespace csfc {
+namespace {
+
+Request Req(std::initializer_list<PriorityLevel> pris,
+            SimTime deadline = kNoDeadline, Cylinder cyl = 0) {
+  Request r;
+  for (PriorityLevel p : pris) r.priorities.push_back(p);
+  r.deadline = deadline;
+  r.cylinder = cyl;
+  return r;
+}
+
+std::unique_ptr<Encapsulator> Make(const EncapsulatorConfig& c) {
+  auto e = Encapsulator::Create(c);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return std::move(*e);
+}
+
+TEST(EncapsulatorConfigTest, ValidationCatchesBadConfigs) {
+  EncapsulatorConfig c;
+  c.sfc1 = "nope";
+  EXPECT_FALSE(c.Validate().ok());
+  c = EncapsulatorConfig();
+  c.priority_dims = 16;
+  c.priority_bits = 16;  // 256 bits > 62
+  EXPECT_FALSE(c.Validate().ok());
+  c = EncapsulatorConfig();
+  c.f = -1.0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = EncapsulatorConfig();
+  c.stage2_mode = Stage2Mode::kCurve;
+  c.sfc2 = "nope";
+  EXPECT_FALSE(c.Validate().ok());
+  c = EncapsulatorConfig();
+  c.deadline_horizon_ms = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = EncapsulatorConfig();
+  c.stage3_mode = Stage3Mode::kPartitionedCScan;
+  c.partitions_r = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = EncapsulatorConfig();
+  c.stage3_mode = Stage3Mode::kCurve;
+  c.sfc3 = "nope";
+  EXPECT_FALSE(c.Validate().ok());
+  EXPECT_TRUE(EncapsulatorConfig().Validate().ok());
+}
+
+TEST(EncapsulatorConfigTest, SignatureCoversCurveModes) {
+  EncapsulatorConfig c;
+  c.stage1_enabled = false;
+  c.priority_dims = 0;
+  c.stage2_mode = Stage2Mode::kCurve;
+  c.sfc2 = "hilbert";
+  c.stage2_deadline_major = true;
+  c.stage3_mode = Stage3Mode::kCurve;
+  c.sfc3 = "peano";
+  const std::string sig = c.Signature();
+  EXPECT_NE(sig.find("hilbert(dl-major)"), std::string::npos);
+  EXPECT_NE(sig.find("peano"), std::string::npos);
+  EXPECT_EQ(sig.find("R="), std::string::npos);
+}
+
+TEST(EncapsulatorConfigTest, SignatureDescribesStages) {
+  EncapsulatorConfig c;
+  c.sfc1 = "hilbert";
+  c.stage2_mode = Stage2Mode::kDisabled;
+  c.stage3_mode = Stage3Mode::kPartitionedCScan;
+  c.partitions_r = 3;
+  const std::string sig = c.Signature();
+  EXPECT_NE(sig.find("hilbert"), std::string::npos);
+  EXPECT_NE(sig.find("off"), std::string::npos);
+  EXPECT_NE(sig.find("R=3"), std::string::npos);
+}
+
+// --- Stage 1 ------------------------------------------------------------------
+
+TEST(Stage1Test, MatchesCurveIndexNormalization) {
+  EncapsulatorConfig c;
+  c.sfc1 = "hilbert";
+  c.priority_dims = 3;
+  c.priority_bits = 4;
+  c.stage2_mode = Stage2Mode::kDisabled;
+  c.stage3_mode = Stage3Mode::kDisabled;
+  auto e = Make(c);
+  auto curve = MakeCurve("hilbert", GridSpec{.dims = 3, .bits = 4});
+  ASSERT_TRUE(curve.ok());
+  DispatchContext ctx;
+  const Request r = Req({3, 7, 12});
+  const std::vector<uint32_t> p{3, 7, 12};
+  EXPECT_DOUBLE_EQ(e->Characterize(r, ctx),
+                   static_cast<double>((*curve)->IndexOf(p)) /
+                       static_cast<double>((*curve)->num_cells()));
+}
+
+TEST(Stage1Test, AllZeroPointIsMostImportant) {
+  for (auto name : AllCurveNames()) {
+    EncapsulatorConfig c;
+    c.sfc1 = std::string(name);
+    c.priority_dims = 2;
+    c.priority_bits = 3;
+    c.stage2_mode = Stage2Mode::kDisabled;
+    c.stage3_mode = Stage3Mode::kDisabled;
+    auto e = Make(c);
+    DispatchContext ctx;
+    // Not all curves start at the origin (spiral starts at the center),
+    // but the value must always be a valid position in [0, 1).
+    const CValue v = e->Characterize(Req({0, 0}), ctx);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Stage1Test, DisabledPassesThroughSinglePriority) {
+  EncapsulatorConfig c;
+  c.stage1_enabled = false;
+  c.priority_dims = 1;
+  c.priority_bits = 3;  // 8 levels
+  c.stage2_mode = Stage2Mode::kDisabled;
+  c.stage3_mode = Stage3Mode::kDisabled;
+  auto e = Make(c);
+  DispatchContext ctx;
+  EXPECT_DOUBLE_EQ(e->Characterize(Req({0}), ctx), 0.0);
+  EXPECT_DOUBLE_EQ(e->Characterize(Req({4}), ctx), 0.5);
+  EXPECT_DOUBLE_EQ(e->Characterize(Req({7}), ctx), 7.0 / 8.0);
+}
+
+TEST(Stage1Test, OutOfRangeLevelsClamp) {
+  EncapsulatorConfig c;
+  c.priority_dims = 2;
+  c.priority_bits = 2;  // levels 0..3
+  c.stage2_mode = Stage2Mode::kDisabled;
+  c.stage3_mode = Stage3Mode::kDisabled;
+  auto e = Make(c);
+  DispatchContext ctx;
+  EXPECT_DOUBLE_EQ(e->Characterize(Req({9, 9}), ctx),
+                   e->Characterize(Req({3, 3}), ctx));
+}
+
+TEST(Stage1Test, NoPrioritiesYieldsZero) {
+  EncapsulatorConfig c;
+  c.stage1_enabled = false;
+  c.priority_dims = 0;
+  c.stage2_mode = Stage2Mode::kDisabled;
+  c.stage3_mode = Stage3Mode::kDisabled;
+  auto e = Make(c);
+  DispatchContext ctx;
+  EXPECT_DOUBLE_EQ(e->Characterize(Req({}), ctx), 0.0);
+}
+
+// --- Stage 2 (formula) ----------------------------------------------------------
+
+EncapsulatorConfig Stage2FormulaConfig(double f) {
+  EncapsulatorConfig c;
+  c.sfc1 = "cscan";  // 1-D identity over levels
+  c.priority_dims = 1;
+  c.priority_bits = 4;
+  c.stage2_mode = Stage2Mode::kFormula;
+  c.f = f;
+  c.stage2_tie = Stage2TieBreak::kNone;
+  c.deadline_horizon_ms = 1000.0;
+  c.stage3_mode = Stage3Mode::kDisabled;
+  return c;
+}
+
+TEST(Stage2FormulaTest, FZeroIgnoresDeadline) {
+  auto e = Make(Stage2FormulaConfig(0.0));
+  DispatchContext ctx;
+  const CValue urgent = e->Characterize(Req({8}, MsToSim(10)), ctx);
+  const CValue relaxed = e->Characterize(Req({8}, MsToSim(900)), ctx);
+  EXPECT_DOUBLE_EQ(urgent, relaxed);
+}
+
+TEST(Stage2FormulaTest, LargeFIgnoresPriority) {
+  auto e = Make(Stage2FormulaConfig(1e9));
+  DispatchContext ctx;
+  const CValue hi_pri = e->Characterize(Req({0}, MsToSim(500)), ctx);
+  const CValue lo_pri = e->Characterize(Req({15}, MsToSim(500)), ctx);
+  EXPECT_NEAR(hi_pri, lo_pri, 1e-6);
+  // ...but the deadline still separates requests.
+  const CValue urgent = e->Characterize(Req({15}, MsToSim(10)), ctx);
+  EXPECT_LT(urgent, hi_pri);
+}
+
+TEST(Stage2FormulaTest, BalancedFTradesOff) {
+  auto e = Make(Stage2FormulaConfig(1.0));
+  DispatchContext ctx;
+  // Equal blend: (priority + deadline) / 2. A top-priority late request
+  // and a low-priority urgent request meet in the middle.
+  const CValue a = e->Characterize(Req({0}, MsToSim(900)), ctx);
+  const CValue b = e->Characterize(Req({15}, MsToSim(50)), ctx);
+  EXPECT_NEAR(a, b, 0.1);
+}
+
+TEST(Stage2FormulaTest, UrgencyGrowsAsTimePasses) {
+  auto e = Make(Stage2FormulaConfig(1.0));
+  const Request r = Req({8}, MsToSim(800));
+  DispatchContext early{.now = 0, .head = 0};
+  DispatchContext late{.now = MsToSim(700), .head = 0};
+  EXPECT_LT(e->Characterize(r, late), e->Characterize(r, early));
+}
+
+TEST(Stage2FormulaTest, TieBreakByDeadline) {
+  EncapsulatorConfig c = Stage2FormulaConfig(0.0);
+  c.stage2_tie = Stage2TieBreak::kEarliestDeadline;
+  auto e = Make(c);
+  DispatchContext ctx;
+  const CValue urgent = e->Characterize(Req({8}, MsToSim(10)), ctx);
+  const CValue relaxed = e->Characterize(Req({8}, MsToSim(900)), ctx);
+  EXPECT_LT(urgent, relaxed);  // same primary key, tie goes to urgency
+  // The tie-break must never flip a real priority difference.
+  const CValue better = e->Characterize(Req({7}, MsToSim(990)), ctx);
+  EXPECT_LT(better, urgent);
+}
+
+TEST(Stage2FormulaTest, RelaxedDeadlineSortsLast) {
+  auto e = Make(Stage2FormulaConfig(1e9));
+  DispatchContext ctx;
+  const CValue with_dl = e->Characterize(Req({8}, MsToSim(999)), ctx);
+  const CValue relaxed = e->Characterize(Req({8}), ctx);
+  EXPECT_LE(with_dl, relaxed);
+}
+
+// --- Stage 2 (curve) -------------------------------------------------------------
+
+TEST(Stage2CurveTest, DeadlineMajorActsLikeEdf) {
+  EncapsulatorConfig c;
+  c.stage1_enabled = false;
+  c.priority_dims = 1;
+  c.priority_bits = 3;
+  c.stage2_mode = Stage2Mode::kCurve;
+  c.sfc2 = "cscan";
+  c.stage2_deadline_major = true;
+  c.stage2_bits = 8;
+  c.deadline_horizon_ms = 1000.0;
+  c.stage3_mode = Stage3Mode::kDisabled;
+  auto e = Make(c);
+  DispatchContext ctx;
+  // Earlier deadline wins regardless of priority.
+  const CValue urgent_lo = e->Characterize(Req({7}, MsToSim(100)), ctx);
+  const CValue relaxed_hi = e->Characterize(Req({0}, MsToSim(900)), ctx);
+  EXPECT_LT(urgent_lo, relaxed_hi);
+}
+
+TEST(Stage2CurveTest, PriorityMajorActsLikeMultiQueue) {
+  EncapsulatorConfig c;
+  c.stage1_enabled = false;
+  c.priority_dims = 1;
+  c.priority_bits = 3;
+  c.stage2_mode = Stage2Mode::kCurve;
+  c.sfc2 = "cscan";
+  c.stage2_deadline_major = false;
+  c.stage2_bits = 8;
+  c.deadline_horizon_ms = 1000.0;
+  c.stage3_mode = Stage3Mode::kDisabled;
+  auto e = Make(c);
+  DispatchContext ctx;
+  // Higher priority wins regardless of deadline.
+  const CValue hi_late = e->Characterize(Req({0}, MsToSim(900)), ctx);
+  const CValue lo_urgent = e->Characterize(Req({7}, MsToSim(10)), ctx);
+  EXPECT_LT(hi_late, lo_urgent);
+  // Within a priority level, earlier deadline wins.
+  const CValue hi_urgent = e->Characterize(Req({0}, MsToSim(10)), ctx);
+  EXPECT_LT(hi_urgent, hi_late);
+}
+
+// --- Stage 3 --------------------------------------------------------------------
+
+EncapsulatorConfig Stage3Config(uint32_t r_parts) {
+  EncapsulatorConfig c;
+  c.stage1_enabled = false;
+  c.priority_dims = 1;
+  c.priority_bits = 4;
+  c.stage2_mode = Stage2Mode::kDisabled;
+  c.stage3_mode = Stage3Mode::kPartitionedCScan;
+  c.partitions_r = r_parts;
+  c.stage3_bits = 4;
+  c.cylinders = 1000;
+  return c;
+}
+
+TEST(Stage3Test, R1IsAPureCylinderSweep) {
+  auto e = Make(Stage3Config(1));
+  DispatchContext ctx{.now = 0, .head = 100};
+  // With one partition the order is forward C-SCAN distance, priorities
+  // only break cylinder ties.
+  const CValue near_lo = e->Characterize(Req({15}, kNoDeadline, 150), ctx);
+  const CValue far_hi = e->Characterize(Req({0}, kNoDeadline, 800), ctx);
+  EXPECT_LT(near_lo, far_hi);
+  const CValue same_cyl_hi = e->Characterize(Req({0}, kNoDeadline, 150), ctx);
+  EXPECT_LT(same_cyl_hi, near_lo);  // tie on cylinder -> priority decides
+}
+
+TEST(Stage3Test, WrapDistanceOrdersBehindHeadLast) {
+  auto e = Make(Stage3Config(1));
+  DispatchContext ctx{.now = 0, .head = 500};
+  const CValue ahead = e->Characterize(Req({8}, kNoDeadline, 600), ctx);
+  const CValue behind = e->Characterize(Req({8}, kNoDeadline, 400), ctx);
+  EXPECT_LT(ahead, behind);
+}
+
+TEST(Stage3Test, LargeRSeparatesPriorityPartitions) {
+  // R = 16 with a 16-cell x-axis: every priority level is its own
+  // partition; priority dominates cylinder distance entirely.
+  auto e = Make(Stage3Config(16));
+  DispatchContext ctx{.now = 0, .head = 100};
+  const CValue hi_far = e->Characterize(Req({0}, kNoDeadline, 900), ctx);
+  const CValue lo_near = e->Characterize(Req({15}, kNoDeadline, 101), ctx);
+  EXPECT_LT(hi_far, lo_near);
+}
+
+TEST(Stage3Test, WithinPartitionSweepOrderHolds) {
+  auto e = Make(Stage3Config(2));
+  DispatchContext ctx{.now = 0, .head = 0};
+  // Levels 0..7 share partition 0; among them distance decides.
+  const CValue lvl3_near = e->Characterize(Req({3}, kNoDeadline, 10), ctx);
+  const CValue lvl1_far = e->Characterize(Req({1}, kNoDeadline, 990), ctx);
+  EXPECT_LT(lvl3_near, lvl1_far);
+  // Levels 8..15 form partition 1, always after partition 0.
+  const CValue lvl8_near = e->Characterize(Req({8}, kNoDeadline, 10), ctx);
+  EXPECT_LT(lvl1_far, lvl8_near);
+}
+
+TEST(Stage3Test, CurveModeProducesValidValues) {
+  EncapsulatorConfig c = Stage3Config(1);
+  c.stage3_mode = Stage3Mode::kCurve;
+  c.sfc3 = "hilbert";
+  c.stage3_bits = 6;
+  auto e = Make(c);
+  DispatchContext ctx{.now = 0, .head = 123};
+  for (Cylinder cyl : {0u, 250u, 500u, 999u}) {
+    const CValue v = e->Characterize(Req({5}, kNoDeadline, cyl), ctx);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(EncapsulatorTest, ValuesAlwaysInUnitInterval) {
+  EncapsulatorConfig c;
+  c.sfc1 = "hilbert";
+  c.priority_dims = 3;
+  c.priority_bits = 4;
+  c.stage2_mode = Stage2Mode::kFormula;
+  c.f = 1.0;
+  c.stage3_mode = Stage3Mode::kPartitionedCScan;
+  c.partitions_r = 3;
+  c.cylinders = 3832;
+  auto e = Make(c);
+  for (uint32_t p = 0; p < 16; p += 5) {
+    for (Cylinder cyl = 0; cyl < 3832; cyl += 501) {
+      DispatchContext ctx{.now = MsToSim(100), .head = 2000};
+      const CValue v =
+          e->Characterize(Req({p, 15 - p, p / 2}, MsToSim(150 + p), cyl), ctx);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csfc

@@ -1,0 +1,200 @@
+// Section 4.2 Generalization: each degenerate Cascaded-SFC configuration
+// must reproduce the dispatch order of the genuine baseline scheduler on
+// identical inputs.
+
+#include "core/presets.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "sched/edf.h"
+#include "sched/multi_queue.h"
+#include "sched/scan_family.h"
+
+namespace csfc {
+namespace {
+
+std::vector<Request> RandomBatch(size_t n, uint64_t seed, uint32_t levels = 16,
+                                 bool with_priorities = true) {
+  Rng rng(seed);
+  std::vector<Request> reqs(n);
+  for (size_t i = 0; i < n; ++i) {
+    reqs[i].id = i;
+    reqs[i].arrival = static_cast<SimTime>(i);  // unique, increasing
+    // The +i microseconds keep deadlines unique so deadline-keyed orders
+    // are total and comparable across scheduler implementations.
+    reqs[i].deadline = MsToSim(100.0 + static_cast<double>(rng.Uniform(800))) +
+                       static_cast<SimTime>(i);
+    reqs[i].cylinder = static_cast<Cylinder>(rng.Uniform(3832));
+    if (with_priorities) {
+      reqs[i].priorities.push_back(
+          static_cast<PriorityLevel>(rng.Uniform(levels)));
+    }
+  }
+  return reqs;
+}
+
+std::vector<RequestId> DrainAll(Scheduler& s, Cylinder head = 0) {
+  std::vector<RequestId> order;
+  DispatchContext ctx{.now = 0, .head = head};
+  while (auto r = s.Dispatch(ctx)) order.push_back(r->id);
+  return order;
+}
+
+TEST(PresetEdfTest, MatchesRealEdfOrder) {
+  const auto batch =
+      RandomBatch(200, 11, /*levels=*/16, /*with_priorities=*/false);
+  auto preset = CascadedSfcScheduler::Create(PresetEdf(1000.0));
+  ASSERT_TRUE(preset.ok());
+  EdfScheduler real;
+  DispatchContext ctx;
+  for (const Request& r : batch) {
+    (*preset)->Enqueue(r, ctx);
+    real.Enqueue(r, ctx);
+  }
+  EXPECT_EQ(DrainAll(**preset), DrainAll(real));
+}
+
+TEST(PresetEdfTest, RelaxedDeadlinesLast) {
+  auto preset = CascadedSfcScheduler::Create(PresetEdf(1000.0));
+  ASSERT_TRUE(preset.ok());
+  DispatchContext ctx;
+  Request a;
+  a.id = 1;
+  a.deadline = kNoDeadline;
+  Request b;
+  b.id = 2;
+  b.deadline = MsToSim(900);
+  (*preset)->Enqueue(a, ctx);
+  (*preset)->Enqueue(b, ctx);
+  EXPECT_EQ(DrainAll(**preset), (std::vector<RequestId>{2, 1}));
+}
+
+TEST(PresetMultiQueueTest, MatchesRealMultiQueueLevelOrder) {
+  // The preset orders by (level, deadline); the real multi-queue orders by
+  // (level, sweep). Compare level sequences, which both define identically.
+  const auto batch = RandomBatch(200, 13, /*levels=*/8);
+  auto preset = CascadedSfcScheduler::Create(PresetMultiQueue(3, 1000.0));
+  ASSERT_TRUE(preset.ok());
+  MultiQueueScheduler real(8);
+  DispatchContext ctx;
+  for (const Request& r : batch) {
+    (*preset)->Enqueue(r, ctx);
+    real.Enqueue(r, ctx);
+  }
+  auto levels_of = [&](const std::vector<RequestId>& ids) {
+    std::vector<PriorityLevel> levels;
+    for (RequestId id : ids) levels.push_back(batch[id].priorities[0]);
+    return levels;
+  };
+  EXPECT_EQ(levels_of(DrainAll(**preset)), levels_of(DrainAll(real)));
+}
+
+TEST(PresetCScanTest, MatchesRealCScanWithinABatch) {
+  // Both serve one batch in ascending-cylinder order from head 0.
+  const auto batch = RandomBatch(150, 17);
+  auto preset = CascadedSfcScheduler::Create(PresetCScan(3832));
+  ASSERT_TRUE(preset.ok());
+  DispatchContext ctx{.now = 0, .head = 0};
+  for (const Request& r : batch) (*preset)->Enqueue(r, ctx);
+  auto cylinders_of = [&](const std::vector<RequestId>& ids) {
+    std::vector<Cylinder> cyls;
+    for (RequestId id : ids) cyls.push_back(batch[id].cylinder);
+    return cyls;
+  };
+  // Real C-SCAN tracks the moving head; the preset characterized all
+  // requests at head 0, so compare the cylinder sequences.
+  const auto preset_cyls = cylinders_of(DrainAll(**preset, 0));
+  ScanScheduler real(ScanVariant::kCScan, 3832);
+  for (const Request& r : batch) real.Enqueue(r, ctx);
+  std::vector<Cylinder> real_cyls;
+  DispatchContext rctx{.now = 0, .head = 0};
+  while (auto r = real.Dispatch(rctx)) {
+    real_cyls.push_back(r->cylinder);
+    rctx.head = r->cylinder;
+  }
+  EXPECT_EQ(preset_cyls, real_cyls);
+}
+
+TEST(PresetScanEdfTest, DeadlineDominatesCylinder) {
+  auto preset = CascadedSfcScheduler::Create(PresetScanEdf(3832, 1000.0));
+  ASSERT_TRUE(preset.ok());
+  DispatchContext ctx{.now = 0, .head = 0};
+  Request urgent_far;
+  urgent_far.id = 1;
+  urgent_far.deadline = MsToSim(50);
+  urgent_far.cylinder = 3800;
+  Request relaxed_near;
+  relaxed_near.id = 2;
+  relaxed_near.deadline = MsToSim(950);
+  relaxed_near.cylinder = 5;
+  (*preset)->Enqueue(urgent_far, ctx);
+  (*preset)->Enqueue(relaxed_near, ctx);
+  EXPECT_EQ(DrainAll(**preset), (std::vector<RequestId>{1, 2}));
+}
+
+TEST(PresetScanEdfTest, SweepOrderAmongSimilarDeadlines) {
+  auto preset = CascadedSfcScheduler::Create(PresetScanEdf(3832, 1000.0));
+  ASSERT_TRUE(preset.ok());
+  DispatchContext ctx{.now = 0, .head = 100};
+  // Nearly identical deadlines, different cylinders: sweep order. (The
+  // 490 ms base keeps all four inside one deadline partition; 500 ms
+  // would straddle the partition boundary at exactly half the horizon.)
+  for (RequestId i = 0; i < 4; ++i) {
+    Request r;
+    r.id = i;
+    r.deadline = MsToSim(490.0) + static_cast<SimTime>(i);  // ~equal
+    r.cylinder = static_cast<Cylinder>(3000 - i * 700);     // 3000,2300,1600,900
+    (*preset)->Enqueue(r, ctx);
+  }
+  EXPECT_EQ(DrainAll(**preset, 100), (std::vector<RequestId>{3, 2, 1, 0}));
+}
+
+TEST(PresetStage1OnlyTest, WindowZeroIsFullyPreemptiveOnPriorities) {
+  auto s = CascadedSfcScheduler::Create(PresetStage1Only("hilbert", 2, 4, 0.0));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->dispatcher().config().discipline,
+            QueueDiscipline::kConditionallyPreemptive);
+  EXPECT_DOUBLE_EQ((*s)->dispatcher().config().window, 0.0);
+}
+
+TEST(PresetStage2CurveTest, XVariantIsEdfLike) {
+  auto s = CascadedSfcScheduler::Create(
+      PresetStage2Curve("cscan", /*deadline_major=*/true, 3, 0.0, 1000.0));
+  ASSERT_TRUE(s.ok());
+  DispatchContext ctx;
+  Request urgent_lo;
+  urgent_lo.id = 1;
+  urgent_lo.deadline = MsToSim(100);
+  urgent_lo.priorities.push_back(7);
+  Request relaxed_hi;
+  relaxed_hi.id = 2;
+  relaxed_hi.deadline = MsToSim(900);
+  relaxed_hi.priorities.push_back(0);
+  (*s)->Enqueue(urgent_lo, ctx);
+  (*s)->Enqueue(relaxed_hi, ctx);
+  EXPECT_EQ(DrainAll(**s), (std::vector<RequestId>{1, 2}));
+}
+
+TEST(PresetStage2CurveTest, YVariantIsMultiQueueLike) {
+  auto s = CascadedSfcScheduler::Create(
+      PresetStage2Curve("cscan", /*deadline_major=*/false, 3, 0.0, 1000.0));
+  ASSERT_TRUE(s.ok());
+  DispatchContext ctx;
+  Request urgent_lo;
+  urgent_lo.id = 1;
+  urgent_lo.deadline = MsToSim(100);
+  urgent_lo.priorities.push_back(7);
+  Request relaxed_hi;
+  relaxed_hi.id = 2;
+  relaxed_hi.deadline = MsToSim(900);
+  relaxed_hi.priorities.push_back(0);
+  (*s)->Enqueue(urgent_lo, ctx);
+  (*s)->Enqueue(relaxed_hi, ctx);
+  EXPECT_EQ(DrainAll(**s), (std::vector<RequestId>{2, 1}));
+}
+
+}  // namespace
+}  // namespace csfc

@@ -1,0 +1,93 @@
+#include "disk/raid.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace csfc {
+namespace {
+
+Raid5Layout MakeArray(uint32_t disks = 5, uint64_t blocks = 38320) {
+  auto r = Raid5Layout::Create(disks, blocks, DiskParams::PanaVissDisk());
+  EXPECT_TRUE(r.ok());
+  return *r;
+}
+
+TEST(Raid5Test, CreateValidation) {
+  DiskParams disk = DiskParams::PanaVissDisk();
+  EXPECT_FALSE(Raid5Layout::Create(2, 100, disk).ok());
+  EXPECT_FALSE(Raid5Layout::Create(5, 0, disk).ok());
+  DiskParams bad = disk;
+  bad.rpm = 0;
+  EXPECT_FALSE(Raid5Layout::Create(5, 100, bad).ok());
+  EXPECT_TRUE(Raid5Layout::Create(5, 100, disk).ok());
+}
+
+TEST(Raid5Test, CapacityIsDataDisksWorth) {
+  Raid5Layout r = MakeArray();
+  EXPECT_EQ(r.num_disks(), 5u);
+  EXPECT_EQ(r.data_disks(), 4u);
+  EXPECT_EQ(r.data_blocks(), 4u * 38320u);
+}
+
+TEST(Raid5Test, StripeMembersAreDistinctAndAvoidParity) {
+  Raid5Layout r = MakeArray();
+  for (uint64_t stripe = 0; stripe < 20; ++stripe) {
+    std::set<uint32_t> disks;
+    const uint32_t parity = r.ParityOf(stripe * 4).disk;
+    for (uint64_t k = 0; k < 4; ++k) {
+      const RaidLocation loc = r.Map(stripe * 4 + k);
+      EXPECT_NE(loc.disk, parity) << "stripe " << stripe;
+      disks.insert(loc.disk);
+      EXPECT_EQ(loc.block, stripe);
+    }
+    EXPECT_EQ(disks.size(), 4u) << "stripe " << stripe;
+  }
+}
+
+TEST(Raid5Test, ParityRotatesAcrossAllDisks) {
+  Raid5Layout r = MakeArray();
+  std::set<uint32_t> parity_disks;
+  for (uint64_t stripe = 0; stripe < 5; ++stripe) {
+    parity_disks.insert(r.ParityOf(stripe * 4).disk);
+  }
+  EXPECT_EQ(parity_disks.size(), 5u);
+}
+
+TEST(Raid5Test, MappingIsDeterministic) {
+  Raid5Layout r = MakeArray();
+  for (uint64_t lbn = 0; lbn < 100; ++lbn) {
+    const RaidLocation a = r.Map(lbn);
+    const RaidLocation b = r.Map(lbn);
+    EXPECT_EQ(a.disk, b.disk);
+    EXPECT_EQ(a.block, b.block);
+    EXPECT_EQ(a.cylinder, b.cylinder);
+  }
+}
+
+TEST(Raid5Test, CylindersStayInRange) {
+  Raid5Layout r = MakeArray();
+  for (uint64_t lbn = 0; lbn < r.data_blocks(); lbn += 997) {
+    EXPECT_LT(r.Map(lbn).cylinder, 3832u);
+  }
+  // The very last block too.
+  EXPECT_LT(r.Map(r.data_blocks() - 1).cylinder, 3832u);
+}
+
+TEST(Raid5Test, SequentialBlocksAdvanceCylinders) {
+  Raid5Layout r = MakeArray();
+  // blocks_per_cylinder = 38320/3832 = 10; stripe k sits on cylinder k/10.
+  EXPECT_EQ(r.Map(0).cylinder, 0u);
+  EXPECT_EQ(r.Map(4 * 10).cylinder, 1u);   // stripe 10
+  EXPECT_EQ(r.Map(4 * 25).cylinder, 2u);   // stripe 25
+}
+
+TEST(Raid5Test, TinyDiskClampsBlocksPerCylinder) {
+  // Fewer blocks than cylinders: one block per cylinder, clamped at end.
+  auto r = Raid5Layout::Create(3, 10, DiskParams::PanaVissDisk());
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->Map(r->data_blocks() - 1).cylinder, 3832u);
+}
+
+}  // namespace
+}  // namespace csfc

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "exp/runner.h"
+#include "exp/table.h"
+#include "sched/edf.h"
+#include "sched/fcfs.h"
+#include "workload/generator.h"
+
+namespace csfc {
+namespace {
+
+TEST(PercentTest, BasicAndZeroBase) {
+  EXPECT_DOUBLE_EQ(Percent(50, 200), 25.0);
+  EXPECT_DOUBLE_EQ(Percent(5, 0), 0.0);
+}
+
+TEST(RunnerTest, RunSchedulerOnTraceProducesMetrics) {
+  WorkloadConfig wc;
+  wc.count = 200;
+  wc.seed = 3;
+  auto gen = SyntheticGenerator::Create(wc);
+  ASSERT_TRUE(gen.ok());
+  const auto trace = DrainGenerator(**gen);
+  SimulatorConfig sc;
+  auto m = RunSchedulerOnTrace(sc, trace,
+                               [] { return std::make_unique<FcfsScheduler>(); });
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->completions, 200u);
+  EXPECT_EQ(m->arrivals, 200u);
+}
+
+TEST(RunnerTest, InvalidSimConfigPropagates) {
+  SimulatorConfig sc;
+  sc.disk.rpm = 0;
+  auto m = RunSchedulerOnTrace(sc, {}, [] {
+    return std::make_unique<FcfsScheduler>();
+  });
+  EXPECT_FALSE(m.ok());
+}
+
+TEST(RunnerTest, NullFactoryIsInternalError) {
+  auto m = RunSchedulerOnTrace(SimulatorConfig(), {},
+                               []() -> SchedulerPtr { return nullptr; });
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kInternal);
+}
+
+TEST(RunnerTest, ComparePoliciesRunsSameTraceThroughAll) {
+  WorkloadConfig wc;
+  wc.count = 300;
+  wc.seed = 9;
+  auto gen = SyntheticGenerator::Create(wc);
+  ASSERT_TRUE(gen.ok());
+  const auto trace = DrainGenerator(**gen);
+  std::vector<SchedulerEntry> entries;
+  entries.push_back(
+      {"fcfs", [] { return std::make_unique<FcfsScheduler>(); }});
+  entries.push_back({"edf", [] { return std::make_unique<EdfScheduler>(); }});
+  auto rows = ComparePolicies(SimulatorConfig(), trace, entries);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].label, "fcfs");
+  EXPECT_EQ((*rows)[0].metrics.completions, 300u);
+  EXPECT_EQ((*rows)[1].metrics.completions, 300u);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "2.50"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // Header line and rule line plus two rows.
+  int lines = 0;
+  for (char c : s) lines += c == '\n';
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecials) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"plain", "has,comma"});
+  t.AddRow({"has\"quote", "x"});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "csfc_table.csv").string();
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(all.find("\"has\"\"quote\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
+  TablePrinter t({"only", "headers"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("only"), std::string::npos);
+  EXPECT_NE(s.find("headers"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvWithoutSpecialsIsUnquoted) {
+  TablePrinter t({"a"});
+  t.AddRow({"plain"});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "csfc_plain.csv").string();
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(all, "a\nplain\n");
+  std::remove(path.c_str());
+}
+
+TEST(TablePrinterTest, CsvToUnwritablePathFails) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.WriteCsv("/nonexistent-dir/x.csv").code(),
+            StatusCode::kIoError);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 4), "3.1416");
+  EXPECT_EQ(FormatDouble(100.0, 0), "100");
+}
+
+}  // namespace
+}  // namespace csfc

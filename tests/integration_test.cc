@@ -1,0 +1,185 @@
+// End-to-end pipeline tests: full workloads through the simulator with
+// baselines and the Cascaded-SFC scheduler, asserting the qualitative
+// relationships the paper's evaluation is built on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/presets.h"
+#include "exp/runner.h"
+#include "sched/edf.h"
+#include "sched/fcfs.h"
+#include "sched/scan_family.h"
+#include "sched/sstf.h"
+#include "workload/mpeg.h"
+#include "workload/trace.h"
+
+namespace csfc {
+namespace {
+
+std::vector<Request> SyntheticTrace(uint64_t seed, uint64_t count,
+                                    double interarrival_ms,
+                                    uint32_t dims = 3) {
+  WorkloadConfig c;
+  c.seed = seed;
+  c.count = count;
+  c.mean_interarrival_ms = interarrival_ms;
+  c.priority_dims = dims;
+  c.priority_levels = 16;
+  c.deadline_lo_ms = 500;
+  c.deadline_hi_ms = 700;
+  auto gen = SyntheticGenerator::Create(c);
+  EXPECT_TRUE(gen.ok());
+  return DrainGenerator(**gen);
+}
+
+RunMetrics RunSim(const std::vector<Request>& trace, SchedulerFactory factory,
+               SimulatorConfig sc = SimulatorConfig()) {
+  auto m = RunSchedulerOnTrace(sc, trace, factory);
+  EXPECT_TRUE(m.ok()) << m.status().ToString();
+  return *m;
+}
+
+SchedulerFactory Cascaded(const CascadedConfig& config) {
+  return [config] {
+    auto s = CascadedSfcScheduler::Create(config);
+    EXPECT_TRUE(s.ok());
+    return std::move(*s);
+  };
+}
+
+TEST(IntegrationTest, EveryRequestIsEventuallyServed) {
+  const auto trace = SyntheticTrace(1, 2000, 15.0);
+  for (const auto& factory : std::vector<SchedulerFactory>{
+           [] { return std::make_unique<FcfsScheduler>(); },
+           [] { return std::make_unique<EdfScheduler>(); },
+           [] { return std::make_unique<SstfScheduler>(); },
+           Cascaded(PresetFull("hilbert", 3, 4, 1.0, 3, 3832, 0.05, 700)),
+       }) {
+    const RunMetrics m = RunSim(trace, factory);
+    EXPECT_EQ(m.completions, 2000u);
+  }
+}
+
+TEST(IntegrationTest, EdfMissesFewerDeadlinesThanFcfsUnderLoad) {
+  // Near-saturation load with a wide deadline spread: FCFS lets urgent
+  // requests rot behind relaxed ones; EDF reorders and saves them.
+  WorkloadConfig wc;
+  wc.seed = 2;
+  wc.count = 3000;
+  wc.mean_interarrival_ms = 26.0;
+  wc.deadline_lo_ms = 100;
+  wc.deadline_hi_ms = 1500;
+  auto gen = SyntheticGenerator::Create(wc);
+  ASSERT_TRUE(gen.ok());
+  const auto trace = DrainGenerator(**gen);
+  const RunMetrics fcfs =
+      RunSim(trace, [] { return std::make_unique<FcfsScheduler>(); });
+  const RunMetrics edf =
+      RunSim(trace, [] { return std::make_unique<EdfScheduler>(); });
+  EXPECT_LT(edf.deadline_misses, fcfs.deadline_misses);
+}
+
+TEST(IntegrationTest, SeekOptimizersBeatFcfsOnSeekTime) {
+  const auto trace = SyntheticTrace(3, 3000, 10.0);
+  const RunMetrics fcfs =
+      RunSim(trace, [] { return std::make_unique<FcfsScheduler>(); });
+  const RunMetrics cscan = RunSim(trace, [] {
+    return std::make_unique<ScanScheduler>(ScanVariant::kCScan, 3832);
+  });
+  EXPECT_LT(cscan.total_seek_ms, fcfs.total_seek_ms);
+}
+
+TEST(IntegrationTest, CascadedStage3ReducesSeekVersusPureEdf) {
+  const auto trace = SyntheticTrace(4, 3000, 12.0);
+  const RunMetrics edf =
+      RunSim(trace, [] { return std::make_unique<EdfScheduler>(); });
+  const RunMetrics cascaded =
+      RunSim(trace, Cascaded(PresetFull("hilbert", 3, 4, 1.0, 3, 3832, 0.05,
+                                     700)));
+  EXPECT_LT(cascaded.total_seek_ms, edf.total_seek_ms);
+}
+
+TEST(IntegrationTest, Stage1ReducesPriorityInversionVersusFcfs) {
+  SimulatorConfig sc;
+  sc.service_model = ServiceModel::kTransferOnly;
+  WorkloadConfig wc;
+  wc.seed = 5;
+  wc.count = 4000;
+  wc.mean_interarrival_ms = 8.0;  // keep a deep queue
+  wc.priority_dims = 3;
+  wc.relaxed_deadlines = true;
+  auto gen = SyntheticGenerator::Create(wc);
+  ASSERT_TRUE(gen.ok());
+  const auto trace = DrainGenerator(**gen);
+  const RunMetrics fcfs =
+      RunSim(trace, [] { return std::make_unique<FcfsScheduler>(); }, sc);
+  // Diagonal is the strongest SFC1 curve at small windows (Section 5.1).
+  const RunMetrics diagonal =
+      RunSim(trace, Cascaded(PresetStage1Only("diagonal", 3, 4, 0.05)), sc);
+  EXPECT_LT(diagonal.total_inversions(), fcfs.total_inversions() * 3 / 4);
+  // ...whereas Gray and Hilbert carry very high priority inversion, on par
+  // with FIFO (the paper's Figure 5 finding).
+  const RunMetrics hilbert =
+      RunSim(trace, Cascaded(PresetStage1Only("hilbert", 3, 4, 0.05)), sc);
+  EXPECT_GT(hilbert.total_inversions(), diagonal.total_inversions());
+}
+
+TEST(IntegrationTest, MpegWorkloadWeightedCostOrdering) {
+  MpegWorkloadConfig mc;
+  mc.seed = 6;
+  mc.num_users = 85;
+  mc.duration_ms = 20000;
+  auto gen = MpegStreamGenerator::Create(mc);
+  ASSERT_TRUE(gen.ok());
+  const auto trace = DrainGenerator(**gen);
+
+  SimulatorConfig sc;
+  sc.metric_dims = 1;
+  sc.metric_levels = 8;
+
+  const RunMetrics fcfs =
+      RunSim(trace, [] { return std::make_unique<FcfsScheduler>(); }, sc);
+  const RunMetrics hilbert = RunSim(
+      trace, Cascaded(PresetStage2Curve("hilbert", true, 3, 0.05, 150.0)),
+      sc);
+  // The SFC scheduler must beat FCFS on the Section-6 weighted loss cost.
+  EXPECT_LT(hilbert.WeightedLossCost(), fcfs.WeightedLossCost());
+}
+
+TEST(IntegrationTest, TraceReplayIsSchedulerIndependentInput) {
+  // The same trace object run twice through the same factory gives
+  // identical metrics (no hidden state in the harness).
+  const auto trace = SyntheticTrace(7, 1000, 20.0);
+  const auto factory =
+      Cascaded(PresetFull("peano", 3, 4, 1.0, 4, 3832, 0.1, 700));
+  const RunMetrics a = RunSim(trace, factory);
+  const RunMetrics b = RunSim(trace, factory);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_inversions(), b.total_inversions());
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+}
+
+TEST(IntegrationTest, AllSevenCurvesRunAsStage1) {
+  SimulatorConfig sc;
+  sc.service_model = ServiceModel::kTransferOnly;
+  WorkloadConfig wc;
+  wc.seed = 8;
+  wc.count = 1000;
+  wc.mean_interarrival_ms = 10.0;
+  wc.priority_dims = 4;
+  wc.relaxed_deadlines = true;
+  auto gen = SyntheticGenerator::Create(wc);
+  ASSERT_TRUE(gen.ok());
+  const auto trace = DrainGenerator(**gen);
+  for (const char* curve : {"scan", "cscan", "peano", "gray", "hilbert",
+                            "spiral", "diagonal"}) {
+    const RunMetrics m =
+        RunSim(trace, Cascaded(PresetStage1Only(curve, 4, 4, 0.05)), sc);
+    EXPECT_EQ(m.completions, 1000u) << curve;
+  }
+}
+
+}  // namespace
+}  // namespace csfc

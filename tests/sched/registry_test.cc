@@ -1,0 +1,81 @@
+#include "sched/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace csfc {
+namespace {
+
+DiskModel* SharedDisk() {
+  static DiskModel model = *DiskModel::Create(DiskParams::PanaVissDisk());
+  return &model;
+}
+
+TEST(SchedulerRegistryTest, EveryListedNameBuilds) {
+  SchedulerRegistryContext ctx;
+  ctx.disk = SharedDisk();
+  for (auto name : AllSchedulerNames()) {
+    auto factory = MakeSchedulerFactory(name, ctx);
+    ASSERT_TRUE(factory.ok()) << name << ": "
+                              << factory.status().ToString();
+    SchedulerPtr sched = (*factory)();
+    ASSERT_NE(sched, nullptr) << name;
+    EXPECT_FALSE(sched->name().empty()) << name;
+  }
+}
+
+TEST(SchedulerRegistryTest, UnknownNameIsNotFound) {
+  auto factory = MakeSchedulerFactory("elevator-9000", {});
+  ASSERT_FALSE(factory.ok());
+  EXPECT_EQ(factory.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchedulerRegistryTest, DiskDependentPoliciesNeedDisk) {
+  SchedulerRegistryContext no_disk;
+  for (const char* name : {"fd-scan", "scan-rt", "dds"}) {
+    auto factory = MakeSchedulerFactory(name, no_disk);
+    ASSERT_FALSE(factory.ok()) << name;
+    EXPECT_EQ(factory.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(SchedulerRegistryTest, DiskFreePoliciesWorkWithoutDisk) {
+  SchedulerRegistryContext no_disk;
+  for (const char* name : {"fcfs", "sstf", "edf", "scan", "multi-queue",
+                           "bucket", "ssedo", "csfc"}) {
+    auto factory = MakeSchedulerFactory(name, no_disk);
+    EXPECT_TRUE(factory.ok()) << name;
+  }
+}
+
+TEST(SchedulerRegistryTest, BadCascadedConfigFailsEagerly) {
+  SchedulerRegistryContext ctx;
+  ctx.cascaded.encapsulator.sfc1 = "bogus";
+  auto factory = MakeSchedulerFactory("csfc", ctx);
+  EXPECT_FALSE(factory.ok());
+}
+
+TEST(SchedulerRegistryTest, FactoriesProduceFreshInstances) {
+  SchedulerRegistryContext ctx;
+  auto factory = MakeSchedulerFactory("fcfs", ctx);
+  ASSERT_TRUE(factory.ok());
+  SchedulerPtr a = (*factory)();
+  SchedulerPtr b = (*factory)();
+  DispatchContext dctx;
+  Request r;
+  a->Enqueue(r, dctx);
+  EXPECT_EQ(a->queue_size(), 1u);
+  EXPECT_EQ(b->queue_size(), 0u);  // independent state
+}
+
+TEST(SchedulerRegistryTest, ScanVariantsMapCorrectly) {
+  SchedulerRegistryContext ctx;
+  ctx.disk = SharedDisk();
+  for (const char* name : {"scan", "look", "cscan", "clook"}) {
+    auto factory = MakeSchedulerFactory(name, ctx);
+    ASSERT_TRUE(factory.ok());
+    EXPECT_EQ((*factory)()->name(), name);
+  }
+}
+
+}  // namespace
+}  // namespace csfc

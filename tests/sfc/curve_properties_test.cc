@@ -1,0 +1,345 @@
+// Structural properties of each curve family: exact orders on tiny grids,
+// continuity (unit steps) where the curve guarantees it, shell/plane
+// monotonicity for spiral/diagonal, and the bit-level formulas of the
+// interleaving curves.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "sfc/bits.h"
+#include "sfc/curve.h"
+#include "sfc/registry.h"
+
+namespace csfc {
+namespace {
+
+std::vector<std::vector<uint32_t>> WalkCurve(const SpaceFillingCurve& c) {
+  std::vector<std::vector<uint32_t>> cells;
+  for (uint64_t i = 0; i < c.num_cells(); ++i) cells.push_back(c.PointOf(i));
+  return cells;
+}
+
+uint64_t L1(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+  uint64_t d = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    d += static_cast<uint64_t>(
+        std::abs(static_cast<int64_t>(a[i]) - static_cast<int64_t>(b[i])));
+  }
+  return d;
+}
+
+// --- C-Scan -----------------------------------------------------------------
+
+TEST(CScanPropertiesTest, MatchesRowMajorFormula) {
+  auto c = MakeCScanCurve(GridSpec{.dims = 3, .bits = 2});
+  ASSERT_TRUE(c.ok());
+  for (uint32_t x0 = 0; x0 < 4; ++x0) {
+    for (uint32_t x1 = 0; x1 < 4; ++x1) {
+      for (uint32_t x2 = 0; x2 < 4; ++x2) {
+        std::vector<uint32_t> p{x0, x1, x2};
+        EXPECT_EQ((*c)->IndexOf(p), x0 * 16 + x1 * 4 + x2);
+      }
+    }
+  }
+}
+
+TEST(CScanPropertiesTest, TwoByTwoOrder) {
+  auto c = MakeCScanCurve(GridSpec{.dims = 2, .bits = 1});
+  ASSERT_TRUE(c.ok());
+  const auto cells = WalkCurve(**c);
+  EXPECT_EQ(cells[0], (std::vector<uint32_t>{0, 0}));
+  EXPECT_EQ(cells[1], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(cells[2], (std::vector<uint32_t>{1, 0}));
+  EXPECT_EQ(cells[3], (std::vector<uint32_t>{1, 1}));
+}
+
+// --- Scan (boustrophedon) ----------------------------------------------------
+
+TEST(ScanPropertiesTest, TwoByTwoSnake) {
+  auto c = MakeScanCurve(GridSpec{.dims = 2, .bits = 1});
+  ASSERT_TRUE(c.ok());
+  const auto cells = WalkCurve(**c);
+  EXPECT_EQ(cells[0], (std::vector<uint32_t>{0, 0}));
+  EXPECT_EQ(cells[1], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(cells[2], (std::vector<uint32_t>{1, 1}));
+  EXPECT_EQ(cells[3], (std::vector<uint32_t>{1, 0}));
+}
+
+TEST(ScanPropertiesTest, UnitStepsEverywhere2D) {
+  auto c = MakeScanCurve(GridSpec{.dims = 2, .bits = 3});
+  ASSERT_TRUE(c.ok());
+  const auto cells = WalkCurve(**c);
+  for (size_t i = 1; i < cells.size(); ++i) {
+    EXPECT_EQ(L1(cells[i - 1], cells[i]), 1u) << "at step " << i;
+  }
+}
+
+TEST(ScanPropertiesTest, UnitStepsEverywhere4D) {
+  auto c = MakeScanCurve(GridSpec{.dims = 4, .bits = 2});
+  ASSERT_TRUE(c.ok());
+  const auto cells = WalkCurve(**c);
+  for (size_t i = 1; i < cells.size(); ++i) {
+    EXPECT_EQ(L1(cells[i - 1], cells[i]), 1u) << "at step " << i;
+  }
+}
+
+// --- Peano (Z-order) ---------------------------------------------------------
+
+TEST(ZOrderPropertiesTest, MatchesBitInterleaving) {
+  auto c = MakeZOrderCurve(GridSpec{.dims = 2, .bits = 3});
+  ASSERT_TRUE(c.ok());
+  for (uint32_t x = 0; x < 8; ++x) {
+    for (uint32_t y = 0; y < 8; ++y) {
+      std::vector<uint32_t> p{x, y};
+      uint64_t expected = 0;
+      for (uint32_t b = 0; b < 3; ++b) {
+        expected |= ((x >> b) & 1u) << (2 * b + 1);
+        expected |= ((y >> b) & 1u) << (2 * b);
+      }
+      EXPECT_EQ((*c)->IndexOf(p), expected);
+    }
+  }
+}
+
+TEST(ZOrderPropertiesTest, InterleaveHelpersRoundTrip) {
+  std::vector<uint32_t> p{5, 2, 7};
+  const uint64_t idx =
+      InterleaveBits(std::span<const uint32_t>(p.data(), 3), 3, 3);
+  std::vector<uint32_t> q(3);
+  DeinterleaveBits(idx, 3, 3, std::span<uint32_t>(q.data(), 3));
+  EXPECT_EQ(p, q);
+}
+
+TEST(ZOrderPropertiesTest, QuadrantRecursion) {
+  // The first quarter of the curve covers exactly the (0,0) quadrant.
+  auto c = MakeZOrderCurve(GridSpec{.dims = 2, .bits = 4});
+  ASSERT_TRUE(c.ok());
+  for (uint64_t i = 0; i < 64; ++i) {
+    const auto p = (*c)->PointOf(i);
+    EXPECT_LT(p[0], 8u);
+    EXPECT_LT(p[1], 8u);
+  }
+}
+
+// --- Gray --------------------------------------------------------------------
+
+TEST(GrayPropertiesTest, GrayCodeHelpers) {
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(GrayDecode(GrayCode(i)), i);
+  }
+  EXPECT_EQ(GrayCode(0), 0u);
+  EXPECT_EQ(GrayCode(1), 1u);
+  EXPECT_EQ(GrayCode(2), 3u);
+  EXPECT_EQ(GrayCode(3), 2u);
+}
+
+TEST(GrayPropertiesTest, ConsecutiveCellsDifferInOneCoordinateByPowerOfTwo) {
+  auto c = MakeGrayCurve(GridSpec{.dims = 3, .bits = 2});
+  ASSERT_TRUE(c.ok());
+  const auto cells = WalkCurve(**c);
+  for (size_t i = 1; i < cells.size(); ++i) {
+    int changed = 0;
+    for (size_t k = 0; k < 3; ++k) {
+      const uint32_t diff = cells[i - 1][k] ^ cells[i][k];
+      if (diff != 0) {
+        ++changed;
+        EXPECT_EQ(diff & (diff - 1), 0u) << "non-power-of-two step at " << i;
+      }
+    }
+    EXPECT_EQ(changed, 1) << "at step " << i;
+  }
+}
+
+// --- Hilbert -----------------------------------------------------------------
+
+TEST(HilbertPropertiesTest, StartsAtOrigin) {
+  for (uint32_t dims : {2u, 3u, 4u}) {
+    auto c = MakeHilbertCurve(GridSpec{.dims = dims, .bits = 3});
+    ASSERT_TRUE(c.ok());
+    const auto p = (*c)->PointOf(0);
+    for (uint32_t coord : p) EXPECT_EQ(coord, 0u);
+  }
+}
+
+TEST(HilbertPropertiesTest, UnitSteps2D) {
+  auto c = MakeHilbertCurve(GridSpec{.dims = 2, .bits = 4});
+  ASSERT_TRUE(c.ok());
+  const auto cells = WalkCurve(**c);
+  for (size_t i = 1; i < cells.size(); ++i) {
+    EXPECT_EQ(L1(cells[i - 1], cells[i]), 1u) << "at step " << i;
+  }
+}
+
+TEST(HilbertPropertiesTest, UnitSteps3D) {
+  auto c = MakeHilbertCurve(GridSpec{.dims = 3, .bits = 3});
+  ASSERT_TRUE(c.ok());
+  const auto cells = WalkCurve(**c);
+  for (size_t i = 1; i < cells.size(); ++i) {
+    EXPECT_EQ(L1(cells[i - 1], cells[i]), 1u) << "at step " << i;
+  }
+}
+
+TEST(HilbertPropertiesTest, UnitSteps5D) {
+  auto c = MakeHilbertCurve(GridSpec{.dims = 5, .bits = 2});
+  ASSERT_TRUE(c.ok());
+  const auto cells = WalkCurve(**c);
+  for (size_t i = 1; i < cells.size(); ++i) {
+    EXPECT_EQ(L1(cells[i - 1], cells[i]), 1u) << "at step " << i;
+  }
+}
+
+TEST(HilbertPropertiesTest, QuadrantLocality2D) {
+  // Each quarter of the index range stays inside one quadrant.
+  auto c = MakeHilbertCurve(GridSpec{.dims = 2, .bits = 4});
+  ASSERT_TRUE(c.ok());
+  const uint64_t quarter = (*c)->num_cells() / 4;
+  for (uint64_t q = 0; q < 4; ++q) {
+    const auto first = (*c)->PointOf(q * quarter);
+    const uint32_t qx = first[0] / 8;
+    const uint32_t qy = first[1] / 8;
+    for (uint64_t i = q * quarter; i < (q + 1) * quarter; ++i) {
+      const auto p = (*c)->PointOf(i);
+      EXPECT_EQ(p[0] / 8, qx) << "index " << i;
+      EXPECT_EQ(p[1] / 8, qy) << "index " << i;
+    }
+  }
+}
+
+// --- Spiral ------------------------------------------------------------------
+
+TEST(SpiralPropertiesTest, CenterRingFirst4x4) {
+  auto c = MakeSpiralCurve(GridSpec{.dims = 2, .bits = 2});
+  ASSERT_TRUE(c.ok());
+  const auto cells = WalkCurve(**c);
+  // Ring 0: clockwise around the central 2x2 block from its top-left.
+  EXPECT_EQ(cells[0], (std::vector<uint32_t>{1, 1}));
+  EXPECT_EQ(cells[1], (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(cells[2], (std::vector<uint32_t>{2, 2}));
+  EXPECT_EQ(cells[3], (std::vector<uint32_t>{2, 1}));
+  // Ring 1 starts at the grid corner (0,0) and walks the border.
+  EXPECT_EQ(cells[4], (std::vector<uint32_t>{0, 0}));
+  EXPECT_EQ(cells[5], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(cells[7], (std::vector<uint32_t>{0, 3}));
+  EXPECT_EQ(cells[8], (std::vector<uint32_t>{1, 3}));
+  EXPECT_EQ(cells[10], (std::vector<uint32_t>{3, 3}));
+  EXPECT_EQ(cells[13], (std::vector<uint32_t>{3, 0}));
+  EXPECT_EQ(cells[15], (std::vector<uint32_t>{1, 0}));
+}
+
+uint32_t CenterShell(const std::vector<uint32_t>& p, uint32_t side) {
+  const uint32_t lo = side / 2 - 1;
+  const uint32_t hi = side / 2;
+  uint32_t s = 0;
+  for (uint32_t c : p) {
+    uint32_t d = 0;
+    if (c < lo) d = lo - c;
+    if (c > hi) d = c - hi;
+    s = std::max(s, d);
+  }
+  return s;
+}
+
+TEST(SpiralPropertiesTest, ShellsAreMonotone2D) {
+  auto c = MakeSpiralCurve(GridSpec{.dims = 2, .bits = 3});
+  ASSERT_TRUE(c.ok());
+  uint32_t prev = 0;
+  for (uint64_t i = 0; i < (*c)->num_cells(); ++i) {
+    const uint32_t s = CenterShell((*c)->PointOf(i), 8);
+    EXPECT_GE(s, prev) << "index " << i;
+    prev = s;
+  }
+}
+
+TEST(SpiralPropertiesTest, ShellsAreMonotone3D) {
+  auto c = MakeSpiralCurve(GridSpec{.dims = 3, .bits = 3});
+  ASSERT_TRUE(c.ok());
+  uint32_t prev = 0;
+  for (uint64_t i = 0; i < (*c)->num_cells(); ++i) {
+    const uint32_t s = CenterShell((*c)->PointOf(i), 8);
+    EXPECT_GE(s, prev) << "index " << i;
+    prev = s;
+  }
+}
+
+TEST(SpiralPropertiesTest, RingWalkIsContiguous2D) {
+  // Within a ring the 2-D walk moves one cell at a time.
+  auto c = MakeSpiralCurve(GridSpec{.dims = 2, .bits = 3});
+  ASSERT_TRUE(c.ok());
+  const auto cells = WalkCurve(**c);
+  for (size_t i = 1; i < cells.size(); ++i) {
+    if (CenterShell(cells[i], 8) == CenterShell(cells[i - 1], 8)) {
+      EXPECT_EQ(L1(cells[i - 1], cells[i]), 1u) << "at step " << i;
+    }
+  }
+}
+
+// --- Diagonal ----------------------------------------------------------------
+
+TEST(DiagonalPropertiesTest, TwoByTwoZigzag) {
+  auto c = MakeDiagonalCurve(GridSpec{.dims = 2, .bits = 1});
+  ASSERT_TRUE(c.ok());
+  const auto cells = WalkCurve(**c);
+  EXPECT_EQ(cells[0], (std::vector<uint32_t>{0, 0}));
+  EXPECT_EQ(cells[1], (std::vector<uint32_t>{1, 0}));  // odd plane reversed
+  EXPECT_EQ(cells[2], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(cells[3], (std::vector<uint32_t>{1, 1}));
+}
+
+TEST(DiagonalPropertiesTest, PlaneSumsAreMonotone) {
+  for (uint32_t dims : {2u, 3u, 4u}) {
+    auto c = MakeDiagonalCurve(GridSpec{.dims = dims, .bits = 2});
+    ASSERT_TRUE(c.ok());
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < (*c)->num_cells(); ++i) {
+      const auto p = (*c)->PointOf(i);
+      const uint64_t sum = std::accumulate(p.begin(), p.end(), uint64_t{0});
+      EXPECT_GE(sum, prev) << "dims " << dims << " index " << i;
+      prev = sum;
+    }
+  }
+}
+
+TEST(DiagonalPropertiesTest, AlternatePlanesReverseDirection) {
+  auto c = MakeDiagonalCurve(GridSpec{.dims = 2, .bits = 2});
+  ASSERT_TRUE(c.ok());
+  // Plane t=1 (odd) is reverse-lex: (1,0) before (0,1).
+  std::vector<uint32_t> a{1, 0}, b{0, 1};
+  EXPECT_LT((*c)->IndexOf(a), (*c)->IndexOf(b));
+  // Plane t=2 (even) is forward-lex: (0,2) before (1,1) before (2,0).
+  std::vector<uint32_t> p02{0, 2}, p11{1, 1}, p20{2, 0};
+  EXPECT_LT((*c)->IndexOf(p02), (*c)->IndexOf(p11));
+  EXPECT_LT((*c)->IndexOf(p11), (*c)->IndexOf(p20));
+}
+
+// --- Cross-curve invariants ---------------------------------------------------
+
+class CurveOriginTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CurveOriginTest, IndexZeroIsUnique) {
+  GridSpec spec{.dims = 3, .bits = 2};
+  auto c = MakeCurve(GetParam(), spec);
+  ASSERT_TRUE(c.ok());
+  uint64_t zero_hits = 0;
+  std::vector<uint32_t> p(3);
+  for (uint32_t x = 0; x < 4; ++x) {
+    for (uint32_t y = 0; y < 4; ++y) {
+      for (uint32_t z = 0; z < 4; ++z) {
+        p = {x, y, z};
+        if ((*c)->Index(std::span<const uint32_t>(p.data(), 3)) == 0) {
+          ++zero_hits;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(zero_hits, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCurves, CurveOriginTest,
+                         ::testing::Values("scan", "cscan", "peano", "gray",
+                                           "hilbert", "spiral", "diagonal"));
+
+}  // namespace
+}  // namespace csfc

@@ -1,0 +1,198 @@
+// Bijectivity and validation tests for every curve family: each curve over
+// each tested grid must be an exact bijection between points and indices.
+
+#include "sfc/curve.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sfc/registry.h"
+
+namespace csfc {
+namespace {
+
+TEST(GridSpecTest, ValidatesDims) {
+  EXPECT_FALSE((GridSpec{.dims = 0, .bits = 4}.Validate().ok()));
+  EXPECT_FALSE((GridSpec{.dims = 17, .bits = 1}.Validate().ok()));
+  EXPECT_TRUE((GridSpec{.dims = 16, .bits = 1}.Validate().ok()));
+}
+
+TEST(GridSpecTest, ValidatesBits) {
+  EXPECT_FALSE((GridSpec{.dims = 2, .bits = 0}.Validate().ok()));
+  EXPECT_FALSE((GridSpec{.dims = 2, .bits = 17}.Validate().ok()));
+  EXPECT_TRUE((GridSpec{.dims = 2, .bits = 16}.Validate().ok()));
+}
+
+TEST(GridSpecTest, ValidatesTotalBits) {
+  // 8 * 8 = 64 > 62.
+  EXPECT_FALSE((GridSpec{.dims = 8, .bits = 8}.Validate().ok()));
+  // 6 * 10 = 60 <= 62.
+  EXPECT_TRUE((GridSpec{.dims = 6, .bits = 10}.Validate().ok()));
+}
+
+TEST(GridSpecTest, DerivedQuantities) {
+  GridSpec s{.dims = 3, .bits = 4};
+  EXPECT_EQ(s.side(), 16u);
+  EXPECT_EQ(s.num_cells(), uint64_t{1} << 12);
+}
+
+TEST(RegistryTest, KnowsAllCanonicalNames) {
+  for (auto name : AllCurveNames()) {
+    EXPECT_TRUE(IsKnownCurve(name)) << name;
+  }
+  EXPECT_EQ(AllCurveNames().size(), 7u);
+}
+
+TEST(RegistryTest, Aliases) {
+  EXPECT_TRUE(IsKnownCurve("sweep"));   // = cscan
+  EXPECT_TRUE(IsKnownCurve("zorder"));  // = peano
+  GridSpec spec{.dims = 2, .bits = 3};
+  auto a = MakeCurve("sweep", spec);
+  auto b = MakeCurve("cscan", spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::vector<uint32_t> p{3, 5};
+  EXPECT_EQ((*a)->IndexOf(p), (*b)->IndexOf(p));
+}
+
+TEST(RegistryTest, RejectsUnknownName) {
+  auto r = MakeCurve("koch", GridSpec{.dims = 2, .bits = 2});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, PropagatesSpecValidation) {
+  auto r = MakeCurve("hilbert", GridSpec{.dims = 0, .bits = 2});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: bijectivity of every curve over a family of grids.
+
+using CurveGridParam = std::tuple<std::string, uint32_t, uint32_t>;
+
+class CurveBijectionTest : public ::testing::TestWithParam<CurveGridParam> {};
+
+TEST_P(CurveBijectionTest, PointOfIndexRoundTrips) {
+  const auto& [name, dims, bits] = GetParam();
+  GridSpec spec{.dims = dims, .bits = bits};
+  auto curve = MakeCurve(name, spec);
+  ASSERT_TRUE(curve.ok()) << curve.status().ToString();
+  std::vector<uint32_t> p(dims);
+  for (uint64_t i = 0; i < spec.num_cells(); ++i) {
+    (*curve)->Point(i, std::span<uint32_t>(p.data(), dims));
+    for (uint32_t c : p) ASSERT_LT(c, spec.side()) << name << " index " << i;
+    const uint64_t back =
+        (*curve)->Index(std::span<const uint32_t>(p.data(), dims));
+    ASSERT_EQ(back, i) << name << " dims=" << dims << " bits=" << bits;
+  }
+}
+
+TEST_P(CurveBijectionTest, NameMatchesCanonical) {
+  const auto& [name, dims, bits] = GetParam();
+  auto curve = MakeCurve(name, GridSpec{.dims = dims, .bits = bits});
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ((*curve)->name(), name);
+  EXPECT_EQ((*curve)->dims(), dims);
+  EXPECT_EQ((*curve)->bits(), bits);
+}
+
+std::vector<CurveGridParam> AllCurveGrids() {
+  std::vector<CurveGridParam> params;
+  for (auto name : AllCurveNames()) {
+    for (uint32_t dims : {1u, 2u, 3u, 4u, 5u}) {
+      for (uint32_t bits : {1u, 2u, 3u}) {
+        params.emplace_back(std::string(name), dims, bits);
+      }
+    }
+    // Larger 2-D grids and a high-dimensional shallow grid.
+    params.emplace_back(std::string(name), 2u, 6u);
+    params.emplace_back(std::string(name), 12u, 1u);
+    params.emplace_back(std::string(name), 6u, 2u);
+  }
+  return params;
+}
+
+std::string ParamName(
+    const ::testing::TestParamInfo<CurveGridParam>& info) {
+  const auto& [name, dims, bits] = info.param;
+  return name + "_d" + std::to_string(dims) + "_b" + std::to_string(bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCurves, CurveBijectionTest,
+                         ::testing::ValuesIn(AllCurveGrids()), ParamName);
+
+// ---------------------------------------------------------------------------
+// Sparse bijectivity for big grids (full enumeration would be 2^32 cells):
+// sample points, round-trip through Index then Point.
+
+class CurveBigGridTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CurveBigGridTest, SampledRoundTripOn16BitGrid) {
+  GridSpec spec{.dims = 2, .bits = 16};
+  auto curve = MakeCurve(GetParam(), spec);
+  ASSERT_TRUE(curve.ok());
+  uint64_t x = 0x243F6A8885A308D3ULL;  // deterministic pseudo-random walk
+  std::vector<uint32_t> p(2), q(2);
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    p[0] = static_cast<uint32_t>(x >> 32) & 0xFFFF;
+    p[1] = static_cast<uint32_t>(x >> 16) & 0xFFFF;
+    const uint64_t idx =
+        (*curve)->Index(std::span<const uint32_t>(p.data(), 2));
+    ASSERT_LT(idx, spec.num_cells());
+    (*curve)->Point(idx, std::span<uint32_t>(q.data(), 2));
+    ASSERT_EQ(p, q) << GetParam() << " at sample " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCurves, CurveBigGridTest,
+                         ::testing::Values("scan", "cscan", "peano", "gray",
+                                           "hilbert", "spiral", "diagonal"));
+
+// Sampled index->point->index round trips near the 62-bit budget, where
+// arithmetic overflow bugs in the combinatorial curves would surface.
+
+class CurveDeepGridTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CurveDeepGridTest, SampledIndexRoundTripOnDeepGrids) {
+  for (GridSpec spec : {GridSpec{.dims = 3, .bits = 10},
+                        GridSpec{.dims = 4, .bits = 15},
+                        GridSpec{.dims = 12, .bits = 5}}) {
+    auto curve = MakeCurve(GetParam(), spec);
+    ASSERT_TRUE(curve.ok()) << curve.status().ToString();
+    std::vector<uint32_t> p(spec.dims);
+    uint64_t x = 0x9E3779B97F4A7C15ULL;
+    for (int i = 0; i < 300; ++i) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      const uint64_t index = x % spec.num_cells();
+      (*curve)->Point(index, std::span<uint32_t>(p.data(), spec.dims));
+      for (uint32_t c : p) ASSERT_LT(c, spec.side());
+      ASSERT_EQ((*curve)->Index(std::span<const uint32_t>(p.data(), spec.dims)),
+                index)
+          << GetParam() << " dims=" << spec.dims << " bits=" << spec.bits;
+    }
+  }
+}
+
+TEST_P(CurveDeepGridTest, FirstAndLastIndicesAreValid) {
+  GridSpec spec{.dims = 4, .bits = 15};  // 60 bits
+  auto curve = MakeCurve(GetParam(), spec);
+  ASSERT_TRUE(curve.ok());
+  std::vector<uint32_t> p(4);
+  for (uint64_t index : {uint64_t{0}, spec.num_cells() - 1}) {
+    (*curve)->Point(index, std::span<uint32_t>(p.data(), 4));
+    for (uint32_t c : p) ASSERT_LT(c, spec.side());
+    EXPECT_EQ((*curve)->Index(std::span<const uint32_t>(p.data(), 4)), index);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCurves, CurveDeepGridTest,
+                         ::testing::Values("scan", "cscan", "peano", "gray",
+                                           "hilbert", "spiral", "diagonal"));
+
+}  // namespace
+}  // namespace csfc

@@ -1,0 +1,127 @@
+#include "sfc/locality.h"
+
+#include <gtest/gtest.h>
+
+#include "sfc/registry.h"
+
+namespace csfc {
+namespace {
+
+LocalityStats Analyze(const std::string& name, GridSpec spec) {
+  auto c = MakeCurve(name, spec);
+  EXPECT_TRUE(c.ok());
+  auto stats = AnalyzeCurve(**c);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return *stats;
+}
+
+TEST(LocalityTest, HilbertIsFullyContiguous) {
+  const auto s = Analyze("hilbert", GridSpec{.dims = 2, .bits = 5});
+  EXPECT_EQ(s.jumps, 0u);
+  EXPECT_EQ(s.contiguous_steps, (uint64_t{1} << 10) - 1);
+  EXPECT_DOUBLE_EQ(s.mean_step_l1, 1.0);
+  EXPECT_EQ(s.max_step_l1, 1u);
+}
+
+TEST(LocalityTest, ScanIsFullyContiguous) {
+  const auto s = Analyze("scan", GridSpec{.dims = 3, .bits = 3});
+  EXPECT_EQ(s.jumps, 0u);
+}
+
+TEST(LocalityTest, CScanJumpsAtRowBoundaries) {
+  const auto s = Analyze("cscan", GridSpec{.dims = 2, .bits = 3});
+  // 8 rows of 8: 7 within-row steps per row are contiguous, 7 row changes
+  // jump from column 7 back to column 0.
+  EXPECT_EQ(s.jumps, 7u);
+  EXPECT_EQ(s.contiguous_steps, 56u);
+  EXPECT_EQ(s.max_step_l1, 8u);
+}
+
+TEST(LocalityTest, GrayStepsAreSingleCoordinate) {
+  const auto s = Analyze("gray", GridSpec{.dims = 2, .bits = 4});
+  // Every step changes one coordinate by a power of two >= 1.
+  EXPECT_GT(s.contiguous_steps, 0u);
+  EXPECT_GE(s.mean_step_l1, 1.0);
+}
+
+TEST(LocalityTest, CScanFavorsItsMajorDimension) {
+  const auto s = Analyze("cscan", GridSpec{.dims = 3, .bits = 3});
+  ASSERT_EQ(s.dim_inversion_rate.size(), 3u);
+  // Dimension 0 is the sweep-major axis: a pair earlier on the curve can
+  // never have a larger dim-0 coordinate.
+  EXPECT_LT(s.dim_inversion_rate[0], 0.01);
+  // Minor dimensions carry real inversion mass.
+  EXPECT_GT(s.dim_inversion_rate[2], 0.2);
+}
+
+TEST(LocalityTest, HilbertTreatsDimensionsEvenly) {
+  const auto s = Analyze("hilbert", GridSpec{.dims = 3, .bits = 3});
+  ASSERT_EQ(s.dim_inversion_rate.size(), 3u);
+  for (double rate : s.dim_inversion_rate) {
+    EXPECT_GT(rate, 0.1);
+    EXPECT_LT(rate, 0.5);
+  }
+}
+
+TEST(IrregularityTest, CScanMajorAxisIsMonotone) {
+  const auto s = Analyze("cscan", GridSpec{.dims = 3, .bits = 3});
+  ASSERT_EQ(s.dim_irregularity.size(), 3u);
+  EXPECT_EQ(s.dim_irregularity[0], 0u);  // sweep-major never decreases
+  EXPECT_GT(s.dim_irregularity[1], 0u);
+  EXPECT_GT(s.dim_irregularity[2], 0u);
+}
+
+TEST(IrregularityTest, ScanMajorAxisIsMonotoneToo) {
+  const auto s = Analyze("scan", GridSpec{.dims = 3, .bits = 3});
+  EXPECT_EQ(s.dim_irregularity[0], 0u);
+}
+
+TEST(IrregularityTest, HilbertBalancesIrregularityAcrossDims) {
+  const auto s = Analyze("hilbert", GridSpec{.dims = 2, .bits = 4});
+  ASSERT_EQ(s.dim_irregularity.size(), 2u);
+  EXPECT_GT(s.dim_irregularity[0], 0u);
+  EXPECT_GT(s.dim_irregularity[1], 0u);
+  // Within a factor of two of each other: the curve has no favored axis.
+  const uint64_t hi =
+      std::max(s.dim_irregularity[0], s.dim_irregularity[1]);
+  const uint64_t lo =
+      std::min(s.dim_irregularity[0], s.dim_irregularity[1]);
+  EXPECT_LT(hi, 2 * lo);
+}
+
+TEST(IrregularityTest, DiagonalIrregularityIsSymmetric2D) {
+  const auto s = Analyze("diagonal", GridSpec{.dims = 2, .bits = 3});
+  // The zigzag treats both axes identically up to plane parity.
+  const uint64_t a = s.dim_irregularity[0];
+  const uint64_t b = s.dim_irregularity[1];
+  EXPECT_NEAR(static_cast<double>(a), static_cast<double>(b),
+              static_cast<double>(std::max(a, b)) * 0.35 + 2.0);
+}
+
+TEST(IrregularityTest, SumOfDecreasesBoundedBySteps) {
+  for (auto name : AllCurveNames()) {
+    const auto s = Analyze(std::string(name), GridSpec{.dims = 2, .bits = 3});
+    const uint64_t steps = (uint64_t{1} << 6) - 1;
+    for (uint64_t irr : s.dim_irregularity) EXPECT_LE(irr, steps) << name;
+  }
+}
+
+TEST(LocalityTest, RejectsOversizedGrids) {
+  auto c = MakeCurve("cscan", GridSpec{.dims = 2, .bits = 16});
+  ASSERT_TRUE(c.ok());
+  auto stats = AnalyzeCurve(**c, /*max_cells=*/1 << 20);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LocalityTest, DeterministicForFixedSeed) {
+  auto c = MakeCurve("spiral", GridSpec{.dims = 2, .bits = 4});
+  ASSERT_TRUE(c.ok());
+  auto a = AnalyzeCurve(**c, 1 << 22, 1 << 12, 99);
+  auto b = AnalyzeCurve(**c, 1 << 22, 1 << 12, 99);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->dim_inversion_rate, b->dim_inversion_rate);
+}
+
+}  // namespace
+}  // namespace csfc

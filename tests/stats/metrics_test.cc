@@ -1,0 +1,172 @@
+#include "stats/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/fcfs.h"
+
+namespace csfc {
+namespace {
+
+Request Req(std::initializer_list<PriorityLevel> pris,
+            SimTime deadline = kNoDeadline) {
+  Request r;
+  for (PriorityLevel p : pris) r.priorities.push_back(p);
+  r.deadline = deadline;
+  return r;
+}
+
+TEST(RunMetricsTest, TotalInversionsSumsDims) {
+  RunMetrics m;
+  m.inversions_per_dim = {3, 5, 2};
+  EXPECT_EQ(m.total_inversions(), 10u);
+}
+
+TEST(RunMetricsTest, InversionStddev) {
+  RunMetrics m;
+  m.inversions_per_dim = {2, 4, 6};  // mean 4, var 8/3
+  EXPECT_NEAR(m.inversion_stddev(), std::sqrt(8.0 / 3.0), 1e-9);
+  m.inversions_per_dim = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(m.inversion_stddev(), 0.0);
+  m.inversions_per_dim.clear();
+  EXPECT_DOUBLE_EQ(m.inversion_stddev(), 0.0);
+}
+
+TEST(RunMetricsTest, MinDimInversions) {
+  RunMetrics m;
+  m.inversions_per_dim = {9, 3, 7};
+  EXPECT_EQ(m.min_dim_inversions(), 3u);
+}
+
+TEST(RunMetricsTest, WeightedLossCostLinearWeights) {
+  RunMetrics m;
+  // 4 levels; weights 11, 11+(10/3)*-1... linear from 11 to 1:
+  // w = {11, 11-10/3, 11-20/3, 1}.
+  m.misses_per_dim_level = {{1, 0, 2, 4}};
+  m.totals_per_dim_level = {{2, 5, 4, 4}};
+  const double expected = 11.0 * 0.5 + (11.0 - 10.0 / 3.0) * 0.0 +
+                          (11.0 - 20.0 / 3.0) * 0.5 + 1.0 * 1.0;
+  EXPECT_NEAR(m.WeightedLossCost(0, 11.0, 1.0), expected, 1e-9);
+}
+
+TEST(RunMetricsTest, WeightedLossCostSkipsEmptyLevels) {
+  RunMetrics m;
+  m.misses_per_dim_level = {{0, 0}};
+  m.totals_per_dim_level = {{0, 0}};
+  EXPECT_DOUBLE_EQ(m.WeightedLossCost(), 0.0);
+}
+
+TEST(RunMetricsTest, WeightedLossCostOutOfRangeDim) {
+  RunMetrics m;
+  EXPECT_DOUBLE_EQ(m.WeightedLossCost(3), 0.0);
+}
+
+TEST(MetricsCollectorTest, ArrivalAndCompletionCounts) {
+  MetricsCollector c(1, 8);
+  const Request r = Req({2}, MsToSim(100));
+  c.OnArrival(r);
+  c.OnCompletion(r, MsToSim(50), 1.5, 10.0);
+  const RunMetrics& m = c.metrics();
+  EXPECT_EQ(m.arrivals, 1u);
+  EXPECT_EQ(m.completions, 1u);
+  EXPECT_DOUBLE_EQ(m.total_seek_ms, 1.5);
+  EXPECT_DOUBLE_EQ(m.total_service_ms, 10.0);
+  EXPECT_EQ(m.deadline_total, 1u);
+  EXPECT_EQ(m.deadline_misses, 0u);
+}
+
+TEST(MetricsCollectorTest, LateCompletionIsMiss) {
+  MetricsCollector c(1, 8);
+  const Request r = Req({6}, MsToSim(100));
+  c.OnCompletion(r, MsToSim(150), 0, 0);
+  EXPECT_EQ(c.metrics().deadline_misses, 1u);
+  EXPECT_EQ(c.metrics().misses_per_dim_level[0][6], 1u);
+}
+
+TEST(MetricsCollectorTest, ExactlyOnTimeIsNotAMiss) {
+  MetricsCollector c(0, 1);
+  Request r;
+  r.deadline = MsToSim(100);
+  c.OnCompletion(r, MsToSim(100), 0, 0);
+  EXPECT_EQ(c.metrics().deadline_misses, 0u);
+}
+
+TEST(MetricsCollectorTest, RelaxedDeadlinesNotTracked) {
+  MetricsCollector c(0, 1);
+  Request r;  // kNoDeadline
+  c.OnCompletion(r, MsToSim(5000), 0, 0);
+  EXPECT_EQ(c.metrics().deadline_total, 0u);
+}
+
+TEST(MetricsCollectorTest, InversionsAgainstWaitingQueue) {
+  MetricsCollector c(2, 8);
+  FcfsScheduler sched;
+  DispatchContext ctx;
+  sched.Enqueue(Req({0, 5}), ctx);  // higher on dim 0
+  sched.Enqueue(Req({7, 1}), ctx);  // higher on dim 1
+  const Request dispatched = Req({3, 3});
+  c.OnDispatch(dispatched, sched);
+  EXPECT_EQ(c.metrics().inversions_per_dim[0], 1u);
+  EXPECT_EQ(c.metrics().inversions_per_dim[1], 1u);
+}
+
+TEST(MetricsCollectorTest, EqualLevelsAreNotInversions) {
+  MetricsCollector c(1, 8);
+  FcfsScheduler sched;
+  DispatchContext ctx;
+  sched.Enqueue(Req({3}), ctx);
+  c.OnDispatch(Req({3}), sched);
+  EXPECT_EQ(c.metrics().total_inversions(), 0u);
+}
+
+TEST(MetricsCollectorTest, ResponseTimeTracked) {
+  MetricsCollector c(0, 1);
+  Request r;
+  r.arrival = MsToSim(10);
+  c.OnCompletion(r, MsToSim(35), 0, 0);
+  EXPECT_DOUBLE_EQ(c.metrics().response_ms.mean(), 25.0);
+  EXPECT_EQ(c.metrics().makespan, MsToSim(35));
+}
+
+TEST(MetricsCollectorTest, LevelsAboveRangeClamp) {
+  MetricsCollector c(1, 4);
+  const Request r = Req({9}, MsToSim(10));
+  c.OnCompletion(r, MsToSim(50), 0, 0);
+  EXPECT_EQ(c.metrics().misses_per_dim_level[0][3], 1u);
+}
+
+TEST(MetricsCollectorTest, PerLevelResponseTracked) {
+  MetricsCollector c(1, 4);
+  Request hi = Req({0});
+  hi.arrival = 0;
+  Request lo = Req({3});
+  lo.arrival = 0;
+  c.OnCompletion(hi, MsToSim(10), 0, 0);
+  c.OnCompletion(lo, MsToSim(400), 0, 0);
+  c.OnCompletion(lo, MsToSim(100), 0, 0);
+  ASSERT_EQ(c.metrics().response_per_level.size(), 4u);
+  EXPECT_EQ(c.metrics().response_per_level[0].count(), 1u);
+  EXPECT_DOUBLE_EQ(c.metrics().response_per_level[0].mean(), 10.0);
+  EXPECT_EQ(c.metrics().response_per_level[3].count(), 2u);
+  EXPECT_DOUBLE_EQ(c.metrics().response_per_level[3].max(), 400.0);
+  EXPECT_EQ(c.metrics().response_per_level[1].count(), 0u);
+}
+
+TEST(MetricsCollectorTest, NoLevelsNoPerLevelStats) {
+  MetricsCollector c(0, 8);
+  Request r;
+  c.OnCompletion(r, MsToSim(5), 0, 0);
+  EXPECT_TRUE(c.metrics().response_per_level.empty());
+}
+
+TEST(MetricsCollectorTest, MeanSeek) {
+  MetricsCollector c(0, 1);
+  Request r;
+  c.OnCompletion(r, 1, 4.0, 5.0);
+  c.OnCompletion(r, 2, 6.0, 7.0);
+  EXPECT_DOUBLE_EQ(c.metrics().mean_seek_ms(), 5.0);
+}
+
+}  // namespace
+}  // namespace csfc

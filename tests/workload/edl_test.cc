@@ -1,0 +1,148 @@
+#include "workload/edl.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/trace.h"
+
+namespace csfc {
+namespace {
+
+EdlWorkloadConfig BaseConfig() {
+  EdlWorkloadConfig c;
+  c.seed = 9;
+  c.num_editors = 12;
+  c.ops_per_script = 6;
+  return c;
+}
+
+std::vector<Request> Generate(const EdlWorkloadConfig& c) {
+  auto gen = EdlWorkloadGenerator::Create(c);
+  EXPECT_TRUE(gen.ok()) << gen.status().ToString();
+  return DrainGenerator(**gen);
+}
+
+TEST(EdlConfigTest, ValidationCatchesBadValues) {
+  EdlWorkloadConfig c = BaseConfig();
+  c.num_editors = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BaseConfig();
+  c.ops_per_script = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BaseConfig();
+  c.clip_blocks_lo = 10;
+  c.clip_blocks_hi = 5;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BaseConfig();
+  c.period_ms = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BaseConfig();
+  c.play_weight = c.ingest_weight = c.archive_weight = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  EXPECT_TRUE(BaseConfig().Validate().ok());
+}
+
+TEST(EdlGeneratorTest, ArrivalsAreNondecreasing) {
+  const auto reqs = Generate(BaseConfig());
+  ASSERT_FALSE(reqs.empty());
+  for (size_t i = 1; i < reqs.size(); ++i) {
+    EXPECT_GE(reqs[i].arrival, reqs[i - 1].arrival);
+  }
+}
+
+TEST(EdlGeneratorTest, EveryScriptBlockIsEmitted) {
+  EdlWorkloadConfig c = BaseConfig();
+  auto gen = EdlWorkloadGenerator::Create(c);
+  ASSERT_TRUE(gen.ok());
+  uint64_t expected = 0;
+  for (uint32_t e = 0; e < c.num_editors; ++e) {
+    for (const EdlOp& op : (*gen)->script(e)) expected += op.blocks;
+  }
+  EXPECT_EQ(DrainGenerator(**gen).size(), expected);
+}
+
+TEST(EdlGeneratorTest, RealTimeOpsCarryDeadlinesArchivesDoNot) {
+  const auto reqs = Generate(BaseConfig());
+  bool saw_deadline = false;
+  bool saw_relaxed = false;
+  for (const Request& r : reqs) {
+    if (r.has_deadline()) {
+      saw_deadline = true;
+      const double rel = SimToMs(r.deadline - r.arrival);
+      EXPECT_GE(rel, 75.0);
+      EXPECT_LE(rel, 150.0);
+      EXPECT_EQ(r.bytes, 64u * 1024);
+    } else {
+      saw_relaxed = true;
+      EXPECT_EQ(r.bytes, 256u * 1024);  // archive blocks
+      EXPECT_FALSE(r.is_write);
+    }
+  }
+  EXPECT_TRUE(saw_deadline);
+  EXPECT_TRUE(saw_relaxed);
+}
+
+TEST(EdlGeneratorTest, ClipReadsAreSequential) {
+  EdlWorkloadConfig c = BaseConfig();
+  c.num_editors = 1;
+  auto gen = EdlWorkloadGenerator::Create(c);
+  ASSERT_TRUE(gen.ok());
+  const auto& script = (*gen)->script(0);
+  const auto reqs = DrainGenerator(**gen);
+  // Requests of one editor arrive strictly in script order: walk the
+  // script and check each block's cylinder.
+  size_t i = 0;
+  for (const EdlOp& op : script) {
+    for (uint32_t b = 0; b < op.blocks; ++b, ++i) {
+      ASSERT_LT(i, reqs.size());
+      EXPECT_EQ(reqs[i].cylinder, (op.start_cylinder + b) % 3832);
+    }
+  }
+}
+
+TEST(EdlGeneratorTest, EditorsKeepTheirPriority) {
+  EdlWorkloadConfig c = BaseConfig();
+  auto gen = EdlWorkloadGenerator::Create(c);
+  ASSERT_TRUE(gen.ok());
+  std::vector<PriorityLevel> levels(c.num_editors);
+  for (uint32_t e = 0; e < c.num_editors; ++e) {
+    levels[e] = (*gen)->editor_level(e);
+  }
+  for (const Request& r : DrainGenerator(**gen)) {
+    ASSERT_EQ(r.priorities.size(), 1u);
+    EXPECT_EQ(r.priorities[0], levels[r.stream]);
+  }
+}
+
+TEST(EdlGeneratorTest, IngestOpsAreWrites) {
+  EdlWorkloadConfig c = BaseConfig();
+  c.ingest_weight = 1.0;
+  c.play_weight = 0.0;
+  c.archive_weight = 0.0;
+  const auto reqs = Generate(c);
+  for (const Request& r : reqs) EXPECT_TRUE(r.is_write);
+}
+
+TEST(EdlGeneratorTest, DeterministicForSeed) {
+  const auto a = Generate(BaseConfig());
+  const auto b = Generate(BaseConfig());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].cylinder, b[i].cylinder);
+    EXPECT_EQ(a[i].is_write, b[i].is_write);
+  }
+}
+
+TEST(EdlGeneratorTest, PacingFollowsPeriod) {
+  EdlWorkloadConfig c = BaseConfig();
+  c.num_editors = 1;
+  const auto reqs = Generate(c);
+  for (size_t i = 1; i < reqs.size(); ++i) {
+    EXPECT_EQ(reqs[i].arrival - reqs[i - 1].arrival, MsToSim(c.period_ms));
+  }
+}
+
+}  // namespace
+}  // namespace csfc

@@ -1,0 +1,203 @@
+#include "workload/mpeg.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/trace.h"
+
+namespace csfc {
+namespace {
+
+MpegWorkloadConfig BaseConfig() {
+  MpegWorkloadConfig c;
+  c.seed = 7;
+  c.num_users = 80;
+  c.duration_ms = 5000.0;
+  return c;
+}
+
+std::vector<Request> Generate(const MpegWorkloadConfig& c) {
+  auto gen = MpegStreamGenerator::Create(c);
+  EXPECT_TRUE(gen.ok()) << gen.status().ToString();
+  return DrainGenerator(**gen);
+}
+
+TEST(MpegConfigTest, PeriodMatchesBitrate) {
+  MpegWorkloadConfig c;
+  // 64 KB at 1.5 Mbps: 65536*8/1.5e6 s = 349.5 ms.
+  EXPECT_NEAR(c.PeriodMs(), 349.5, 0.1);
+}
+
+TEST(MpegConfigTest, ValidationCatchesBadValues) {
+  MpegWorkloadConfig c = BaseConfig();
+  c.num_users = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BaseConfig();
+  c.stream_mbps = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BaseConfig();
+  c.block_bytes = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BaseConfig();
+  c.deadline_lo_ms = 200;
+  c.deadline_hi_ms = 100;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BaseConfig();
+  c.read_fraction = -0.1;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BaseConfig();
+  c.duration_ms = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  EXPECT_TRUE(BaseConfig().Validate().ok());
+}
+
+TEST(MpegGeneratorTest, OneRequestPerUserPerPeriod) {
+  const auto reqs = Generate(BaseConfig());
+  // 5000 ms / 349.5 ms = 14.3 -> 15 batches (batch at t=0 included).
+  const size_t batches = reqs.size() / 80;
+  EXPECT_EQ(reqs.size() % 80, 0u);
+  EXPECT_GE(batches, 14u);
+  EXPECT_LE(batches, 15u);
+}
+
+TEST(MpegGeneratorTest, ArrivalsAreNondecreasing) {
+  const auto reqs = Generate(BaseConfig());
+  for (size_t i = 1; i < reqs.size(); ++i) {
+    EXPECT_GE(reqs[i].arrival, reqs[i - 1].arrival);
+  }
+}
+
+TEST(MpegGeneratorTest, BatchJitterBoundsArrivals) {
+  MpegWorkloadConfig c = BaseConfig();
+  c.batch_jitter_ms = 2.0;
+  const auto reqs = Generate(c);
+  const SimTime period = MsToSim(c.PeriodMs());
+  for (const Request& r : reqs) {
+    const SimTime offset = r.arrival % period;
+    EXPECT_LE(SimToMs(offset), 2.0 + 1e-9);
+  }
+}
+
+TEST(MpegGeneratorTest, DeadlinesInRange) {
+  const auto reqs = Generate(BaseConfig());
+  for (const Request& r : reqs) {
+    const double rel = SimToMs(r.deadline - r.arrival);
+    EXPECT_GE(rel, 75.0);
+    EXPECT_LE(rel, 150.0);
+  }
+}
+
+TEST(MpegGeneratorTest, UsersKeepTheirPriorityLevel) {
+  MpegWorkloadConfig c = BaseConfig();
+  auto gen = MpegStreamGenerator::Create(c);
+  ASSERT_TRUE(gen.ok());
+  const auto levels = (*gen)->user_levels();
+  ASSERT_EQ(levels.size(), 80u);
+  const auto reqs = DrainGenerator(**gen);
+  for (const Request& r : reqs) {
+    ASSERT_EQ(r.priorities.size(), 1u);
+    EXPECT_EQ(r.priorities[0], levels[r.stream]);
+    EXPECT_LT(r.priorities[0], 8u);
+  }
+}
+
+TEST(MpegGeneratorTest, PriorityLevelsAreNormallySpread) {
+  MpegWorkloadConfig c = BaseConfig();
+  c.num_users = 2000;
+  c.duration_ms = 400.0;  // one or two batches is enough
+  auto gen = MpegStreamGenerator::Create(c);
+  ASSERT_TRUE(gen.ok());
+  std::vector<int> hist(8, 0);
+  for (PriorityLevel l : (*gen)->user_levels()) ++hist[l];
+  // Middle levels dominate the extremes under a normal distribution.
+  EXPECT_GT(hist[3] + hist[4], hist[0] + hist[7]);
+}
+
+TEST(MpegGeneratorTest, StreamsAdvanceSequentially) {
+  const auto reqs = Generate(BaseConfig());
+  // Successive requests of the same stream move forward one cylinder
+  // (mod the disk size).
+  std::vector<std::optional<Cylinder>> last(80);
+  for (const Request& r : reqs) {
+    if (last[r.stream]) {
+      EXPECT_EQ(r.cylinder, (*last[r.stream] + 1) % 3832);
+    }
+    last[r.stream] = r.cylinder;
+  }
+}
+
+TEST(MpegGeneratorTest, ReadWriteMixMatchesFraction) {
+  MpegWorkloadConfig c = BaseConfig();
+  c.read_fraction = 0.5;
+  c.duration_ms = 40000.0;
+  const auto reqs = Generate(c);
+  uint64_t writes = 0;
+  for (const Request& r : reqs) writes += r.is_write;
+  EXPECT_NEAR(static_cast<double>(writes) / reqs.size(), 0.5, 0.05);
+}
+
+TEST(MpegGeneratorTest, DeterministicForSeed) {
+  const auto a = Generate(BaseConfig());
+  const auto b = Generate(BaseConfig());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].cylinder, b[i].cylinder);
+    EXPECT_EQ(a[i].stream, b[i].stream);
+  }
+}
+
+TEST(MpegGeneratorTest, PhaseSpreadStaggersUsers) {
+  MpegWorkloadConfig c = BaseConfig();
+  c.batch_jitter_ms = 0.0;
+  c.user_phase_spread_ms = c.PeriodMs();
+  const auto reqs = Generate(c);
+  const SimTime period = MsToSim(c.PeriodMs());
+  // Arrival offsets within the period must spread beyond a single burst.
+  SimTime max_offset = 0;
+  for (const Request& r : reqs) {
+    max_offset = std::max(max_offset, r.arrival % period);
+  }
+  EXPECT_GT(SimToMs(max_offset), c.PeriodMs() / 2);
+}
+
+TEST(MpegGeneratorTest, PhaseIsStablePerUser) {
+  MpegWorkloadConfig c = BaseConfig();
+  c.batch_jitter_ms = 0.0;
+  c.user_phase_spread_ms = c.PeriodMs();
+  const auto reqs = Generate(c);
+  const SimTime period = MsToSim(c.PeriodMs());
+  std::vector<std::optional<SimTime>> phase(c.num_users);
+  for (const Request& r : reqs) {
+    const SimTime offset = r.arrival % period;
+    if (phase[r.stream]) {
+      EXPECT_EQ(offset, *phase[r.stream]) << "user " << r.stream;
+    }
+    phase[r.stream] = offset;
+  }
+}
+
+TEST(MpegConfigTest, RejectsPhaseSpreadBeyondPeriod) {
+  MpegWorkloadConfig c = BaseConfig();
+  c.user_phase_spread_ms = c.PeriodMs() + 1.0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = BaseConfig();
+  c.user_phase_spread_ms = -1.0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(MpegGeneratorTest, StaggeredArrivalsStillSorted) {
+  MpegWorkloadConfig c = BaseConfig();
+  c.user_phase_spread_ms = c.PeriodMs() - c.batch_jitter_ms;
+  const auto reqs = Generate(c);
+  for (size_t i = 1; i < reqs.size(); ++i) {
+    EXPECT_GE(reqs[i].arrival, reqs[i - 1].arrival);
+  }
+}
+
+TEST(MpegGeneratorTest, BlockBytesFlowThrough) {
+  const auto reqs = Generate(BaseConfig());
+  for (const Request& r : reqs) EXPECT_EQ(r.bytes, 64u * 1024);
+}
+
+}  // namespace
+}  // namespace csfc

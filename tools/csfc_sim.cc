@@ -1,0 +1,256 @@
+// csfc_sim: command-line front end to the simulator. Generates (or
+// replays) a workload, runs it through any registered scheduler, and
+// prints the full metric set — the quickest way to explore the design
+// space without writing C++.
+//
+// Usage:
+//   csfc_sim [--sched=NAME] [--workload=synthetic|mpeg|edl] [--users=N]
+//            [--duration=MS] [--count=N] [--interarrival=MS] [--burst=N]
+//            [--dims=D] [--levels=L] [--deadline=LO:HI | --relaxed]
+//            [--bytes=LO:HI] [--seed=S] [--transfer-only]
+//            [--trace-in=FILE] [--trace-out=FILE]
+//            [--sfc1=CURVE] [--f=F] [--r=R] [--window=W]
+//   csfc_sim --list
+//
+// Examples:
+//   csfc_sim --sched=edf --count=5000 --interarrival=20
+//   csfc_sim --sched=csfc --sfc1=diagonal --f=1 --r=3 --window=0.05
+//   csfc_sim --trace-in=load.trace --sched=scan-rt
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/presets.h"
+#include "exp/runner.h"
+#include "sched/registry.h"
+#include "workload/edl.h"
+#include "workload/mpeg.h"
+#include "workload/trace.h"
+
+using namespace csfc;
+
+namespace {
+
+struct Args {
+  std::string sched = "csfc";
+  std::string workload = "synthetic";  // synthetic | mpeg | edl
+  uint32_t users = 40;
+  double duration_ms = 20000.0;
+  WorkloadConfig workload_cfg;
+  bool transfer_only = false;
+  std::string trace_in;
+  std::string trace_out;
+  std::string sfc1 = "hilbert";
+  double f = 1.0;
+  uint32_t r = 3;
+  double window = 0.05;
+  bool list = false;
+};
+
+bool ParseKv(const char* arg, const char* key, std::string* out) {
+  const size_t n = std::strlen(key);
+  if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+bool ParseRange(const std::string& v, double* lo, double* hi) {
+  const size_t colon = v.find(':');
+  if (colon == std::string::npos) return false;
+  *lo = std::atof(v.substr(0, colon).c_str());
+  *hi = std::atof(v.substr(colon + 1).c_str());
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: csfc_sim [--sched=NAME] [--count=N] "
+               "[--interarrival=MS] [--burst=N] [--dims=D] [--levels=L]\n"
+               "                [--deadline=LO:HI | --relaxed] "
+               "[--bytes=LO:HI] [--seed=S] [--transfer-only]\n"
+               "                [--trace-in=F] [--trace-out=F] "
+               "[--sfc1=CURVE] [--f=F] [--r=R] [--window=W] | --list\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  args.workload_cfg.count = 5000;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (std::strcmp(argv[i], "--list") == 0) {
+      args.list = true;
+    } else if (std::strcmp(argv[i], "--relaxed") == 0) {
+      args.workload_cfg.relaxed_deadlines = true;
+    } else if (std::strcmp(argv[i], "--transfer-only") == 0) {
+      args.transfer_only = true;
+    } else if (ParseKv(argv[i], "--sched", &v)) {
+      args.sched = v;
+    } else if (ParseKv(argv[i], "--workload", &v)) {
+      args.workload = v;
+    } else if (ParseKv(argv[i], "--users", &v)) {
+      args.users = static_cast<uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseKv(argv[i], "--duration", &v)) {
+      args.duration_ms = std::atof(v.c_str());
+    } else if (ParseKv(argv[i], "--count", &v)) {
+      args.workload_cfg.count = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseKv(argv[i], "--interarrival", &v)) {
+      args.workload_cfg.mean_interarrival_ms = std::atof(v.c_str());
+    } else if (ParseKv(argv[i], "--burst", &v)) {
+      args.workload_cfg.burst_size = static_cast<uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseKv(argv[i], "--dims", &v)) {
+      args.workload_cfg.priority_dims = static_cast<uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseKv(argv[i], "--levels", &v)) {
+      args.workload_cfg.priority_levels =
+          static_cast<uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseKv(argv[i], "--deadline", &v)) {
+      if (!ParseRange(v, &args.workload_cfg.deadline_lo_ms,
+                      &args.workload_cfg.deadline_hi_ms)) {
+        return Usage();
+      }
+    } else if (ParseKv(argv[i], "--bytes", &v)) {
+      double lo, hi;
+      if (!ParseRange(v, &lo, &hi)) return Usage();
+      args.workload_cfg.bytes_lo = static_cast<uint64_t>(lo);
+      args.workload_cfg.bytes_hi = static_cast<uint64_t>(hi);
+    } else if (ParseKv(argv[i], "--seed", &v)) {
+      args.workload_cfg.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseKv(argv[i], "--trace-in", &v)) {
+      args.trace_in = v;
+    } else if (ParseKv(argv[i], "--trace-out", &v)) {
+      args.trace_out = v;
+    } else if (ParseKv(argv[i], "--sfc1", &v)) {
+      args.sfc1 = v;
+    } else if (ParseKv(argv[i], "--f", &v)) {
+      args.f = std::atof(v.c_str());
+    } else if (ParseKv(argv[i], "--r", &v)) {
+      args.r = static_cast<uint32_t>(std::atoi(v.c_str()));
+    } else if (ParseKv(argv[i], "--window", &v)) {
+      args.window = std::atof(v.c_str());
+    } else {
+      return Usage();
+    }
+  }
+
+  if (args.list) {
+    std::printf("schedulers:");
+    for (auto n : AllSchedulerNames()) std::printf(" %s", std::string(n).c_str());
+    std::printf("\n");
+    return 0;
+  }
+
+  // Workload: trace replay or synthetic.
+  std::vector<Request> trace;
+  if (!args.trace_in.empty()) {
+    auto loaded = LoadTrace(args.trace_in);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    trace = std::move(*loaded);
+  } else if (args.workload == "mpeg") {
+    MpegWorkloadConfig mc;
+    mc.seed = args.workload_cfg.seed;
+    mc.num_users = args.users;
+    mc.duration_ms = args.duration_ms;
+    mc.user_phase_spread_ms = mc.PeriodMs() - mc.batch_jitter_ms;
+    auto gen = MpegStreamGenerator::Create(mc);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "%s\n", gen.status().ToString().c_str());
+      return 1;
+    }
+    trace = DrainGenerator(**gen);
+  } else if (args.workload == "edl") {
+    EdlWorkloadConfig ec;
+    ec.seed = args.workload_cfg.seed;
+    ec.num_editors = args.users;
+    auto gen = EdlWorkloadGenerator::Create(ec);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "%s\n", gen.status().ToString().c_str());
+      return 1;
+    }
+    trace = DrainGenerator(**gen);
+  } else if (args.workload == "synthetic") {
+    auto gen = SyntheticGenerator::Create(args.workload_cfg);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "%s\n", gen.status().ToString().c_str());
+      return 1;
+    }
+    trace = DrainGenerator(**gen);
+  } else {
+    std::fprintf(stderr, "unknown --workload=%s (synthetic|mpeg|edl)\n",
+                 args.workload.c_str());
+    return 2;
+  }
+  if (!args.trace_out.empty()) {
+    if (Status s = SaveTrace(args.trace_out, trace); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written: %s (%zu requests)\n", args.trace_out.c_str(),
+                trace.size());
+  }
+
+  SimulatorConfig sc;
+  sc.service_model = args.transfer_only ? ServiceModel::kTransferOnly
+                                        : ServiceModel::kFullDisk;
+  sc.metric_dims = args.workload_cfg.priority_dims;
+  sc.metric_levels = args.workload_cfg.priority_levels;
+
+  auto disk = DiskModel::Create(sc.disk);
+  if (!disk.ok()) {
+    std::fprintf(stderr, "%s\n", disk.status().ToString().c_str());
+    return 1;
+  }
+  SchedulerRegistryContext ctx;
+  ctx.disk = &*disk;
+  ctx.priority_levels = args.workload_cfg.priority_levels;
+  ctx.cascaded = PresetFull(args.sfc1, args.workload_cfg.priority_dims,
+                            /*bits=*/4, args.f, args.r,
+                            sc.disk.cylinders, args.window,
+                            args.workload_cfg.deadline_hi_ms);
+  auto factory = MakeSchedulerFactory(args.sched, ctx);
+  if (!factory.ok()) {
+    std::fprintf(stderr, "%s\n", factory.status().ToString().c_str());
+    return 1;
+  }
+
+  auto metrics = RunSchedulerOnTrace(sc, trace, *factory);
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "%s\n", metrics.status().ToString().c_str());
+    return 1;
+  }
+  const RunMetrics& m = *metrics;
+  std::printf("scheduler:        %s\n", args.sched.c_str());
+  std::printf("requests:         %llu\n",
+              static_cast<unsigned long long>(m.completions));
+  std::printf("makespan:         %.1f ms\n", SimToMs(m.makespan));
+  std::printf("mean response:    %.2f ms (max %.2f)\n", m.response_ms.mean(),
+              m.response_ms.max());
+  std::printf("total seek:       %.1f ms (mean %.3f ms/request)\n",
+              m.total_seek_ms, m.mean_seek_ms());
+  if (m.deadline_total > 0) {
+    std::printf("deadline misses:  %llu / %llu (%.2f%%)\n",
+                static_cast<unsigned long long>(m.deadline_misses),
+                static_cast<unsigned long long>(m.deadline_total),
+                100.0 * static_cast<double>(m.deadline_misses) /
+                    static_cast<double>(m.deadline_total));
+  }
+  if (!m.inversions_per_dim.empty()) {
+    std::printf("priority inversions:");
+    for (size_t k = 0; k < m.inversions_per_dim.size(); ++k) {
+      std::printf(" d%zu=%llu", k,
+                  static_cast<unsigned long long>(m.inversions_per_dim[k]));
+    }
+    std::printf(" (total %llu, stddev %.1f)\n",
+                static_cast<unsigned long long>(m.total_inversions()),
+                m.inversion_stddev());
+  }
+  return 0;
+}
