@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dispatcher.dir/bench_ablation_dispatcher.cc.o"
+  "CMakeFiles/bench_ablation_dispatcher.dir/bench_ablation_dispatcher.cc.o.d"
+  "bench_ablation_dispatcher"
+  "bench_ablation_dispatcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dispatcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sfc_combos.dir/bench_ablation_sfc_combos.cc.o"
+  "CMakeFiles/bench_ablation_sfc_combos.dir/bench_ablation_sfc_combos.cc.o.d"
+  "bench_ablation_sfc_combos"
+  "bench_ablation_sfc_combos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sfc_combos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

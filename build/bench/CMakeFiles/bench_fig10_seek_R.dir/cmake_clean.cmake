@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_seek_R.dir/bench_fig10_seek_R.cc.o"
+  "CMakeFiles/bench_fig10_seek_R.dir/bench_fig10_seek_R.cc.o.d"
+  "bench_fig10_seek_R"
+  "bench_fig10_seek_R.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_seek_R.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_editing_server.dir/bench_fig11_editing_server.cc.o"
+  "CMakeFiles/bench_fig11_editing_server.dir/bench_fig11_editing_server.cc.o.d"
+  "bench_fig11_editing_server"
+  "bench_fig11_editing_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_editing_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

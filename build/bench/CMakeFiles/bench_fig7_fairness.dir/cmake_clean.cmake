@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fairness.dir/bench_fig7_fairness.cc.o"
+  "CMakeFiles/bench_fig7_fairness.dir/bench_fig7_fairness.cc.o.d"
+  "bench_fig7_fairness"
+  "bench_fig7_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

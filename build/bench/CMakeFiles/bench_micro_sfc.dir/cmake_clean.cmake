@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_sfc.dir/bench_micro_sfc.cc.o"
+  "CMakeFiles/bench_micro_sfc.dir/bench_micro_sfc.cc.o.d"
+  "bench_micro_sfc"
+  "bench_micro_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

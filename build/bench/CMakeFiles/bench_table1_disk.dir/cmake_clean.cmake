@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_disk.dir/bench_table1_disk.cc.o"
+  "CMakeFiles/bench_table1_disk.dir/bench_table1_disk.cc.o.d"
+  "bench_table1_disk"
+  "bench_table1_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

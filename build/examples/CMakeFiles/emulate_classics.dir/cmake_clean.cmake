@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emulate_classics.dir/emulate_classics.cc.o"
+  "CMakeFiles/emulate_classics.dir/emulate_classics.cc.o.d"
+  "emulate_classics"
+  "emulate_classics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emulate_classics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonlinear_editing.dir/nonlinear_editing.cc.o"
+  "CMakeFiles/nonlinear_editing.dir/nonlinear_editing.cc.o.d"
+  "nonlinear_editing"
+  "nonlinear_editing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonlinear_editing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

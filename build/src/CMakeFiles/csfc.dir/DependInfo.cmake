@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/csfc.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/csfc.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/csfc.dir/common/random.cc.o" "gcc" "src/CMakeFiles/csfc.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/csfc.dir/common/status.cc.o" "gcc" "src/CMakeFiles/csfc.dir/common/status.cc.o.d"
+  "/root/repo/src/core/cascaded_scheduler.cc" "src/CMakeFiles/csfc.dir/core/cascaded_scheduler.cc.o" "gcc" "src/CMakeFiles/csfc.dir/core/cascaded_scheduler.cc.o.d"
+  "/root/repo/src/core/cvalue.cc" "src/CMakeFiles/csfc.dir/core/cvalue.cc.o" "gcc" "src/CMakeFiles/csfc.dir/core/cvalue.cc.o.d"
+  "/root/repo/src/core/dispatcher.cc" "src/CMakeFiles/csfc.dir/core/dispatcher.cc.o" "gcc" "src/CMakeFiles/csfc.dir/core/dispatcher.cc.o.d"
+  "/root/repo/src/core/encapsulator.cc" "src/CMakeFiles/csfc.dir/core/encapsulator.cc.o" "gcc" "src/CMakeFiles/csfc.dir/core/encapsulator.cc.o.d"
+  "/root/repo/src/core/presets.cc" "src/CMakeFiles/csfc.dir/core/presets.cc.o" "gcc" "src/CMakeFiles/csfc.dir/core/presets.cc.o.d"
+  "/root/repo/src/disk/disk_model.cc" "src/CMakeFiles/csfc.dir/disk/disk_model.cc.o" "gcc" "src/CMakeFiles/csfc.dir/disk/disk_model.cc.o.d"
+  "/root/repo/src/disk/raid.cc" "src/CMakeFiles/csfc.dir/disk/raid.cc.o" "gcc" "src/CMakeFiles/csfc.dir/disk/raid.cc.o.d"
+  "/root/repo/src/exp/runner.cc" "src/CMakeFiles/csfc.dir/exp/runner.cc.o" "gcc" "src/CMakeFiles/csfc.dir/exp/runner.cc.o.d"
+  "/root/repo/src/exp/table.cc" "src/CMakeFiles/csfc.dir/exp/table.cc.o" "gcc" "src/CMakeFiles/csfc.dir/exp/table.cc.o.d"
+  "/root/repo/src/sched/bucket.cc" "src/CMakeFiles/csfc.dir/sched/bucket.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sched/bucket.cc.o.d"
+  "/root/repo/src/sched/dds.cc" "src/CMakeFiles/csfc.dir/sched/dds.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sched/dds.cc.o.d"
+  "/root/repo/src/sched/edf.cc" "src/CMakeFiles/csfc.dir/sched/edf.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sched/edf.cc.o.d"
+  "/root/repo/src/sched/extended.cc" "src/CMakeFiles/csfc.dir/sched/extended.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sched/extended.cc.o.d"
+  "/root/repo/src/sched/fcfs.cc" "src/CMakeFiles/csfc.dir/sched/fcfs.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sched/fcfs.cc.o.d"
+  "/root/repo/src/sched/fd_scan.cc" "src/CMakeFiles/csfc.dir/sched/fd_scan.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sched/fd_scan.cc.o.d"
+  "/root/repo/src/sched/multi_queue.cc" "src/CMakeFiles/csfc.dir/sched/multi_queue.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sched/multi_queue.cc.o.d"
+  "/root/repo/src/sched/registry.cc" "src/CMakeFiles/csfc.dir/sched/registry.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sched/registry.cc.o.d"
+  "/root/repo/src/sched/scan_edf.cc" "src/CMakeFiles/csfc.dir/sched/scan_edf.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sched/scan_edf.cc.o.d"
+  "/root/repo/src/sched/scan_family.cc" "src/CMakeFiles/csfc.dir/sched/scan_family.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sched/scan_family.cc.o.d"
+  "/root/repo/src/sched/scan_rt.cc" "src/CMakeFiles/csfc.dir/sched/scan_rt.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sched/scan_rt.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/CMakeFiles/csfc.dir/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sched/scheduler.cc.o.d"
+  "/root/repo/src/sched/ssed.cc" "src/CMakeFiles/csfc.dir/sched/ssed.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sched/ssed.cc.o.d"
+  "/root/repo/src/sched/sstf.cc" "src/CMakeFiles/csfc.dir/sched/sstf.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sched/sstf.cc.o.d"
+  "/root/repo/src/sfc/cscan.cc" "src/CMakeFiles/csfc.dir/sfc/cscan.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sfc/cscan.cc.o.d"
+  "/root/repo/src/sfc/curve.cc" "src/CMakeFiles/csfc.dir/sfc/curve.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sfc/curve.cc.o.d"
+  "/root/repo/src/sfc/diagonal.cc" "src/CMakeFiles/csfc.dir/sfc/diagonal.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sfc/diagonal.cc.o.d"
+  "/root/repo/src/sfc/gray.cc" "src/CMakeFiles/csfc.dir/sfc/gray.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sfc/gray.cc.o.d"
+  "/root/repo/src/sfc/hilbert.cc" "src/CMakeFiles/csfc.dir/sfc/hilbert.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sfc/hilbert.cc.o.d"
+  "/root/repo/src/sfc/locality.cc" "src/CMakeFiles/csfc.dir/sfc/locality.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sfc/locality.cc.o.d"
+  "/root/repo/src/sfc/registry.cc" "src/CMakeFiles/csfc.dir/sfc/registry.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sfc/registry.cc.o.d"
+  "/root/repo/src/sfc/scan.cc" "src/CMakeFiles/csfc.dir/sfc/scan.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sfc/scan.cc.o.d"
+  "/root/repo/src/sfc/spiral.cc" "src/CMakeFiles/csfc.dir/sfc/spiral.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sfc/spiral.cc.o.d"
+  "/root/repo/src/sfc/zorder.cc" "src/CMakeFiles/csfc.dir/sfc/zorder.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sfc/zorder.cc.o.d"
+  "/root/repo/src/sim/array.cc" "src/CMakeFiles/csfc.dir/sim/array.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sim/array.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/csfc.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/csfc.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/stats/metrics.cc" "src/CMakeFiles/csfc.dir/stats/metrics.cc.o" "gcc" "src/CMakeFiles/csfc.dir/stats/metrics.cc.o.d"
+  "/root/repo/src/workload/edl.cc" "src/CMakeFiles/csfc.dir/workload/edl.cc.o" "gcc" "src/CMakeFiles/csfc.dir/workload/edl.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/csfc.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/csfc.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/mpeg.cc" "src/CMakeFiles/csfc.dir/workload/mpeg.cc.o" "gcc" "src/CMakeFiles/csfc.dir/workload/mpeg.cc.o.d"
+  "/root/repo/src/workload/request.cc" "src/CMakeFiles/csfc.dir/workload/request.cc.o" "gcc" "src/CMakeFiles/csfc.dir/workload/request.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/csfc.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/csfc.dir/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

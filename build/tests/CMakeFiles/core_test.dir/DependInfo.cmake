@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cascaded_test.cc" "tests/CMakeFiles/core_test.dir/core/cascaded_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cascaded_test.cc.o.d"
+  "/root/repo/tests/core/cvalue_test.cc" "tests/CMakeFiles/core_test.dir/core/cvalue_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cvalue_test.cc.o.d"
+  "/root/repo/tests/core/dispatcher_test.cc" "tests/CMakeFiles/core_test.dir/core/dispatcher_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/dispatcher_test.cc.o.d"
+  "/root/repo/tests/core/encapsulator_test.cc" "tests/CMakeFiles/core_test.dir/core/encapsulator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/encapsulator_test.cc.o.d"
+  "/root/repo/tests/core/presets_test.cc" "tests/CMakeFiles/core_test.dir/core/presets_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/presets_test.cc.o.d"
+  "/root/repo/tests/core/property_test.cc" "tests/CMakeFiles/core_test.dir/core/property_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/property_test.cc.o.d"
+  "/root/repo/tests/core/rekey_test.cc" "tests/CMakeFiles/core_test.dir/core/rekey_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rekey_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csfc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

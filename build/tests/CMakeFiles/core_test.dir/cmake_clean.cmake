@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/cascaded_test.cc.o"
+  "CMakeFiles/core_test.dir/core/cascaded_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/cvalue_test.cc.o"
+  "CMakeFiles/core_test.dir/core/cvalue_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/dispatcher_test.cc.o"
+  "CMakeFiles/core_test.dir/core/dispatcher_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/encapsulator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/encapsulator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/presets_test.cc.o"
+  "CMakeFiles/core_test.dir/core/presets_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/property_test.cc.o"
+  "CMakeFiles/core_test.dir/core/property_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/rekey_test.cc.o"
+  "CMakeFiles/core_test.dir/core/rekey_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csfc_curves.dir/csfc_curves.cc.o"
+  "CMakeFiles/csfc_curves.dir/csfc_curves.cc.o.d"
+  "csfc_curves"
+  "csfc_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csfc_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

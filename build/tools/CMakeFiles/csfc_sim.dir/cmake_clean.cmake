@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csfc_sim.dir/csfc_sim.cc.o"
+  "CMakeFiles/csfc_sim.dir/csfc_sim.cc.o.d"
+  "csfc_sim"
+  "csfc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csfc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
