@@ -11,14 +11,21 @@
 namespace csfc {
 namespace {
 
-RunMetrics RunWith(const std::vector<Request>& trace,
-                   const SimulatorConfig& sc, QueueDiscipline discipline,
-                   double window, bool sp, bool er, double e) {
-  CascadedConfig cfg = PresetStage1Only("diagonal", 3, 4, window, sp);
-  cfg.dispatcher.discipline = discipline;
-  cfg.dispatcher.expand_reset = er;
-  cfg.dispatcher.expansion_factor = e;
-  return bench::MustRun(sc, trace, bench::CascadedFactory(cfg));
+struct Variant {
+  const char* label;
+  QueueDiscipline discipline;
+  double window;
+  bool sp;
+  bool er;
+  double e;
+};
+
+SchedulerFactory FactoryFor(const Variant& v) {
+  CascadedConfig cfg = PresetStage1Only("diagonal", 3, 4, v.window, v.sp);
+  cfg.dispatcher.discipline = v.discipline;
+  cfg.dispatcher.expand_reset = v.er;
+  cfg.dispatcher.expansion_factor = v.e;
+  return bench::CascadedFactory(cfg);
 }
 
 void Run() {
@@ -29,43 +36,54 @@ void Run() {
   wc.priority_dims = 3;
   wc.priority_levels = 16;
   wc.relaxed_deadlines = true;
-  const auto trace = bench::MustGenerate(wc);
+  const TracePtr trace = ShareTrace(bench::MustGenerate(wc));
 
   SimulatorConfig sc;
   sc.service_model = ServiceModel::kTransferOnly;
   sc.metric_dims = 3;
   sc.metric_levels = 16;
 
+  std::vector<Variant> variants;
+  variants.push_back({"fully-preemptive", QueueDiscipline::kFullyPreemptive,
+                      0, false, false, 2});
+  variants.push_back({"non-preemptive", QueueDiscipline::kNonPreemptive, 0,
+                      false, false, 2});
+  for (double w : {0.02, 0.05, 0.10, 0.25}) {
+    variants.push_back({"conditional",
+                        QueueDiscipline::kConditionallyPreemptive, w, true,
+                        false, 2});
+  }
+  variants.push_back({"conditional-noSP",
+                      QueueDiscipline::kConditionallyPreemptive, 0.05, false,
+                      false, 2});
+  for (double e : {1.5, 2.0, 4.0}) {
+    variants.push_back({"conditional+ER",
+                        QueueDiscipline::kConditionallyPreemptive, 0.05, true,
+                        true, e});
+  }
+
+  std::vector<RunPoint> points;
+  for (const Variant& v : variants) {
+    points.push_back({sc, trace, FactoryFor(v)});
+  }
+  const std::vector<RunMetrics> results = bench::MustRunAll(points);
+
   TablePrinter t({"discipline", "window", "SP", "ER(e)", "inversions",
                   "mean resp ms", "max resp ms", "max resp lvl15"});
-  auto add = [&](const char* label, QueueDiscipline d, double w, bool sp,
-                 bool er, double e) {
-    const RunMetrics m = RunWith(trace, sc, d, w, sp, er, e);
+  for (size_t i = 0; i < variants.size(); ++i) {
+    const Variant& v = variants[i];
+    const RunMetrics& m = results[i];
     // The lowest level's max response is the starvation indicator the ER
     // policy bounds: urgent streams can push level-15 waits sky-high under
     // a fully-preemptive dispatcher.
     const double worst_level_max =
         m.response_per_level.empty() ? 0.0 : m.response_per_level.back().max();
-    t.AddRow({label, FormatDouble(w, 2), sp ? "on" : "off",
-              er ? FormatDouble(e, 1) : "off",
+    t.AddRow({v.label, FormatDouble(v.window, 2), v.sp ? "on" : "off",
+              v.er ? FormatDouble(v.e, 1) : "off",
               std::to_string(m.total_inversions()),
               FormatDouble(m.response_ms.mean(), 1),
               FormatDouble(m.response_ms.max(), 1),
               FormatDouble(worst_level_max, 1)});
-  };
-
-  add("fully-preemptive", QueueDiscipline::kFullyPreemptive, 0, false, false,
-      2);
-  add("non-preemptive", QueueDiscipline::kNonPreemptive, 0, false, false, 2);
-  for (double w : {0.02, 0.05, 0.10, 0.25}) {
-    add("conditional", QueueDiscipline::kConditionallyPreemptive, w, true,
-        false, 2);
-  }
-  add("conditional-noSP", QueueDiscipline::kConditionallyPreemptive, 0.05,
-      false, false, 2);
-  for (double e : {1.5, 2.0, 4.0}) {
-    add("conditional+ER", QueueDiscipline::kConditionallyPreemptive, 0.05,
-        true, true, e);
   }
 
   std::printf("== Ablation: dispatcher disciplines and policies ==\n\n");

@@ -62,30 +62,45 @@ void Run() {
   std::printf("EDL workload: %zu requests, 48 editors, 2 QoS dimensions\n\n",
               trace.size());
 
+  // DiskModel is immutable after Create, so the shared instance is safe
+  // to query from concurrently running points.
+  std::vector<SchedulerEntry> schedulers;
+  schedulers.push_back(
+      {"dds", [] { return std::make_unique<DdsScheduler>(SharedDisk()); }});
+  schedulers.push_back({"sfc-dds (hilbert)", [] {
+                          auto s = SfcDdsScheduler::Create(SharedDisk(),
+                                                           "hilbert", 2, 3);
+                          return std::move(*s);
+                        }});
+  schedulers.push_back({"sfc-dds (diagonal)", [] {
+                          auto s = SfcDdsScheduler::Create(SharedDisk(),
+                                                           "diagonal", 2, 3);
+                          return std::move(*s);
+                        }});
+  schedulers.push_back(
+      {"bucket", [] { return std::make_unique<BucketScheduler>(8, 4); }});
+  schedulers.push_back({"sfc-bucket (1s band)", [] {
+                          return std::make_unique<SfcBucketScheduler>(
+                              8, 4, MsToSim(1000.0));
+                        }});
+  auto compared =
+      ComparePolicies(sc, trace, schedulers, bench::BenchThreads());
+  if (!compared.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 compared.status().ToString().c_str());
+    std::abort();
+  }
+
   TablePrinter t({"scheduler", "misses", "inv d0", "inv d1", "mean seek ms",
                   "mean resp ms"});
-  auto add = [&](const char* label, const SchedulerFactory& factory) {
-    const RunMetrics m = bench::MustRun(sc, trace, factory);
-    t.AddRow({label, std::to_string(m.deadline_misses),
+  for (const ComparisonRow& row : *compared) {
+    const RunMetrics& m = row.metrics;
+    t.AddRow({row.label, std::to_string(m.deadline_misses),
               std::to_string(m.inversions_per_dim[0]),
               std::to_string(m.inversions_per_dim[1]),
               FormatDouble(m.mean_seek_ms(), 3),
               FormatDouble(m.response_ms.mean(), 1)});
-  };
-
-  add("dds", [] { return std::make_unique<DdsScheduler>(SharedDisk()); });
-  add("sfc-dds (hilbert)", [] {
-    auto s = SfcDdsScheduler::Create(SharedDisk(), "hilbert", 2, 3);
-    return std::move(*s);
-  });
-  add("sfc-dds (diagonal)", [] {
-    auto s = SfcDdsScheduler::Create(SharedDisk(), "diagonal", 2, 3);
-    return std::move(*s);
-  });
-  add("bucket", [] { return std::make_unique<BucketScheduler>(8, 4); });
-  add("sfc-bucket (1s band)", [] {
-    return std::make_unique<SfcBucketScheduler>(8, 4, MsToSim(1000.0));
-  });
+  }
 
   std::printf("== Ablation: Section 4.3 extension schedulers ==\n\n");
   bench::Emit(t, "ablation_extensions");

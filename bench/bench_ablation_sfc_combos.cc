@@ -26,15 +26,12 @@ void Run() {
   wc.deadline_hi_ms = 900.0;
   wc.bytes_lo = 8 * 1024;
   wc.bytes_hi = 8 * 1024;
-  const auto trace = bench::MustGenerate(wc);
+  const TracePtr trace = ShareTrace(bench::MustGenerate(wc));
 
   SimulatorConfig sc;
   sc.service_model = ServiceModel::kFullDisk;
   sc.metric_dims = 3;
   sc.metric_levels = 8;
-
-  const RunMetrics edf = bench::MustRun(
-      sc, trace, [] { return std::make_unique<EdfScheduler>(); });
 
   TablePrinter t({"sfc1", "sfc2", "sfc3", "inv% (vs edf)", "miss% (vs edf)",
                   "mean seek ms"});
@@ -60,6 +57,10 @@ void Run() {
       {"hilbert-curve", 0, "hilbert"},
   };
 
+  // Point 0 is the EDF baseline; then one point per (sfc1, sfc2, sfc3).
+  std::vector<RunPoint> points;
+  points.push_back(
+      {sc, trace, [] { return std::make_unique<EdfScheduler>(); }});
   for (const auto& sfc1 : bench::Curves()) {
     for (const auto& s2 : stage2s) {
       for (const auto& s3 : stage3s) {
@@ -80,8 +81,18 @@ void Run() {
           cfg.encapsulator.sfc3 = s3.curve;
           cfg.encapsulator.stage3_bits = 8;
         }
-        const RunMetrics m =
-            bench::MustRun(sc, trace, bench::CascadedFactory(cfg));
+        points.push_back({sc, trace, bench::CascadedFactory(cfg)});
+      }
+    }
+  }
+  const std::vector<RunMetrics> results = bench::MustRunAll(points);
+  const RunMetrics& edf = results[0];
+
+  size_t next = 1;
+  for (const auto& sfc1 : bench::Curves()) {
+    for (const auto& s2 : stage2s) {
+      for (const auto& s3 : stage3s) {
+        const RunMetrics& m = results[next++];
         t.AddRow(
             {std::string(sfc1), s2.label, s3.label,
              FormatDouble(

@@ -34,18 +34,31 @@ void Run() {
   wc.deadline_hi_ms = 900.0;
   wc.bytes_lo = 8 * 1024;  // small blocks: seek-dominated service
   wc.bytes_hi = 8 * 1024;
-  const auto trace = bench::MustGenerate(wc);
+  const TracePtr trace = ShareTrace(bench::MustGenerate(wc));
 
   SimulatorConfig sc;
   sc.service_model = ServiceModel::kFullDisk;
   sc.metric_dims = 3;
   sc.metric_levels = 8;
 
-  const RunMetrics cscan = bench::MustRun(sc, trace, [] {
-    return std::make_unique<ScanScheduler>(ScanVariant::kCScan, 3832);
-  });
-  const RunMetrics edf = bench::MustRun(
-      sc, trace, [] { return std::make_unique<EdfScheduler>(); });
+  // Points 0/1 are the C-SCAN and EDF baselines; then one point per R.
+  std::vector<RunPoint> points;
+  points.push_back({sc, trace, [] {
+                      return std::make_unique<ScanScheduler>(
+                          ScanVariant::kCScan, 3832);
+                    }});
+  points.push_back(
+      {sc, trace, [] { return std::make_unique<EdfScheduler>(); }});
+  for (uint32_t r = 1; r <= 10; ++r) {
+    points.push_back(
+        {sc, trace,
+         bench::CascadedFactory(PresetFull(
+             "hilbert", 3, 3, /*f=*/1.0, r, 3832, /*window=*/1.0,
+             /*deadline_horizon_ms=*/900.0))});
+  }
+  const std::vector<RunMetrics> results = bench::MustRunAll(points);
+  const RunMetrics& cscan = results[0];
+  const RunMetrics& edf = results[1];
 
   std::printf("baselines:\n");
   std::printf("  cscan: inversions=%llu misses=%llu seek=%.1f ms total\n",
@@ -62,11 +75,7 @@ void Run() {
   const double cs_inv = static_cast<double>(cscan.total_inversions());
   const double cs_miss = static_cast<double>(cscan.deadline_misses);
   for (uint32_t r = 1; r <= 10; ++r) {
-    const CascadedConfig cfg =
-        PresetFull("hilbert", 3, 3, /*f=*/1.0, r, 3832, /*window=*/1.0,
-                   /*deadline_horizon_ms=*/900.0);
-    const RunMetrics m =
-        bench::MustRun(sc, trace, bench::CascadedFactory(cfg));
+    const RunMetrics& m = results[1 + r];
     t.AddRow({std::to_string(r),
               FormatDouble(
                   Percent(static_cast<double>(m.total_inversions()), cs_inv),

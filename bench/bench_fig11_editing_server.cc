@@ -74,12 +74,23 @@ void Run() {
   for (const auto& e : entries) headers.push_back(e.label);
   TablePrinter t(headers);
 
+  // One point per (user count, scheduler); each user count replays its own
+  // shared trace.
+  std::vector<RunPoint> points;
   for (uint32_t users = 68; users <= 91; users += 3) {
-    const auto trace = EditingTrace(users);
-    std::vector<std::string> row{std::to_string(users)};
+    const TracePtr trace = ShareTrace(EditingTrace(users));
     for (const auto& e : entries) {
-      const RunMetrics m = bench::MustRun(sc, trace, e.factory);
-      row.push_back(FormatDouble(m.WeightedLossCost(0, 11.0, 1.0), 3));
+      points.push_back({sc, trace, e.factory});
+    }
+  }
+  const std::vector<RunMetrics> results = bench::MustRunAll(points);
+
+  size_t next = 0;
+  for (uint32_t users = 68; users <= 91; users += 3) {
+    std::vector<std::string> row{std::to_string(users)};
+    for (size_t e = 0; e < entries.size(); ++e) {
+      row.push_back(
+          FormatDouble(results[next++].WeightedLossCost(0, 11.0, 1.0), 3));
     }
     t.AddRow(std::move(row));
   }

@@ -22,16 +22,26 @@ void RunLoad(const char* label, double interarrival_ms, uint64_t count) {
   wc.priority_dims = 3;
   wc.priority_levels = 16;
   wc.relaxed_deadlines = true;
-  const auto trace = bench::MustGenerate(wc);
+  const TracePtr trace = ShareTrace(bench::MustGenerate(wc));
 
   SimulatorConfig sc;
   sc.service_model = ServiceModel::kTransferOnly;
   sc.metric_dims = 3;
   sc.metric_levels = 16;
 
-  const RunMetrics fifo = bench::MustRun(
-      sc, trace, [] { return std::make_unique<FcfsScheduler>(); });
-  const double base = static_cast<double>(fifo.total_inversions());
+  // Point 0 is the FIFO baseline; then one point per (window, curve).
+  std::vector<RunPoint> points;
+  points.push_back(
+      {sc, trace, [] { return std::make_unique<FcfsScheduler>(); }});
+  for (int wpct = 0; wpct <= 100; wpct += 10) {
+    for (const auto& curve : bench::Curves()) {
+      points.push_back({sc, trace,
+                        bench::CascadedFactory(
+                            PresetStage1Only(curve, 3, 4, wpct / 100.0))});
+    }
+  }
+  const std::vector<RunMetrics> results = bench::MustRunAll(points);
+  const double base = static_cast<double>(results[0].total_inversions());
 
   std::printf("== Figure 5 (%s load, interarrival %.0f ms): "
               "priority inversion as %% of FIFO ==\n\n",
@@ -39,13 +49,11 @@ void RunLoad(const char* label, double interarrival_ms, uint64_t count) {
   std::vector<std::string> headers{"window%"};
   for (const auto& c : bench::Curves()) headers.push_back(c);
   TablePrinter t(headers);
+  size_t next = 1;
   for (int wpct = 0; wpct <= 100; wpct += 10) {
     std::vector<std::string> row{std::to_string(wpct)};
-    for (const auto& curve : bench::Curves()) {
-      const CascadedConfig cfg =
-          PresetStage1Only(curve, 3, 4, wpct / 100.0);
-      const RunMetrics m =
-          bench::MustRun(sc, trace, bench::CascadedFactory(cfg));
+    for (size_t c = 0; c < bench::Curves().size(); ++c) {
+      const RunMetrics& m = results[next++];
       row.push_back(FormatDouble(
           Percent(static_cast<double>(m.total_inversions()), base), 1));
     }

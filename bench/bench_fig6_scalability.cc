@@ -21,6 +21,8 @@ void Run() {
   for (const auto& c : bench::Curves()) headers.push_back(c);
   TablePrinter t(headers);
 
+  // Per dimension count: one FIFO baseline point, then the seven curves.
+  std::vector<RunPoint> points;
   for (uint32_t dims = 2; dims <= 12; ++dims) {
     WorkloadConfig wc;
     wc.seed = 42;
@@ -29,18 +31,26 @@ void Run() {
     wc.priority_dims = dims;
     wc.priority_levels = 16;
     wc.relaxed_deadlines = true;
-    const auto trace = bench::MustGenerate(wc);
+    const TracePtr trace = ShareTrace(bench::MustGenerate(wc));
     sc.metric_dims = dims;
 
-    const RunMetrics fifo = bench::MustRun(
-        sc, trace, [] { return std::make_unique<FcfsScheduler>(); });
-    const double base = static_cast<double>(fifo.total_inversions());
-
-    std::vector<std::string> row{std::to_string(dims)};
+    points.push_back(
+        {sc, trace, [] { return std::make_unique<FcfsScheduler>(); }});
     for (const auto& curve : bench::Curves()) {
-      const CascadedConfig cfg = PresetStage1Only(curve, dims, 4, 0.05);
-      const RunMetrics m =
-          bench::MustRun(sc, trace, bench::CascadedFactory(cfg));
+      points.push_back({sc, trace,
+                        bench::CascadedFactory(
+                            PresetStage1Only(curve, dims, 4, 0.05))});
+    }
+  }
+  const std::vector<RunMetrics> results = bench::MustRunAll(points);
+
+  size_t next = 0;
+  for (uint32_t dims = 2; dims <= 12; ++dims) {
+    const double base =
+        static_cast<double>(results[next++].total_inversions());
+    std::vector<std::string> row{std::to_string(dims)};
+    for (size_t c = 0; c < bench::Curves().size(); ++c) {
+      const RunMetrics& m = results[next++];
       row.push_back(FormatDouble(
           Percent(static_cast<double>(m.total_inversions()), base), 1));
     }

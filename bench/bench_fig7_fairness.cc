@@ -24,29 +24,38 @@ void Run() {
   wc.priority_dims = 4;
   wc.priority_levels = 16;
   wc.relaxed_deadlines = true;
-  const auto trace = bench::MustGenerate(wc);
+  const TracePtr trace = ShareTrace(bench::MustGenerate(wc));
 
   SimulatorConfig sc;
   sc.service_model = ServiceModel::kTransferOnly;
   sc.metric_dims = 4;
   sc.metric_levels = 16;
 
-  const RunMetrics fifo = bench::MustRun(
-      sc, trace, [] { return std::make_unique<FcfsScheduler>(); });
+  // Point 0 is the FIFO baseline; then one point per (window, curve).
+  std::vector<RunPoint> points;
+  points.push_back(
+      {sc, trace, [] { return std::make_unique<FcfsScheduler>(); }});
+  for (int wpct = 0; wpct <= 100; wpct += 10) {
+    for (const auto& curve : bench::Curves()) {
+      points.push_back({sc, trace,
+                        bench::CascadedFactory(
+                            PresetStage1Only(curve, 4, 4, wpct / 100.0))});
+    }
+  }
+  const std::vector<RunMetrics> results = bench::MustRunAll(points);
+  const RunMetrics& fifo = results[0];
 
   std::vector<std::string> headers{"window%"};
   for (const auto& c : bench::Curves()) headers.push_back(c);
   TablePrinter stddev_table(headers);
   TablePrinter favored_table(headers);
 
+  size_t next = 1;
   for (int wpct = 0; wpct <= 100; wpct += 10) {
     std::vector<std::string> srow{std::to_string(wpct)};
     std::vector<std::string> frow{std::to_string(wpct)};
-    for (const auto& curve : bench::Curves()) {
-      const CascadedConfig cfg =
-          PresetStage1Only(curve, 4, 4, wpct / 100.0);
-      const RunMetrics m =
-          bench::MustRun(sc, trace, bench::CascadedFactory(cfg));
+    for (size_t c = 0; c < bench::Curves().size(); ++c) {
+      const RunMetrics& m = results[next++];
       // Per-dimension inversion as % of FIFO's count on that dimension.
       std::vector<double> pct(4);
       double mean = 0.0;

@@ -32,15 +32,32 @@ void Run() {
   wc.priority_levels = 8;
   wc.deadline_lo_ms = 300.0;
   wc.deadline_hi_ms = 500.0;
-  const auto trace = bench::MustGenerate(wc);
+  const TracePtr trace = ShareTrace(bench::MustGenerate(wc));
 
   SimulatorConfig sc;
   sc.service_model = ServiceModel::kTransferOnly;
   sc.metric_dims = 3;
   sc.metric_levels = 8;
 
-  const RunMetrics edf = bench::MustRun(
-      sc, trace, [] { return std::make_unique<EdfScheduler>(); });
+  const std::vector<std::string> curves{"hilbert", "peano", "diagonal"};
+  const std::vector<double> fs{0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 10.0};
+
+  // Point 0 is the EDF baseline; then one point per (f, curve).
+  std::vector<RunPoint> points;
+  points.push_back(
+      {sc, trace, [] { return std::make_unique<EdfScheduler>(); }});
+  for (double f : fs) {
+    for (const auto& curve : curves) {
+      points.push_back(
+          {sc, trace,
+           bench::CascadedFactory(PresetStage12(
+               curve, 3, 3, f, /*window=*/0.05,
+               /*deadline_horizon_ms=*/500.0))});
+    }
+  }
+  const std::vector<RunMetrics> results = bench::MustRunAll(points);
+
+  const RunMetrics& edf = results[0];
   const double edf_inv = static_cast<double>(edf.total_inversions());
   const double edf_miss = static_cast<double>(edf.deadline_misses);
   std::printf("EDF baseline: %llu inversions, %llu/%llu deadline misses\n\n",
@@ -48,23 +65,17 @@ void Run() {
               static_cast<unsigned long long>(edf.deadline_misses),
               static_cast<unsigned long long>(edf.deadline_total));
 
-  const std::vector<std::string> curves{"hilbert", "peano", "diagonal"};
-  const std::vector<double> fs{0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 10.0};
-
   std::vector<std::string> headers{"f"};
   for (const auto& c : curves) headers.push_back(c);
   TablePrinter inv_table(headers);
   TablePrinter miss_table(headers);
 
+  size_t next = 1;
   for (double f : fs) {
     std::vector<std::string> irow{FormatDouble(f, 2)};
     std::vector<std::string> mrow{FormatDouble(f, 2)};
-    for (const auto& curve : curves) {
-      const CascadedConfig cfg =
-          PresetStage12(curve, 3, 3, f, /*window=*/0.05,
-                        /*deadline_horizon_ms=*/500.0);
-      const RunMetrics m =
-          bench::MustRun(sc, trace, bench::CascadedFactory(cfg));
+    for (size_t c = 0; c < curves.size(); ++c) {
+      const RunMetrics& m = results[next++];
       irow.push_back(FormatDouble(
           Percent(static_cast<double>(m.total_inversions()), edf_inv), 1));
       mrow.push_back(FormatDouble(

@@ -35,21 +35,23 @@ void Run() {
   sc.metric_dims = 3;
   sc.metric_levels = 8;
 
-  struct Entry {
-    std::string label;
-    RunMetrics metrics;
-  };
-  std::vector<Entry> entries;
-  entries.push_back({"EDF", bench::MustRun(sc, trace, [] {
-                       return std::make_unique<EdfScheduler>();
-                     })});
+  std::vector<SchedulerEntry> schedulers;
+  schedulers.push_back(
+      {"EDF", [] { return std::make_unique<EdfScheduler>(); }});
   for (const char* curve : {"hilbert", "peano", "scan"}) {
     const CascadedConfig cfg =
         PresetStage12(curve, 3, 3, /*f=*/1.0, /*window=*/0.05,
                       /*deadline_horizon_ms=*/700.0);
-    entries.push_back(
-        {curve, bench::MustRun(sc, trace, bench::CascadedFactory(cfg))});
+    schedulers.push_back({curve, bench::CascadedFactory(cfg)});
   }
+  auto compared =
+      ComparePolicies(sc, trace, schedulers, bench::BenchThreads());
+  if (!compared.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 compared.status().ToString().c_str());
+    std::abort();
+  }
+  const std::vector<ComparisonRow>& entries = *compared;
 
   for (size_t dim = 0; dim < 3; ++dim) {
     std::printf("== Figure 9: deadline misses per priority level, "

@@ -1,0 +1,249 @@
+// Hot-path microbenchmark: the two per-request costs the scheduler pays on
+// every arrival — Characterize (encapsulation) and dispatcher queue ops —
+// measured before/after the PR's optimizations on the same inputs:
+//
+//  * Characterize: direct per-request curve evaluation (enable_lut=false)
+//    vs. the precomputed lookup-table path (enable_lut=true), in
+//    requests/sec. Values are verified identical before timing.
+//  * Dispatcher: steady-state insert+pop pairs against the std::map
+//    ReferenceDispatcher vs. the flat-queue Dispatcher at queue depths
+//    10^2, 10^3 and 10^4, in ops/sec (one op = one insert + one pop).
+//
+// Results go to stdout and to BENCH_hotpath.json (in CSFC_BENCH_JSON_DIR
+// or the working directory) — the perf baseline future PRs compare
+// against.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/cascaded_scheduler.h"
+#include "core/dispatcher.h"
+#include "core/presets.h"
+#include "exp/table.h"
+
+namespace csfc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Deterministic 64-bit mix for input generation.
+uint64_t Mix(uint64_t x) {
+  x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+  x ^= x >> 29;
+  return x;
+}
+
+std::vector<Request> MakeRequests(size_t n, uint32_t levels,
+                                  uint32_t cylinders) {
+  std::vector<Request> reqs(n);
+  uint64_t x = 0x9E3779B97F4A7C15ULL;
+  for (size_t i = 0; i < n; ++i) {
+    Request& r = reqs[i];
+    r.id = i;
+    x = Mix(x);
+    r.priorities = PriorityVec{
+        static_cast<PriorityLevel>(x % levels),
+        static_cast<PriorityLevel>((x >> 8) % levels),
+        static_cast<PriorityLevel>((x >> 16) % levels)};
+    r.deadline = MsToSim(50.0 + static_cast<double>((x >> 24) % 900));
+    r.cylinder = static_cast<Cylinder>((x >> 40) % cylinders);
+  }
+  return reqs;
+}
+
+std::unique_ptr<Encapsulator> MustCreate(EncapsulatorConfig cfg,
+                                         bool enable_lut) {
+  cfg.enable_lut = enable_lut;
+  auto e = Encapsulator::Create(cfg);
+  if (!e.ok()) {
+    std::fprintf(stderr, "encapsulator create failed: %s\n",
+                 e.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*e);
+}
+
+double TimeCharacterize(const Encapsulator& e,
+                        const std::vector<Request>& reqs, int rounds) {
+  const DispatchContext ctx{.now = MsToSim(10), .head = 2000};
+  volatile double sink = 0.0;
+  const auto start = Clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    double acc = 0.0;
+    for (const Request& r : reqs) acc += e.Characterize(r, ctx);
+    sink = sink + acc;
+  }
+  const double secs = SecondsSince(start);
+  return static_cast<double>(reqs.size()) * rounds / secs;
+}
+
+struct CharacterizeResult {
+  std::string config;
+  double direct_rps;
+  double lut_rps;
+};
+
+CharacterizeResult BenchCharacterize(const std::string& label,
+                                     const EncapsulatorConfig& cfg) {
+  const auto direct = MustCreate(cfg, /*enable_lut=*/false);
+  const auto lut = MustCreate(cfg, /*enable_lut=*/true);
+  const uint32_t levels = uint32_t{1} << cfg.priority_bits;
+  const auto reqs = MakeRequests(1 << 14, levels, cfg.cylinders);
+
+  // The LUT path must be a pure optimization: identical v_c on every input.
+  const DispatchContext ctx{.now = MsToSim(10), .head = 2000};
+  for (const Request& r : reqs) {
+    if (direct->Characterize(r, ctx) != lut->Characterize(r, ctx)) {
+      std::fprintf(stderr, "LUT mismatch on request %llu (%s)\n",
+                   static_cast<unsigned long long>(r.id), label.c_str());
+      std::abort();
+    }
+  }
+
+  // Warmup, then measure.
+  TimeCharacterize(*direct, reqs, 2);
+  TimeCharacterize(*lut, reqs, 2);
+  return CharacterizeResult{label, TimeCharacterize(*direct, reqs, 32),
+                            TimeCharacterize(*lut, reqs, 32)};
+}
+
+template <typename D>
+double TimeInsertPop(D& d, const std::vector<Request>& reqs, size_t depth,
+                     size_t ops) {
+  // Prefill to the target depth, then run steady-state insert+pop pairs so
+  // the queues stay at that depth throughout.
+  uint64_t x = 1;
+  auto value_of = [&x] {
+    x = Mix(x);
+    return static_cast<double>(x % (1 << 20)) / static_cast<double>(1 << 20);
+  };
+  for (size_t i = 0; i < depth; ++i) d.Insert(value_of(), reqs[i % reqs.size()]);
+  const auto start = Clock::now();
+  for (size_t i = 0; i < ops; ++i) {
+    d.Insert(value_of(), reqs[i % reqs.size()]);
+    if (!d.Pop().has_value()) std::abort();
+  }
+  const double secs = SecondsSince(start);
+  while (d.Pop().has_value()) {
+  }
+  return static_cast<double>(ops) / secs;
+}
+
+struct DispatcherResult {
+  size_t depth;
+  double map_ops;
+  double flat_ops;
+};
+
+DispatcherResult BenchDispatcher(size_t depth) {
+  DispatcherConfig cfg;  // conditionally-preemptive, w = 0.05, SP on
+  const auto reqs = MakeRequests(1 << 12, 16, 3832);
+  const size_t ops = depth >= 10000 ? 200000 : 1000000;
+
+  ReferenceDispatcher ref(cfg);
+  auto flat = Dispatcher::Create(cfg);
+  if (!flat.ok()) std::abort();
+
+  TimeInsertPop(ref, reqs, depth, ops / 4);  // warmup
+  TimeInsertPop(*flat, reqs, depth, ops / 4);
+  return DispatcherResult{depth, TimeInsertPop(ref, reqs, depth, ops),
+                          TimeInsertPop(*flat, reqs, depth, ops)};
+}
+
+void WriteJson(const std::vector<CharacterizeResult>& chars,
+               const std::vector<DispatcherResult>& disps) {
+  std::string path = "BENCH_hotpath.json";
+  if (const char* dir = std::getenv("CSFC_BENCH_JSON_DIR")) {
+    path = std::string(dir) + "/" + path;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"characterize\": [\n");
+  for (size_t i = 0; i < chars.size(); ++i) {
+    const CharacterizeResult& c = chars[i];
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"direct_rps\": %.0f, "
+                 "\"lut_rps\": %.0f, \"speedup\": %.2f}%s\n",
+                 c.config.c_str(), c.direct_rps, c.lut_rps,
+                 c.lut_rps / c.direct_rps, i + 1 < chars.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"dispatcher_insert_pop\": [\n");
+  for (size_t i = 0; i < disps.size(); ++i) {
+    const DispatcherResult& d = disps[i];
+    std::fprintf(f,
+                 "    {\"depth\": %zu, \"map_ops_per_sec\": %.0f, "
+                 "\"flat_ops_per_sec\": %.0f, \"speedup\": %.2f}%s\n",
+                 d.depth, d.map_ops, d.flat_ops, d.flat_ops / d.map_ops,
+                 i + 1 < disps.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("(json: %s)\n", path.c_str());
+}
+
+void Run() {
+  std::vector<CharacterizeResult> chars;
+  {
+    // The default full cascade: hilbert SFC1, stage-2 formula, R-partition
+    // stage 3 — only stage 1 runs curve math.
+    CascadedConfig cfg =
+        PresetFull("hilbert", 3, 4, 1.0, 3, 3832, 0.05, 700.0);
+    chars.push_back(BenchCharacterize("full-formula-R3", cfg.encapsulator));
+  }
+  {
+    // All-curve cascade: hilbert at every stage (the Figure 9/11 variants)
+    // — every stage runs curve math, so the LUT win compounds.
+    CascadedConfig cfg =
+        PresetFull("hilbert", 3, 4, 1.0, 3, 3832, 0.05, 700.0);
+    cfg.encapsulator.stage2_mode = Stage2Mode::kCurve;
+    cfg.encapsulator.sfc2 = "hilbert";
+    cfg.encapsulator.stage2_bits = 8;
+    cfg.encapsulator.stage3_mode = Stage3Mode::kCurve;
+    cfg.encapsulator.sfc3 = "hilbert";
+    cfg.encapsulator.stage3_bits = 8;
+    chars.push_back(BenchCharacterize("all-hilbert-curves", cfg.encapsulator));
+  }
+
+  std::printf("== Characterize throughput (requests/sec) ==\n\n");
+  TablePrinter ct({"config", "direct", "LUT", "speedup"});
+  for (const CharacterizeResult& c : chars) {
+    ct.AddRow({c.config, FormatDouble(c.direct_rps / 1e6, 2) + "M",
+               FormatDouble(c.lut_rps / 1e6, 2) + "M",
+               FormatDouble(c.lut_rps / c.direct_rps, 2) + "x"});
+  }
+  ct.Print();
+
+  std::vector<DispatcherResult> disps;
+  for (size_t depth : {100, 1000, 10000}) {
+    disps.push_back(BenchDispatcher(depth));
+  }
+  std::printf("\n== Dispatcher insert+pop throughput (pairs/sec) ==\n\n");
+  TablePrinter dt({"depth", "std::map", "flat heap", "speedup"});
+  for (const DispatcherResult& d : disps) {
+    dt.AddRow({std::to_string(d.depth), FormatDouble(d.map_ops / 1e6, 2) + "M",
+               FormatDouble(d.flat_ops / 1e6, 2) + "M",
+               FormatDouble(d.flat_ops / d.map_ops, 2) + "x"});
+  }
+  dt.Print();
+  std::printf("\n");
+
+  WriteJson(chars, disps);
+}
+
+}  // namespace
+}  // namespace csfc
+
+int main() {
+  csfc::Run();
+  return 0;
+}

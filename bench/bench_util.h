@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/presets.h"
 #include "exp/runner.h"
 #include "exp/table.h"
@@ -43,6 +44,29 @@ inline RunMetrics MustRun(const SimulatorConfig& sim,
                           const std::vector<Request>& trace,
                           const SchedulerFactory& factory) {
   auto m = RunSchedulerOnTrace(sim, trace, factory);
+  if (!m.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 m.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*m);
+}
+
+/// Worker count for bench sweeps: one per hardware thread unless
+/// CSFC_BENCH_THREADS says otherwise (set it to 1 to force serial runs —
+/// the result tables are identical either way).
+inline unsigned BenchThreads() {
+  if (const char* t = std::getenv("CSFC_BENCH_THREADS")) {
+    const long v = std::strtol(t, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  return ThreadPool::DefaultThreads();
+}
+
+/// Runs every sweep point across BenchThreads() workers and unwraps,
+/// aborting on the first error. Results are ordered by point index.
+inline std::vector<RunMetrics> MustRunAll(const std::vector<RunPoint>& points) {
+  auto m = RunParallel(points, BenchThreads());
   if (!m.ok()) {
     std::fprintf(stderr, "simulation failed: %s\n",
                  m.status().ToString().c_str());

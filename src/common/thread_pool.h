@@ -1,0 +1,65 @@
+// A small fixed-size thread pool for embarrassingly parallel sweeps.
+//
+// The experiment harness fans independent (scheduler, workload, seed)
+// simulation points out across cores (exp/runner.h); each point owns its
+// simulator, scheduler and RNG, so the only shared state is the task queue
+// itself. The pool is deliberately minimal: FIFO task queue, no futures,
+// no work stealing — Submit() closures write their results into
+// caller-owned slots, and Wait() is the single synchronization point.
+
+#ifndef CSFC_COMMON_THREAD_POOL_H_
+#define CSFC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace csfc {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; 0 means one per hardware thread.
+  explicit ThreadPool(unsigned num_threads);
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// The pool width `num_threads = 0` resolves to (hardware concurrency,
+  /// with a floor of 1 when it is unknown).
+  static unsigned DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0), ..., fn(n-1) across `num_threads` workers (0 = hardware
+/// concurrency, 1 = inline on the calling thread) and returns when all
+/// calls have finished. Iterations must be independent.
+void ParallelFor(size_t n, unsigned num_threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace csfc
+
+#endif  // CSFC_COMMON_THREAD_POOL_H_

@@ -1,5 +1,6 @@
 #include "core/dispatcher.h"
 
+#include <cassert>
 #include <utility>
 
 namespace csfc {
@@ -14,15 +15,14 @@ Status DispatcherConfig::Validate() const {
   return Status::OK();
 }
 
-Result<Dispatcher> Dispatcher::Create(const DispatcherConfig& config) {
-  if (Status s = config.Validate(); !s.ok()) return s;
-  return Dispatcher(config);
-}
+// --------------------------------------------------------------------------
+// ReferenceDispatcher: the original std::map implementation, unchanged.
+// --------------------------------------------------------------------------
 
-Dispatcher::Dispatcher(const DispatcherConfig& config)
+ReferenceDispatcher::ReferenceDispatcher(const DispatcherConfig& config)
     : config_(config), window_(config.window) {}
 
-void Dispatcher::Insert(CValue v, const Request& r) {
+void ReferenceDispatcher::Insert(CValue v, const Request& r) {
   const auto key = std::make_pair(v, seq_++);
   switch (config_.discipline) {
     case QueueDiscipline::kFullyPreemptive:
@@ -33,21 +33,15 @@ void Dispatcher::Insert(CValue v, const Request& r) {
       return;
     case QueueDiscipline::kConditionallyPreemptive: {
       if (!current_.has_value()) {
-        // Nothing has been served yet; the batch forms in q'.
         waiting_.emplace(key, r);
         return;
       }
-      // Figure 3: the arrival is compared against T_cur, the request the
-      // disk is currently serving (the most recently dispatched one).
       const CValue v_cur = *current_;
       if (v < v_cur - window_) {
-        // Significantly higher priority: preempt (Figure 3c).
         active_.emplace(key, r);
         ++preemptions_;
         if (config_.expand_reset) window_ *= config_.expansion_factor;
       } else {
-        // Lower priority, or higher but inside the blocking window
-        // (Figures 3a and 3b): wait for the next batch.
         waiting_.emplace(key, r);
       }
       return;
@@ -55,16 +49,15 @@ void Dispatcher::Insert(CValue v, const Request& r) {
   }
 }
 
-void Dispatcher::Swap() {
+void ReferenceDispatcher::Swap() {
   std::swap(active_, waiting_);
   ++swaps_;
   if (config_.expand_reset) window_ = config_.window;  // ER reset
 }
 
-std::optional<Request> Dispatcher::Pop() {
+std::optional<Request> ReferenceDispatcher::Pop() {
   if (config_.discipline == QueueDiscipline::kConditionallyPreemptive &&
       config_.serve_promote && !active_.empty() && !waiting_.empty()) {
-    // SP: promote q' requests that now significantly beat the batch head.
     const CValue v_cur = active_.begin()->first.first;
     auto it = waiting_.begin();
     while (it != waiting_.end() && it->first.first < v_cur - window_) {
@@ -84,7 +77,7 @@ std::optional<Request> Dispatcher::Pop() {
   return r;
 }
 
-void Dispatcher::RekeyWaiting(
+void ReferenceDispatcher::RekeyWaiting(
     const std::function<CValue(const Request&)>& key) {
   Queue rekeyed;
   for (auto& [old_key, r] : waiting_) {
@@ -93,10 +86,167 @@ void Dispatcher::RekeyWaiting(
   waiting_ = std::move(rekeyed);
 }
 
-void Dispatcher::ForEach(
+void ReferenceDispatcher::ForEach(
     const std::function<void(const Request&)>& fn) const {
   for (const auto& [key, r] : active_) fn(r);
   for (const auto& [key, r] : waiting_) fn(r);
+}
+
+// --------------------------------------------------------------------------
+// Dispatcher: the flat-queue implementation.
+// --------------------------------------------------------------------------
+
+Result<Dispatcher> Dispatcher::Create(const DispatcherConfig& config) {
+  if (Status s = config.Validate(); !s.ok()) return s;
+  return Dispatcher(config);
+}
+
+Dispatcher::Dispatcher(const DispatcherConfig& config)
+    : config_(config), window_(config.window) {
+#ifndef NDEBUG
+  shadow_ = std::make_unique<ReferenceDispatcher>(config);
+#endif
+}
+
+#ifndef NDEBUG
+Dispatcher::Dispatcher(const Dispatcher& other)
+    : config_(other.config_),
+      window_(other.window_),
+      current_(other.current_),
+      active_(other.active_),
+      waiting_(other.waiting_),
+      pool_(other.pool_),
+      free_(other.free_),
+      seq_(other.seq_),
+      preemptions_(other.preemptions_),
+      promotions_(other.promotions_),
+      swaps_(other.swaps_),
+      shadow_(std::make_unique<ReferenceDispatcher>(*other.shadow_)) {}
+
+Dispatcher& Dispatcher::operator=(const Dispatcher& other) {
+  if (this != &other) *this = Dispatcher(other);
+  return *this;
+}
+#endif
+
+uint32_t Dispatcher::AllocSlot(const Request& r) {
+  if (!free_.empty()) {
+    const uint32_t slot = free_.back();
+    free_.pop_back();
+    pool_[slot] = r;
+    return slot;
+  }
+  pool_.push_back(r);
+  return static_cast<uint32_t>(pool_.size() - 1);
+}
+
+Request Dispatcher::TakeSlot(uint32_t slot) {
+  free_.push_back(slot);
+  return std::move(pool_[slot]);
+}
+
+void Dispatcher::CheckShadow() const {
+#ifndef NDEBUG
+  assert(size() == shadow_->size());
+  assert(current_window() == shadow_->current_window());
+  assert(preemptions() == shadow_->preemptions());
+  assert(promotions() == shadow_->promotions());
+  assert(swaps() == shadow_->swaps());
+#endif
+}
+
+void Dispatcher::Insert(CValue v, const Request& r) {
+#ifndef NDEBUG
+  shadow_->Insert(v, r);
+#endif
+  const QueueKey key{v, seq_++};
+  const uint32_t slot = AllocSlot(r);
+  switch (config_.discipline) {
+    case QueueDiscipline::kFullyPreemptive:
+      active_.Push(key, slot);
+      break;
+    case QueueDiscipline::kNonPreemptive:
+      waiting_.Push(key, slot);
+      break;
+    case QueueDiscipline::kConditionallyPreemptive: {
+      if (!current_.has_value()) {
+        // Nothing has been served yet; the batch forms in q'.
+        waiting_.Push(key, slot);
+        break;
+      }
+      // Figure 3: the arrival is compared against T_cur, the request the
+      // disk is currently serving (the most recently dispatched one).
+      const CValue v_cur = *current_;
+      if (v < v_cur - window_) {
+        // Significantly higher priority: preempt (Figure 3c).
+        active_.Push(key, slot);
+        ++preemptions_;
+        if (config_.expand_reset) window_ *= config_.expansion_factor;
+      } else {
+        // Lower priority, or higher but inside the blocking window
+        // (Figures 3a and 3b): wait for the next batch.
+        waiting_.Push(key, slot);
+      }
+      break;
+    }
+  }
+  CheckShadow();
+}
+
+void Dispatcher::Swap() {
+  swap(active_, waiting_);
+  ++swaps_;
+  if (config_.expand_reset) window_ = config_.window;  // ER reset
+}
+
+std::optional<Request> Dispatcher::Pop() {
+  if (config_.discipline == QueueDiscipline::kConditionallyPreemptive &&
+      config_.serve_promote && !active_.empty() && !waiting_.empty()) {
+    // SP: promote q' requests that now significantly beat the batch head.
+    // The threshold is fixed before the scan (promoted requests do not
+    // themselves lower it), matching the reference implementation.
+    const CValue v_cur = active_.Min().key.v;
+    while (!waiting_.empty() && waiting_.Min().key.v < v_cur - window_) {
+      const SlotHeap::Entry e = waiting_.PopMin();
+      active_.Push(e.key, e.slot);
+      ++promotions_;
+    }
+  }
+  if (active_.empty()) {
+    if (waiting_.empty()) {
+      CheckShadow();
+#ifndef NDEBUG
+      [[maybe_unused]] const std::optional<Request> ref = shadow_->Pop();
+      assert(!ref.has_value());
+#endif
+      return std::nullopt;
+    }
+    Swap();
+  }
+  const SlotHeap::Entry e = active_.PopMin();
+  current_ = e.key.v;
+  Request r = TakeSlot(e.slot);
+#ifndef NDEBUG
+  const std::optional<Request> ref = shadow_->Pop();
+  assert(ref.has_value() && ref->id == r.id);
+#endif
+  CheckShadow();
+  return r;
+}
+
+void Dispatcher::RekeyWaiting(
+    const std::function<CValue(const Request&)>& key) {
+#ifndef NDEBUG
+  shadow_->RekeyWaiting(key);
+#endif
+  waiting_.Rekey([&](uint32_t slot) { return key(pool_[slot]); });
+  CheckShadow();
+}
+
+void Dispatcher::ForEach(
+    const std::function<void(const Request&)>& fn) const {
+  active_.ForEachOrdered([&](uint32_t slot) { fn(pool_[slot]); });
+  waiting_.ForEachOrdered([&](uint32_t slot) { fn(pool_[slot]); });
 }
 
 }  // namespace csfc

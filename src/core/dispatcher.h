@@ -31,16 +31,26 @@
 //    operation; w resets to its configured value when the active batch is
 //    exhausted (queue swap). The scheduler thus oscillates between
 //    conditional and non-preemptive modes.
+//
+// Both queues are flat 4-ary heaps of (key, slot) entries
+// (core/flat_queue.h) over a shared request slot pool, rather than
+// node-allocating maps; (v_c, seq) FIFO ordering is bit-identical to the
+// map formulation, which survives as ReferenceDispatcher below for the
+// debug-build cross-check, the equivalence tests, and the before/after
+// microbenchmark.
 
 #ifndef CSFC_CORE_DISPATCHER_H_
 #define CSFC_CORE_DISPATCHER_H_
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/status.h"
 #include "core/cvalue.h"
+#include "core/flat_queue.h"
 #include "workload/request.h"
 
 namespace csfc {
@@ -67,10 +77,58 @@ struct DispatcherConfig {
   Status Validate() const;
 };
 
+/// Reference dispatcher: the original std::map-backed implementation,
+/// kept verbatim as the semantic oracle for the flat-queue Dispatcher. It
+/// backs the debug-build cross-check, the randomized equivalence test, and
+/// the map-vs-flat microbenchmark; it is not used on the simulation hot
+/// path.
+class ReferenceDispatcher {
+ public:
+  explicit ReferenceDispatcher(const DispatcherConfig& config);
+
+  void Insert(CValue v, const Request& r);
+  std::optional<Request> Pop();
+  void RekeyWaiting(const std::function<CValue(const Request&)>& key);
+  void ForEach(const std::function<void(const Request&)>& fn) const;
+
+  size_t size() const { return active_.size() + waiting_.size(); }
+  bool empty() const { return size() == 0; }
+  bool NeedsSwapForPop() const { return active_.empty() && !waiting_.empty(); }
+  double current_window() const { return window_; }
+  uint64_t preemptions() const { return preemptions_; }
+  uint64_t promotions() const { return promotions_; }
+  uint64_t swaps() const { return swaps_; }
+
+ private:
+  // Key: (v_c, insertion sequence) so exact ties dispatch FIFO.
+  using Queue = std::map<std::pair<CValue, uint64_t>, Request>;
+
+  void Swap();
+
+  DispatcherConfig config_;
+  double window_;
+  std::optional<CValue> current_;
+  Queue active_;   // q
+  Queue waiting_;  // q'
+  uint64_t seq_ = 0;
+  uint64_t preemptions_ = 0;
+  uint64_t promotions_ = 0;
+  uint64_t swaps_ = 0;
+};
+
 /// Priority-queue machinery shared by the three disciplines.
 class Dispatcher {
  public:
   static Result<Dispatcher> Create(const DispatcherConfig& config);
+
+#ifndef NDEBUG
+  // The debug-only shadow_ member would otherwise delete copying; deep-copy
+  // it so Dispatcher is copyable and movable in every build mode.
+  Dispatcher(const Dispatcher& other);
+  Dispatcher& operator=(const Dispatcher& other);
+  Dispatcher(Dispatcher&&) = default;
+  Dispatcher& operator=(Dispatcher&&) = default;
+#endif
 
   /// Inserts a request with characterization value `v`.
   void Insert(CValue v, const Request& r);
@@ -92,7 +150,8 @@ class Dispatcher {
   /// is current) instead of frozen at the various enqueue instants.
   void RekeyWaiting(const std::function<CValue(const Request&)>& key);
 
-  /// Visits all pending requests (active then waiting).
+  /// Visits all pending requests (active then waiting, each in ascending
+  /// (v_c, seq) order).
   void ForEach(const std::function<void(const Request&)>& fn) const;
 
   /// Current blocking window (grows under ER).
@@ -109,10 +168,14 @@ class Dispatcher {
  private:
   explicit Dispatcher(const DispatcherConfig& config);
 
-  // Key: (v_c, insertion sequence) so exact ties dispatch FIFO.
-  using Queue = std::map<std::pair<CValue, uint64_t>, Request>;
-
   void Swap();
+  /// Parks `r` in the slot pool and returns its slot index.
+  uint32_t AllocSlot(const Request& r);
+  /// Moves the request out of `slot` and returns the slot to the free list.
+  Request TakeSlot(uint32_t slot);
+  /// Debug-build cross-check: mirrors the op on shadow_ and asserts the
+  /// two implementations agree (no-op in release builds).
+  void CheckShadow() const;
 
   DispatcherConfig config_;
   double window_;
@@ -122,12 +185,20 @@ class Dispatcher {
   /// service completes; a stale value is harmless because the queues are
   /// then empty and every path drains the newcomer immediately.
   std::optional<CValue> current_;
-  Queue active_;   // q
-  Queue waiting_;  // q'
+  SlotHeap active_;   // q
+  SlotHeap waiting_;  // q'
+  /// Request payloads, indexed by the slot in each heap entry. Heaps only
+  /// ever shuffle 24-byte (key, slot) entries; payloads stay put between
+  /// Insert and Pop, including across SP promotions and queue swaps.
+  std::vector<Request> pool_;
+  std::vector<uint32_t> free_;
   uint64_t seq_ = 0;
   uint64_t preemptions_ = 0;
   uint64_t promotions_ = 0;
   uint64_t swaps_ = 0;
+#ifndef NDEBUG
+  std::unique_ptr<ReferenceDispatcher> shadow_;
+#endif
 };
 
 }  // namespace csfc

@@ -109,7 +109,23 @@ Result<std::unique_ptr<Encapsulator>> Encapsulator::Create(
     if (!c.ok()) return c.status();
     e->curve3_ = std::move(*c);
   }
+  if (config.enable_lut) e->BuildLuts(config.lut_max_cells);
   return e;
+}
+
+void Encapsulator::BuildLuts(uint64_t max_cells) {
+  const auto build = [max_cells](const CurvePtr& curve,
+                                 std::vector<CValue>& lut) {
+    if (curve == nullptr || curve->num_cells() > max_cells) return;
+    const std::vector<uint64_t> table = curve->BuildIndexTable();
+    lut.resize(table.size());
+    for (size_t cell = 0; cell < table.size(); ++cell) {
+      lut[cell] = NormalizeIndex(table[cell], table.size());
+    }
+  };
+  build(curve1_, lut1_);
+  build(curve2_, lut2_);
+  build(curve3_, lut3_);
 }
 
 Encapsulator::Encapsulator(const EncapsulatorConfig& config)
@@ -131,8 +147,18 @@ CValue Encapsulator::Stage1(const Request& r) const {
     const PriorityLevel p = std::min(r.priorities[0], levels - 1);
     return static_cast<double>(p) / static_cast<double>(levels);
   }
-  uint32_t point[16];
   const uint32_t levels = uint32_t{1} << config_.priority_bits;
+  if (!lut1_.empty()) {
+    // Hot path: pack the quantized priorities into the row-major cell
+    // number (CellOf layout) and load the precomputed value.
+    uint64_t cell = 0;
+    for (uint32_t k = 0; k < config_.priority_dims; ++k) {
+      cell = (cell << config_.priority_bits) |
+             std::min<uint32_t>(r.priority(k), levels - 1);
+    }
+    return lut1_[cell];
+  }
+  uint32_t point[16];
   for (uint32_t k = 0; k < config_.priority_dims; ++k) {
     point[k] = std::min<uint32_t>(r.priority(k), levels - 1);
   }
@@ -184,6 +210,9 @@ CValue Encapsulator::Stage2(CValue v1, const Request& r,
     point[0] = pri_cell;
     point[1] = dl_cell;
   }
+  if (!lut2_.empty()) {
+    return lut2_[(uint64_t{point[0]} << config_.stage2_bits) | point[1]];
+  }
   const uint64_t index = curve2_->Index(std::span<const uint32_t>(point, 2));
   return NormalizeIndex(index, curve2_->num_cells());
 }
@@ -215,6 +244,9 @@ CValue Encapsulator::Stage3(CValue v2, const Request& r,
   point[0] = QuantizeUnit(v2, cells);
   point[1] = QuantizeUnit(
       static_cast<double>(y_v) / static_cast<double>(config_.cylinders), cells);
+  if (!lut3_.empty()) {
+    return lut3_[(uint64_t{point[0]} << config_.stage3_bits) | point[1]];
+  }
   const uint64_t index = curve3_->Index(std::span<const uint32_t>(point, 2));
   return NormalizeIndex(index, curve3_->num_cells());
 }

@@ -42,6 +42,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/cvalue.h"
@@ -83,6 +84,17 @@ struct EncapsulatorConfig {
   uint32_t stage3_bits = 8;         ///< per-axis grid bits
   uint32_t cylinders = 3832;        ///< disk size for the distance axis
 
+  // --- Hot path ---
+  /// Precompute flat cell -> v lookup tables for the stage curves at
+  /// Create(), turning per-request curve evaluation into quantize + one
+  /// array load. Purely an optimization: characterization values are
+  /// identical with or without it (asserted by tests); off exists for
+  /// before/after microbenchmarks.
+  bool enable_lut = true;
+  /// Largest grid (in cells) a LUT is built for; larger grids fall back
+  /// to direct curve evaluation. 2^20 cells = 8 MB of CValues.
+  uint64_t lut_max_cells = uint64_t{1} << 20;
+
   Status Validate() const;
 
   /// Short config signature, e.g. "hilbert|f=1|R=3".
@@ -100,6 +112,12 @@ class Encapsulator {
 
   const EncapsulatorConfig& config() const { return config_; }
 
+  /// True when stage N resolves through a precomputed lookup table
+  /// (exposed for tests and the hot-path microbenchmark).
+  bool stage1_uses_lut() const { return !lut1_.empty(); }
+  bool stage2_uses_lut() const { return !lut2_.empty(); }
+  bool stage3_uses_lut() const { return !lut3_.empty(); }
+
  private:
   explicit Encapsulator(const EncapsulatorConfig& config);
 
@@ -107,10 +125,20 @@ class Encapsulator {
   CValue Stage2(CValue v1, const Request& r, const DispatchContext& ctx) const;
   CValue Stage3(CValue v2, const Request& r, const DispatchContext& ctx) const;
 
+  /// Builds the normalized cell -> v tables for every active curve whose
+  /// grid has at most `max_cells` cells.
+  void BuildLuts(uint64_t max_cells);
+
   EncapsulatorConfig config_;
   CurvePtr curve1_;  // null when stage 1 is disabled or D == 0
   CurvePtr curve2_;  // null unless stage2_mode == kCurve
   CurvePtr curve3_;  // null unless stage3_mode == kCurve
+  // Flat cell -> normalized curve value tables (empty = evaluate the
+  // curve directly). Cell numbering is SpaceFillingCurve::CellOf: row
+  // major, dimension 0 most significant.
+  std::vector<CValue> lut1_;
+  std::vector<CValue> lut2_;
+  std::vector<CValue> lut3_;
 };
 
 }  // namespace csfc

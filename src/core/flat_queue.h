@@ -1,0 +1,127 @@
+// Cache-friendly priority queue for the dispatcher hot path.
+//
+// The dispatcher's q / q' queues need five operations: insert, pop-min,
+// peek-min, bulk rekey (batch re-characterization), and ordered visitation
+// (SP promotion scans and metric walks). A node-based std::map pays an
+// allocation plus pointer-chasing tree walks for every one of them; this
+// queue instead keeps (key, slot) entries in one contiguous 4-ary min-heap
+// keyed by (v_c, insertion sequence). Requests themselves live in a slot
+// pool owned by the dispatcher, so sift operations move 24-byte POD
+// entries over hot cache lines — never the ~100-byte Request payloads —
+// and moving an entry between queues (SP promotion, queue swap) never
+// touches the payload at all.
+//
+// Ordering semantics are identical to the map it replaces: lower v_c
+// first, exact v_c ties broken FIFO by the insertion sequence number. The
+// heap is not globally sorted, so order-dependent walks (ForEachOrdered)
+// sort an index scratch vector on demand — those run once per dispatch in
+// metric paths, not per comparison.
+
+#ifndef CSFC_CORE_FLAT_QUEUE_H_
+#define CSFC_CORE_FLAT_QUEUE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/cvalue.h"
+
+namespace csfc {
+
+/// Queue ordering key: characterization value with FIFO tie-break.
+struct QueueKey {
+  CValue v = 0.0;
+  uint64_t seq = 0;
+
+  friend bool operator<(const QueueKey& a, const QueueKey& b) {
+    return a.v != b.v ? a.v < b.v : a.seq < b.seq;
+  }
+};
+
+/// Flat 4-ary min-heap of (key, payload-slot) entries.
+class SlotHeap {
+ public:
+  struct Entry {
+    QueueKey key;
+    uint32_t slot = 0;
+  };
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  void clear() { heap_.clear(); }
+
+  /// Smallest (v, seq) entry; heap must be non-empty.
+  const Entry& Min() const { return heap_.front(); }
+
+  void Push(QueueKey key, uint32_t slot) {
+    heap_.push_back(Entry{key, slot});
+    SiftUp(heap_.size() - 1);
+  }
+
+  /// Removes and returns the minimum entry; heap must be non-empty.
+  Entry PopMin() {
+    const Entry top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+    return top;
+  }
+
+  /// Recomputes every entry's v_c from its slot (sequence numbers are
+  /// preserved) and restores the heap in one O(n) Floyd pass.
+  void Rekey(const std::function<CValue(uint32_t)>& value_of_slot) {
+    for (Entry& e : heap_) e.key.v = value_of_slot(e.slot);
+    if (heap_.size() < 2) return;
+    for (size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;) SiftDown(i);
+  }
+
+  /// Visits all slots in ascending (v_c, seq) order.
+  void ForEachOrdered(const std::function<void(uint32_t)>& fn) const {
+    std::vector<Entry> sorted(heap_);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry& a, const Entry& b) { return a.key < b.key; });
+    for (const Entry& e : sorted) fn(e.slot);
+  }
+
+  friend void swap(SlotHeap& a, SlotHeap& b) { a.heap_.swap(b.heap_); }
+
+ private:
+  static constexpr size_t kArity = 4;
+
+  void SiftUp(size_t i) {
+    const Entry e = heap_[i];
+    while (i > 0) {
+      const size_t parent = (i - 1) / kArity;
+      if (!(e.key < heap_[parent].key)) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  void SiftDown(size_t i) {
+    const Entry e = heap_[i];
+    const size_t n = heap_.size();
+    while (true) {
+      const size_t first = i * kArity + 1;
+      if (first >= n) break;
+      const size_t last = std::min(first + kArity, n);
+      size_t best = first;
+      for (size_t c = first + 1; c < last; ++c) {
+        if (heap_[c].key < heap_[best].key) best = c;
+      }
+      if (!(heap_[best].key < e.key)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = e;
+  }
+
+  std::vector<Entry> heap_;
+};
+
+}  // namespace csfc
+
+#endif  // CSFC_CORE_FLAT_QUEUE_H_

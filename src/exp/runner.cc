@@ -1,5 +1,10 @@
 #include "exp/runner.h"
 
+#include <optional>
+#include <utility>
+
+#include "common/thread_pool.h"
+
 namespace csfc {
 
 Result<RunMetrics> RunSchedulerOnTrace(const SimulatorConfig& sim_config,
@@ -19,16 +24,51 @@ double Percent(double value, double base) {
   return base == 0.0 ? 0.0 : 100.0 * value / base;
 }
 
+Result<std::vector<RunMetrics>> RunParallel(const std::vector<RunPoint>& points,
+                                            unsigned num_threads) {
+  std::vector<std::optional<RunMetrics>> slots(points.size());
+  std::vector<Status> errors(points.size());
+  ParallelFor(points.size(), num_threads, [&](size_t i) {
+    const RunPoint& p = points[i];
+    if (p.trace == nullptr) {
+      errors[i] = Status::InvalidArgument("RunPoint.trace is null");
+      return;
+    }
+    Result<RunMetrics> m =
+        RunSchedulerOnTrace(p.sim_config, *p.trace, p.factory);
+    if (m.ok()) {
+      slots[i] = std::move(*m);
+    } else {
+      errors[i] = m.status();
+    }
+  });
+  // Deterministic error reporting: the lowest-index failure wins.
+  for (const Status& s : errors) {
+    if (!s.ok()) return s;
+  }
+  std::vector<RunMetrics> results;
+  results.reserve(slots.size());
+  for (std::optional<RunMetrics>& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
 Result<std::vector<ComparisonRow>> ComparePolicies(
     const SimulatorConfig& sim_config, const std::vector<Request>& trace,
-    const std::vector<SchedulerEntry>& entries) {
+    const std::vector<SchedulerEntry>& entries, unsigned num_threads) {
+  std::vector<RunPoint> points;
+  points.reserve(entries.size());
+  const TracePtr shared = ShareTrace(trace);
+  for (const SchedulerEntry& entry : entries) {
+    points.push_back(RunPoint{sim_config, shared, entry.factory});
+  }
+  Result<std::vector<RunMetrics>> metrics = RunParallel(points, num_threads);
+  if (!metrics.ok()) return metrics.status();
   std::vector<ComparisonRow> rows;
   rows.reserve(entries.size());
-  for (const SchedulerEntry& entry : entries) {
-    Result<RunMetrics> m =
-        RunSchedulerOnTrace(sim_config, trace, entry.factory);
-    if (!m.ok()) return m.status();
-    rows.push_back(ComparisonRow{entry.label, std::move(*m)});
+  for (size_t i = 0; i < entries.size(); ++i) {
+    rows.push_back(ComparisonRow{entries[i].label, std::move((*metrics)[i])});
   }
   return rows;
 }

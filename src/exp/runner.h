@@ -3,10 +3,17 @@
 // against a baseline run — the methodology behind every figure in
 // Section 5/6 (priority inversion as % of FIFO, losses normalized to EDF
 // or C-SCAN, etc.).
+//
+// Every (scheduler, workload) point is an independent simulation with its
+// own simulator, scheduler instance and deterministic trace, so sweeps
+// parallelize trivially: RunParallel fans a point list out across a thread
+// pool and returns results ordered by point index — identical to running
+// the same list serially, just faster.
 
 #ifndef CSFC_EXP_RUNNER_H_
 #define CSFC_EXP_RUNNER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +23,15 @@
 
 namespace csfc {
 
+/// Shared, immutable trace handle so parallel points can replay the same
+/// workload without copying it per point.
+using TracePtr = std::shared_ptr<const std::vector<Request>>;
+
+/// Wraps a trace for sharing across points.
+inline TracePtr ShareTrace(std::vector<Request> trace) {
+  return std::make_shared<const std::vector<Request>>(std::move(trace));
+}
+
 /// Runs `factory`'s scheduler over a replay of `trace` on a fresh
 /// simulator built from `sim_config`.
 Result<RunMetrics> RunSchedulerOnTrace(const SimulatorConfig& sim_config,
@@ -24,6 +40,21 @@ Result<RunMetrics> RunSchedulerOnTrace(const SimulatorConfig& sim_config,
 
 /// Percentage helper: 100 * value / base (0 when base is 0).
 double Percent(double value, double base);
+
+/// One independent simulation point in a sweep.
+struct RunPoint {
+  SimulatorConfig sim_config;
+  TracePtr trace;
+  SchedulerFactory factory;
+};
+
+/// Runs every point, fanning them out across `num_threads` workers (0 =
+/// one per hardware thread, 1 = serial on the calling thread). Results are
+/// ordered by point index and identical to a serial run — the threading
+/// only reassigns which core executes which point. On failure the error of
+/// the lowest-index failing point is returned.
+Result<std::vector<RunMetrics>> RunParallel(const std::vector<RunPoint>& points,
+                                            unsigned num_threads = 0);
 
 /// A labelled scheduler entry for comparison sweeps.
 struct SchedulerEntry {
@@ -37,10 +68,12 @@ struct ComparisonRow {
   RunMetrics metrics;
 };
 
-/// Runs every entry over the same trace.
+/// Runs every entry over the same trace, `num_threads` entries at a time
+/// (0 = one per hardware thread, 1 = serial). Row order always matches
+/// `entries`.
 Result<std::vector<ComparisonRow>> ComparePolicies(
     const SimulatorConfig& sim_config, const std::vector<Request>& trace,
-    const std::vector<SchedulerEntry>& entries);
+    const std::vector<SchedulerEntry>& entries, unsigned num_threads = 1);
 
 }  // namespace csfc
 

@@ -21,4 +21,18 @@ Status GridSpec::Validate() const {
   return Status::OK();
 }
 
+std::vector<uint64_t> SpaceFillingCurve::BuildIndexTable() const {
+  const uint64_t n = num_cells();
+  std::vector<uint64_t> table(n);
+  std::vector<uint32_t> p(dims());
+  const std::span<uint32_t> point(p.data(), p.size());
+  // Walking the curve (one Point() per index) visits every cell exactly
+  // once because the curve is a bijection, so no cell is left unset.
+  for (uint64_t i = 0; i < n; ++i) {
+    Point(i, point);
+    table[CellOf(point)] = i;
+  }
+  return table;
+}
+
 }  // namespace csfc

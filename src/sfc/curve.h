@@ -92,6 +92,24 @@ class SpaceFillingCurve {
     return p;
   }
 
+  /// Packs a grid point into its row-major cell number: dimension 0 is the
+  /// most significant axis, so cell = p[0]·side^(D-1) + ... + p[D-1]. This
+  /// is the addressing scheme of BuildIndexTable.
+  uint64_t CellOf(std::span<const uint32_t> point) const {
+    uint64_t cell = 0;
+    for (uint32_t k = 0; k < spec_.dims; ++k) {
+      cell = (cell << spec_.bits) | point[k];
+    }
+    return cell;
+  }
+
+  /// Builds the flat forward lookup table: `table[CellOf(p)] == Index(p)`
+  /// for every grid point p. One O(num_cells) pass replaces all per-request
+  /// curve math with an array load (see core/encapsulator.h). The generic
+  /// implementation walks the curve once via Point(); subclasses may
+  /// override when a direct sweep is cheaper.
+  virtual std::vector<uint64_t> BuildIndexTable() const;
+
  protected:
   GridSpec spec_;
 };

@@ -1,0 +1,150 @@
+// Equivalence of the flat-queue Dispatcher and the std::map
+// ReferenceDispatcher: random operation traces (insert / pop / rekey /
+// ForEach) replayed against both implementations must agree on every
+// observable — popped request identity, sizes, swap prediction, window,
+// counters and visitation order. This is the release-build counterpart of
+// the debug-only shadow cross-check inside Dispatcher itself.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "core/dispatcher.h"
+
+namespace csfc {
+namespace {
+
+CValue UnitValue(Rng& rng) {
+  // 16-bit grid keeps exact-tie FIFO ordering exercised.
+  return static_cast<double>(rng() % 65536) / 65536.0;
+}
+
+void ExpectObservablesMatch(const Dispatcher& d, const ReferenceDispatcher& ref) {
+  ASSERT_EQ(d.size(), ref.size());
+  ASSERT_EQ(d.empty(), ref.empty());
+  ASSERT_EQ(d.NeedsSwapForPop(), ref.NeedsSwapForPop());
+  ASSERT_EQ(d.current_window(), ref.current_window());
+  ASSERT_EQ(d.preemptions(), ref.preemptions());
+  ASSERT_EQ(d.promotions(), ref.promotions());
+  ASSERT_EQ(d.swaps(), ref.swaps());
+}
+
+void ExpectSameOrder(const Dispatcher& d, const ReferenceDispatcher& ref) {
+  std::vector<RequestId> flat_ids, ref_ids;
+  d.ForEach([&](const Request& r) { flat_ids.push_back(r.id); });
+  ref.ForEach([&](const Request& r) { ref_ids.push_back(r.id); });
+  ASSERT_EQ(flat_ids, ref_ids);
+}
+
+void ReplayRandomTrace(const DispatcherConfig& cfg, uint64_t seed,
+                       int num_ops) {
+  auto created = Dispatcher::Create(cfg);
+  ASSERT_TRUE(created.ok());
+  Dispatcher d = *std::move(created);
+  ReferenceDispatcher ref(cfg);
+
+  Rng rng(seed);
+  RequestId next_id = 0;
+  for (int i = 0; i < num_ops; ++i) {
+    const uint64_t action = rng() % 100;
+    if (action < 55) {
+      Request r;
+      r.id = next_id++;
+      const CValue v = UnitValue(rng);
+      d.Insert(v, r);
+      ref.Insert(v, r);
+    } else if (action < 85) {
+      const std::optional<Request> a = d.Pop();
+      const std::optional<Request> b = ref.Pop();
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (a.has_value()) {
+        ASSERT_EQ(a->id, b->id);
+      }
+    } else if (action < 93) {
+      // Deterministic new key per request, decorrelated from the old one.
+      const uint64_t salt = rng();
+      auto key = [salt](const Request& r) {
+        const uint64_t h = (r.id + salt) * 2654435761ULL;
+        return static_cast<double>(h % 65536) / 65536.0;
+      };
+      d.RekeyWaiting(key);
+      ref.RekeyWaiting(key);
+    } else {
+      ExpectSameOrder(d, ref);
+    }
+    ExpectObservablesMatch(d, ref);
+  }
+
+  // Drain both to the end: the complete service order must agree.
+  while (true) {
+    const std::optional<Request> a = d.Pop();
+    const std::optional<Request> b = ref.Pop();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) break;
+    ASSERT_EQ(a->id, b->id);
+    ExpectObservablesMatch(d, ref);
+  }
+}
+
+DispatcherConfig Config(QueueDiscipline disc, double w, bool sp, bool er) {
+  DispatcherConfig c;
+  c.discipline = disc;
+  c.window = w;
+  c.serve_promote = sp;
+  c.expand_reset = er;
+  return c;
+}
+
+TEST(DispatcherEquivalenceTest, NonPreemptive) {
+  ReplayRandomTrace(
+      Config(QueueDiscipline::kNonPreemptive, 0.0, false, false), 1, 4000);
+}
+
+TEST(DispatcherEquivalenceTest, FullyPreemptive) {
+  ReplayRandomTrace(
+      Config(QueueDiscipline::kFullyPreemptive, 0.0, false, false), 2, 4000);
+}
+
+TEST(DispatcherEquivalenceTest, ConditionalZeroWindow) {
+  ReplayRandomTrace(
+      Config(QueueDiscipline::kConditionallyPreemptive, 0.0, true, false), 3,
+      4000);
+}
+
+TEST(DispatcherEquivalenceTest, ConditionalWithSp) {
+  ReplayRandomTrace(
+      Config(QueueDiscipline::kConditionallyPreemptive, 0.05, true, false), 4,
+      4000);
+}
+
+TEST(DispatcherEquivalenceTest, ConditionalWithoutSp) {
+  ReplayRandomTrace(
+      Config(QueueDiscipline::kConditionallyPreemptive, 0.05, false, false),
+      5, 4000);
+}
+
+TEST(DispatcherEquivalenceTest, ConditionalWithEr) {
+  ReplayRandomTrace(
+      Config(QueueDiscipline::kConditionallyPreemptive, 0.02, true, true), 6,
+      4000);
+}
+
+TEST(DispatcherEquivalenceTest, WideWindowDegeneratesTogether) {
+  ReplayRandomTrace(
+      Config(QueueDiscipline::kConditionallyPreemptive, 1.0, true, false), 7,
+      4000);
+}
+
+TEST(DispatcherEquivalenceTest, ManySeeds) {
+  for (uint64_t seed = 10; seed < 22; ++seed) {
+    ReplayRandomTrace(
+        Config(QueueDiscipline::kConditionallyPreemptive, 0.05, true,
+               seed % 2 == 0),
+        seed, 1200);
+  }
+}
+
+}  // namespace
+}  // namespace csfc

@@ -1,0 +1,177 @@
+// The parallel experiment runner must be a pure wall-clock optimization:
+// RunParallel and ComparePolicies produce results identical to a serial
+// run regardless of thread count, with deterministic (lowest-index) error
+// selection. Plus basic ThreadPool / ParallelFor machinery coverage.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/presets.h"
+#include "exp/runner.h"
+#include "sched/edf.h"
+#include "sched/fcfs.h"
+#include "workload/generator.h"
+
+namespace csfc {
+namespace {
+
+// --- ThreadPool / ParallelFor ----------------------------------------------
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), 50 * (batch + 1));
+  }
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(kN, 4, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SingleThreadRunsInOrderOnCaller) {
+  std::vector<size_t> order;
+  ParallelFor(10, 1, [&order](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+// --- RunParallel determinism -----------------------------------------------
+
+std::vector<Request> SmallTrace(uint64_t seed) {
+  WorkloadConfig wc;
+  wc.count = 400;
+  wc.seed = seed;
+  wc.priority_dims = 2;
+  wc.priority_levels = 8;
+  auto gen = SyntheticGenerator::Create(wc);
+  EXPECT_TRUE(gen.ok());
+  return DrainGenerator(**gen);
+}
+
+void ExpectSameMetrics(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.completions, b.completions);
+  EXPECT_EQ(a.inversions_per_dim, b.inversions_per_dim);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.deadline_total, b.deadline_total);
+  // Exact equality on the float aggregates: the parallel runner only
+  // reassigns which core executes which point, so every arithmetic path
+  // is bit-identical to the serial run.
+  EXPECT_EQ(a.total_seek_ms, b.total_seek_ms);
+  EXPECT_EQ(a.total_service_ms, b.total_service_ms);
+  EXPECT_EQ(a.response_ms.mean(), b.response_ms.mean());
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+std::vector<RunPoint> MakePoints(const TracePtr& trace) {
+  SimulatorConfig sc;
+  sc.metric_dims = 2;
+  sc.metric_levels = 8;
+  std::vector<RunPoint> points;
+  points.push_back(
+      {sc, trace, [] { return std::make_unique<FcfsScheduler>(); }});
+  points.push_back(
+      {sc, trace, [] { return std::make_unique<EdfScheduler>(); }});
+  for (const char* curve : {"hilbert", "diagonal", "peano", "gray"}) {
+    const CascadedConfig cfg =
+        PresetFull(curve, 2, 3, 1.0, 3, 3832, 0.05, 700.0);
+    points.push_back({sc, trace, [cfg] {
+                        auto s = CascadedSfcScheduler::Create(cfg);
+                        EXPECT_TRUE(s.ok());
+                        return std::move(*s);
+                      }});
+  }
+  return points;
+}
+
+TEST(RunParallelTest, ParallelMatchesSerial) {
+  const TracePtr trace = ShareTrace(SmallTrace(17));
+  const std::vector<RunPoint> points = MakePoints(trace);
+
+  auto serial = RunParallel(points, 1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_EQ(serial->size(), points.size());
+
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    auto parallel = RunParallel(points, threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ASSERT_EQ(parallel->size(), serial->size());
+    for (size_t i = 0; i < serial->size(); ++i) {
+      ExpectSameMetrics((*serial)[i], (*parallel)[i]);
+    }
+  }
+}
+
+TEST(RunParallelTest, EmptyPointListIsOk) {
+  auto r = RunParallel({}, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(RunParallelTest, LowestIndexErrorWins) {
+  const TracePtr trace = ShareTrace(SmallTrace(18));
+  SimulatorConfig good;
+  SimulatorConfig bad;
+  bad.disk.rpm = 0;  // invalid-argument at simulator creation
+
+  std::vector<RunPoint> points;
+  points.push_back(
+      {good, trace, [] { return std::make_unique<FcfsScheduler>(); }});
+  points.push_back(
+      {bad, trace, [] { return std::make_unique<FcfsScheduler>(); }});
+  points.push_back(
+      {good, trace, []() -> SchedulerPtr { return nullptr; }});  // internal
+
+  auto r = RunParallel(points, 4);
+  ASSERT_FALSE(r.ok());
+  // Point 1 (invalid config) outranks point 2 (null factory) every run.
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ComparePoliciesTest, ParallelMatchesSerial) {
+  const auto trace = SmallTrace(19);
+  SimulatorConfig sc;
+  sc.metric_dims = 2;
+  sc.metric_levels = 8;
+  std::vector<SchedulerEntry> entries;
+  entries.push_back(
+      {"fcfs", [] { return std::make_unique<FcfsScheduler>(); }});
+  entries.push_back({"edf", [] { return std::make_unique<EdfScheduler>(); }});
+
+  auto serial = ComparePolicies(sc, trace, entries, 1);
+  ASSERT_TRUE(serial.ok());
+  auto parallel = ComparePolicies(sc, trace, entries, 4);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial->size(), parallel->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    EXPECT_EQ((*serial)[i].label, (*parallel)[i].label);
+    ExpectSameMetrics((*serial)[i].metrics, (*parallel)[i].metrics);
+  }
+}
+
+}  // namespace
+}  // namespace csfc
