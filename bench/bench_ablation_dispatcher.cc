@@ -40,8 +40,8 @@ void Run() {
 
   SimulatorConfig sc;
   sc.service_model = ServiceModel::kTransferOnly;
-  sc.metric_dims = 3;
-  sc.metric_levels = 16;
+  sc.metrics.dims = 3;
+  sc.metrics.levels = 16;
 
   std::vector<Variant> variants;
   variants.push_back({"fully-preemptive", QueueDiscipline::kFullyPreemptive,

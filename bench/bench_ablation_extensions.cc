@@ -55,8 +55,8 @@ DiskModel* SharedDisk() {
 
 void Run() {
   SimulatorConfig sc;
-  sc.metric_dims = 2;
-  sc.metric_levels = 8;
+  sc.metrics.dims = 2;
+  sc.metrics.levels = 8;
 
   const auto trace = EdlTrace(/*dims=*/2);
   std::printf("EDL workload: %zu requests, 48 editors, 2 QoS dimensions\n\n",

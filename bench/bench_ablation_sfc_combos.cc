@@ -30,8 +30,8 @@ void Run() {
 
   SimulatorConfig sc;
   sc.service_model = ServiceModel::kFullDisk;
-  sc.metric_dims = 3;
-  sc.metric_levels = 8;
+  sc.metrics.dims = 3;
+  sc.metrics.levels = 8;
 
   TablePrinter t({"sfc1", "sfc2", "sfc3", "inv% (vs edf)", "miss% (vs edf)",
                   "mean seek ms"});

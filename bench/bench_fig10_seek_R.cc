@@ -38,8 +38,8 @@ void Run() {
 
   SimulatorConfig sc;
   sc.service_model = ServiceModel::kFullDisk;
-  sc.metric_dims = 3;
-  sc.metric_levels = 8;
+  sc.metrics.dims = 3;
+  sc.metrics.levels = 8;
 
   // Points 0/1 are the C-SCAN and EDF baselines; then one point per R.
   std::vector<RunPoint> points;

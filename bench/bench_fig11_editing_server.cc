@@ -42,8 +42,8 @@ std::vector<Request> EditingTrace(uint32_t users) {
 
 void Run() {
   SimulatorConfig sc;
-  sc.metric_dims = 1;
-  sc.metric_levels = 8;
+  sc.metrics.dims = 1;
+  sc.metrics.levels = 8;
 
   // The deadline horizon matches the workload's deadline range so the
   // deadline axis has full resolution where it matters.
@@ -89,6 +89,12 @@ void Run() {
   for (uint32_t users = 68; users <= 91; users += 3) {
     std::vector<std::string> row{std::to_string(users)};
     for (size_t e = 0; e < entries.size(); ++e) {
+      // The heaviest load's full aggregate per scheduler, for offline
+      // diffing beyond the single cost number the figure plots.
+      if (users == 91) {
+        bench::EmitMetrics(results[next],
+                           "fig11_metrics_" + entries[e].label);
+      }
       row.push_back(
           FormatDouble(results[next++].WeightedLossCost(0, 11.0, 1.0), 3));
     }

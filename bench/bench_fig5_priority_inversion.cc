@@ -26,8 +26,8 @@ void RunLoad(const char* label, double interarrival_ms, uint64_t count) {
 
   SimulatorConfig sc;
   sc.service_model = ServiceModel::kTransferOnly;
-  sc.metric_dims = 3;
-  sc.metric_levels = 16;
+  sc.metrics.dims = 3;
+  sc.metrics.levels = 16;
 
   // Point 0 is the FIFO baseline; then one point per (window, curve).
   std::vector<RunPoint> points;

@@ -13,7 +13,7 @@ namespace {
 void Run() {
   SimulatorConfig sc;
   sc.service_model = ServiceModel::kTransferOnly;
-  sc.metric_levels = 16;
+  sc.metrics.levels = 16;
 
   std::printf("== Figure 6: priority inversion (%% of FIFO) vs "
               "#dimensions ==\n\n");
@@ -32,7 +32,7 @@ void Run() {
     wc.priority_levels = 16;
     wc.relaxed_deadlines = true;
     const TracePtr trace = ShareTrace(bench::MustGenerate(wc));
-    sc.metric_dims = dims;
+    sc.metrics.dims = dims;
 
     points.push_back(
         {sc, trace, [] { return std::make_unique<FcfsScheduler>(); }});

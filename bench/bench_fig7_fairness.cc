@@ -28,8 +28,8 @@ void Run() {
 
   SimulatorConfig sc;
   sc.service_model = ServiceModel::kTransferOnly;
-  sc.metric_dims = 4;
-  sc.metric_levels = 16;
+  sc.metrics.dims = 4;
+  sc.metrics.levels = 16;
 
   // Point 0 is the FIFO baseline; then one point per (window, curve).
   std::vector<RunPoint> points;

@@ -36,8 +36,8 @@ void Run() {
 
   SimulatorConfig sc;
   sc.service_model = ServiceModel::kTransferOnly;
-  sc.metric_dims = 3;
-  sc.metric_levels = 8;
+  sc.metrics.dims = 3;
+  sc.metrics.levels = 8;
 
   const std::vector<std::string> curves{"hilbert", "peano", "diagonal"};
   const std::vector<double> fs{0.0, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 10.0};

@@ -32,8 +32,8 @@ void Run() {
 
   SimulatorConfig sc;
   sc.service_model = ServiceModel::kTransferOnly;
-  sc.metric_dims = 3;
-  sc.metric_levels = 8;
+  sc.metrics.dims = 3;
+  sc.metrics.levels = 8;
 
   std::vector<SchedulerEntry> schedulers;
   schedulers.push_back(

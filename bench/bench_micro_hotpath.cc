@@ -23,6 +23,8 @@
 #include "core/dispatcher.h"
 #include "core/presets.h"
 #include "exp/table.h"
+#include "obs/export.h"
+#include "obs/json.h"
 
 namespace csfc {
 namespace {
@@ -163,31 +165,41 @@ void WriteJson(const std::vector<CharacterizeResult>& chars,
   if (const char* dir = std::getenv("CSFC_BENCH_JSON_DIR")) {
     path = std::string(dir) + "/" + path;
   }
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("characterize");
+  json.BeginArray();
+  for (const CharacterizeResult& c : chars) {
+    json.BeginObject();
+    json.Field("config", c.config);
+    json.Field("direct_rps", c.direct_rps);
+    json.Field("lut_rps", c.lut_rps);
+    json.Field("speedup", c.lut_rps / c.direct_rps);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("dispatcher_insert_pop");
+  json.BeginArray();
+  for (const DispatcherResult& d : disps) {
+    json.BeginObject();
+    json.Field("depth", static_cast<uint64_t>(d.depth));
+    json.Field("map_ops_per_sec", d.map_ops);
+    json.Field("flat_ops_per_sec", d.flat_ops);
+    json.Field("speedup", d.flat_ops / d.map_ops);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  auto out = obs::FileWriter::Open(path);
+  Status s = out.ok() ? out->Append(json.str()) : out.status();
+  if (s.ok()) s = out->Append("\n");
+  if (s.ok()) s = out->Close();
+  if (!s.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"characterize\": [\n");
-  for (size_t i = 0; i < chars.size(); ++i) {
-    const CharacterizeResult& c = chars[i];
-    std::fprintf(f,
-                 "    {\"config\": \"%s\", \"direct_rps\": %.0f, "
-                 "\"lut_rps\": %.0f, \"speedup\": %.2f}%s\n",
-                 c.config.c_str(), c.direct_rps, c.lut_rps,
-                 c.lut_rps / c.direct_rps, i + 1 < chars.size() ? "," : "");
-  }
-  std::fprintf(f, "  ],\n  \"dispatcher_insert_pop\": [\n");
-  for (size_t i = 0; i < disps.size(); ++i) {
-    const DispatcherResult& d = disps[i];
-    std::fprintf(f,
-                 "    {\"depth\": %zu, \"map_ops_per_sec\": %.0f, "
-                 "\"flat_ops_per_sec\": %.0f, \"speedup\": %.2f}%s\n",
-                 d.depth, d.map_ops, d.flat_ops, d.flat_ops / d.map_ops,
-                 i + 1 < disps.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
   std::printf("(json: %s)\n", path.c_str());
 }
 

@@ -1,6 +1,8 @@
 // Shared helpers for the figure-regeneration binaries. Each bench binary
-// prints the same rows/series the corresponding paper figure plots (plus a
-// CSV next to the binary when CSFC_BENCH_CSV_DIR is set).
+// prints the same rows/series the corresponding paper figure plots; all
+// machine-readable output goes through obs::Export — CSV per table when
+// CSFC_BENCH_CSV_DIR is set, JSON per table (and per RunMetrics via
+// EmitMetrics) when CSFC_BENCH_JSON_DIR is set.
 
 #ifndef CSFC_BENCH_BENCH_UTIL_H_
 #define CSFC_BENCH_BENCH_UTIL_H_
@@ -15,6 +17,7 @@
 #include "core/presets.h"
 #include "exp/runner.h"
 #include "exp/table.h"
+#include "obs/export.h"
 #include "workload/generator.h"
 #include "workload/trace.h"
 
@@ -86,18 +89,44 @@ inline std::vector<Request> MustGenerate(const WorkloadConfig& config) {
   return DrainGenerator(**gen);
 }
 
-/// Emits the table to stdout and, when CSFC_BENCH_CSV_DIR is set, to
-/// <dir>/<name>.csv.
+/// Exports `exportable` (anything with an obs::Export overload) to
+/// <dir>/<name>.<ext> and prints the path; errors are reported but not
+/// fatal — a failed artifact write must not kill a long sweep.
+template <typename T>
+inline void ExportTo(const T& exportable, const std::string& dir,
+                     const std::string& name, obs::ExportFormat format,
+                     const char* ext) {
+  const std::string path = dir + "/" + name + "." + ext;
+  auto out = obs::FileWriter::Open(path);
+  Status s = out.ok() ? obs::Export(exportable, *out, format) : out.status();
+  if (s.ok() && out.ok()) s = out->Close();
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s write failed: %s\n", ext, s.ToString().c_str());
+  } else {
+    std::printf("(%s: %s)\n", ext, path.c_str());
+  }
+}
+
+/// Emits the table to stdout and, through obs::Export, to
+/// <CSFC_BENCH_CSV_DIR>/<name>.csv and <CSFC_BENCH_JSON_DIR>/<name>.json
+/// when those are set.
 inline void Emit(const TablePrinter& table, const std::string& name) {
   table.Print();
   std::printf("\n");
   if (const char* dir = std::getenv("CSFC_BENCH_CSV_DIR")) {
-    const std::string path = std::string(dir) + "/" + name + ".csv";
-    if (Status s = table.WriteCsv(path); !s.ok()) {
-      std::fprintf(stderr, "csv write failed: %s\n", s.ToString().c_str());
-    } else {
-      std::printf("(csv: %s)\n\n", path.c_str());
-    }
+    ExportTo(table, dir, name, obs::ExportFormat::kCsv, "csv");
+  }
+  if (const char* dir = std::getenv("CSFC_BENCH_JSON_DIR")) {
+    ExportTo(table, dir, name, obs::ExportFormat::kJson, "json");
+  }
+}
+
+/// Emits the full RunMetrics aggregate of one run as JSON to
+/// <CSFC_BENCH_JSON_DIR>/<name>.json (no-op when the directory is unset) —
+/// the raw numbers behind a figure row, for offline diffing.
+inline void EmitMetrics(const RunMetrics& metrics, const std::string& name) {
+  if (const char* dir = std::getenv("CSFC_BENCH_JSON_DIR")) {
+    ExportTo(metrics, dir, name, obs::ExportFormat::kJson, "json");
   }
 }
 

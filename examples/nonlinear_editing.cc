@@ -41,8 +41,8 @@ int main(int argc, char** argv) {
               users, trace.size(), mc.duration_ms / 1000.0);
 
   SimulatorConfig sc;
-  sc.metric_dims = 1;
-  sc.metric_levels = 8;
+  sc.metrics.dims = 1;
+  sc.metrics.levels = 8;
 
   struct Entry {
     const char* label;

@@ -69,8 +69,8 @@ int main(int argc, char** argv) {
   }
 
   SimulatorConfig sc;
-  sc.metric_dims = 1;
-  sc.metric_levels = 8;
+  sc.metrics.dims = 1;
+  sc.metrics.levels = 8;
   const CascadedConfig sched_config = PresetStage2Curve(
       "hilbert", /*deadline_major=*/false, 3, 0.05, 150.0);
 

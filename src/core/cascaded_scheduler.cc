@@ -29,18 +29,58 @@ CascadedSfcScheduler::CascadedSfcScheduler(
   name_ = "csfc[" + encapsulator_->config().Signature() + "]";
 }
 
+void CascadedSfcScheduler::Observe(obs::Tracer& tracer) {
+  tracer_ = &tracer;
+  dispatcher_->set_tracer(&tracer);
+}
+
 void CascadedSfcScheduler::Enqueue(const Request& r,
                                    const DispatchContext& ctx) {
-  last_cvalue_ = encapsulator_->Characterize(r, ctx);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->set_now(ctx.now);
+    const StageValues sv = encapsulator_->CharacterizeStages(r, ctx);
+    last_cvalue_ = sv.vc;
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kCharacterize;
+    e.t = ctx.now;
+    e.id = r.id;
+    e.v1 = sv.v1;
+    e.v2 = sv.v2;
+    e.vc = sv.vc;
+    tracer_->Emit(e);
+  } else {
+    last_cvalue_ = encapsulator_->Characterize(r, ctx);
+  }
   dispatcher_->Insert(last_cvalue_, r);
 }
 
 std::optional<Request> CascadedSfcScheduler::Dispatch(
     const DispatchContext& ctx) {
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+  if (tracing) tracer_->set_now(ctx.now);
   if (recharacterize_on_swap_ && dispatcher_->NeedsSwapForPop()) {
-    dispatcher_->RekeyWaiting([this, &ctx](const Request& r) {
-      return encapsulator_->Characterize(r, ctx);
-    });
+    if (tracing) {
+      // Batch formation: each waiting request is re-characterized against
+      // the current head/time; trace the new stage values so v_c drift
+      // between arrival and service is attributable.
+      dispatcher_->RekeyWaiting([this, &ctx](const Request& r) {
+        const StageValues sv = encapsulator_->CharacterizeStages(r, ctx);
+        obs::TraceEvent e;
+        e.kind = obs::TraceEventKind::kCharacterize;
+        e.t = ctx.now;
+        e.id = r.id;
+        e.v1 = sv.v1;
+        e.v2 = sv.v2;
+        e.vc = sv.vc;
+        e.rekey = true;
+        tracer_->Emit(e);
+        return sv.vc;
+      });
+    } else {
+      dispatcher_->RekeyWaiting([this, &ctx](const Request& r) {
+        return encapsulator_->Characterize(r, ctx);
+      });
+    }
   }
   return dispatcher_->Pop();
 }

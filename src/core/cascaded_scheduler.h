@@ -37,6 +37,11 @@ class CascadedSfcScheduler final : public Scheduler {
   size_t queue_size() const override { return dispatcher_->size(); }
   void ForEachWaiting(
       const std::function<void(const Request&)>& fn) const override;
+  /// Emits characterize events (with the per-stage SFC1/SFC2/SFC3
+  /// intermediate values) on every Enqueue and batch re-key, and wires
+  /// the dispatcher's preempt / SP-promote / queue-swap / ER-reset
+  /// events. See Scheduler::Observe for the lifetime contract.
+  void Observe(obs::Tracer& tracer) override;
 
   /// The characterization value assigned to the most recent Enqueue (for
   /// tests and introspection).
@@ -54,6 +59,7 @@ class CascadedSfcScheduler final : public Scheduler {
   std::string name_;
   CValue last_cvalue_ = 0.0;
   bool recharacterize_on_swap_;
+  obs::Tracer* tracer_ = nullptr;  // borrowed; set by Observe
 };
 
 }  // namespace csfc

@@ -121,6 +121,7 @@ Dispatcher::Dispatcher(const Dispatcher& other)
       preemptions_(other.preemptions_),
       promotions_(other.promotions_),
       swaps_(other.swaps_),
+      tracer_(other.tracer_),
       shadow_(std::make_unique<ReferenceDispatcher>(*other.shadow_)) {}
 
 Dispatcher& Dispatcher::operator=(const Dispatcher& other) {
@@ -182,6 +183,15 @@ void Dispatcher::Insert(CValue v, const Request& r) {
         active_.Push(key, slot);
         ++preemptions_;
         if (config_.expand_reset) window_ *= config_.expansion_factor;
+        if (tracer_ != nullptr && tracer_->enabled()) {
+          obs::TraceEvent e;
+          e.kind = obs::TraceEventKind::kPreempt;
+          e.t = tracer_->now();
+          e.id = r.id;
+          e.vc = v;
+          e.window = window_;
+          tracer_->Emit(e);
+        }
       } else {
         // Lower priority, or higher but inside the blocking window
         // (Figures 3a and 3b): wait for the next batch.
@@ -196,7 +206,24 @@ void Dispatcher::Insert(CValue v, const Request& r) {
 void Dispatcher::Swap() {
   swap(active_, waiting_);
   ++swaps_;
-  if (config_.expand_reset) window_ = config_.window;  // ER reset
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+  if (tracing) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kQueueSwap;
+    e.t = tracer_->now();
+    e.queue_depth = size();
+    tracer_->Emit(e);
+  }
+  if (config_.expand_reset) {
+    window_ = config_.window;  // ER reset
+    if (tracing) {
+      obs::TraceEvent e;
+      e.kind = obs::TraceEventKind::kWindowReset;
+      e.t = tracer_->now();
+      e.window = window_;
+      tracer_->Emit(e);
+    }
+  }
 }
 
 std::optional<Request> Dispatcher::Pop() {
@@ -210,6 +237,15 @@ std::optional<Request> Dispatcher::Pop() {
       const SlotHeap::Entry e = waiting_.PopMin();
       active_.Push(e.key, e.slot);
       ++promotions_;
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        obs::TraceEvent ev;
+        ev.kind = obs::TraceEventKind::kPromote;
+        ev.t = tracer_->now();
+        ev.id = pool_[e.slot].id;
+        ev.vc = e.key.v;
+        ev.window = window_;
+        tracer_->Emit(ev);
+      }
     }
   }
   if (active_.empty()) {

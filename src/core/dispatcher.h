@@ -51,6 +51,7 @@
 #include "common/status.h"
 #include "core/cvalue.h"
 #include "core/flat_queue.h"
+#include "obs/tracer.h"
 #include "workload/request.h"
 
 namespace csfc {
@@ -163,6 +164,13 @@ class Dispatcher {
   /// Total queue swaps.
   uint64_t swaps() const { return swaps_; }
 
+  /// Attaches the tracer preempt / SP-promote / queue-swap / ER-reset
+  /// events are emitted through (null or disabled = no tracing; the only
+  /// residual cost is one branch per queue op). Event timestamps come
+  /// from Tracer::now(), which the owning scheduler stamps from the
+  /// DispatchContext before delegating.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   const DispatcherConfig& config() const { return config_; }
 
  private:
@@ -196,6 +204,10 @@ class Dispatcher {
   uint64_t preemptions_ = 0;
   uint64_t promotions_ = 0;
   uint64_t swaps_ = 0;
+  /// Borrowed observability tracer (see set_tracer). Deliberately not
+  /// copied by the debug-build copy constructor's shadow logic: the copy
+  /// shares the same tracer handle.
+  obs::Tracer* tracer_ = nullptr;
 #ifndef NDEBUG
   std::unique_ptr<ReferenceDispatcher> shadow_;
 #endif

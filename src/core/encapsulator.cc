@@ -138,6 +138,15 @@ CValue Encapsulator::Characterize(const Request& r,
   return Stage3(v2, r, ctx);
 }
 
+StageValues Encapsulator::CharacterizeStages(const Request& r,
+                                             const DispatchContext& ctx) const {
+  StageValues sv;
+  sv.v1 = Stage1(r);
+  sv.v2 = Stage2(sv.v1, r, ctx);
+  sv.vc = Stage3(sv.v2, r, ctx);
+  return sv;
+}
+
 CValue Encapsulator::Stage1(const Request& r) const {
   if (curve1_ == nullptr) {
     // Pass-through: single-priority (or no-priority) applications skip

@@ -101,6 +101,16 @@ struct EncapsulatorConfig {
   std::string Signature() const;
 };
 
+/// Per-stage intermediate values of one characterization: what each
+/// cascaded stage contributed to the final v_c. Exposed for the
+/// observability layer (characterize trace events) and tests; the hot
+/// path uses Characterize, which skips materializing them.
+struct StageValues {
+  CValue v1 = 0.0;  ///< SFC1 output (priority curve position)
+  CValue v2 = 0.0;  ///< SFC2 output (priority-deadline blend)
+  CValue vc = 0.0;  ///< SFC3 output = the final characterization value
+};
+
 /// The encapsulator: maps requests to characterization values.
 class Encapsulator {
  public:
@@ -109,6 +119,12 @@ class Encapsulator {
 
   /// Computes v_c in [0, 1) for `r` given the disk state in `ctx`.
   CValue Characterize(const Request& r, const DispatchContext& ctx) const;
+
+  /// Characterize, also returning each stage's intermediate value.
+  /// StageValues.vc is identical to what Characterize returns on the same
+  /// inputs.
+  StageValues CharacterizeStages(const Request& r,
+                                 const DispatchContext& ctx) const;
 
   const EncapsulatorConfig& config() const { return config_; }
 

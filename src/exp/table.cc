@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
-#include <fstream>
+
+#include "obs/export.h"
 
 namespace csfc {
 
@@ -46,30 +47,12 @@ std::string TablePrinter::ToString() const {
 void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
 
 Status TablePrinter::WriteCsv(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  auto emit = [&](const std::vector<std::string>& row) {
-    for (size_t c = 0; c < row.size(); ++c) {
-      if (c) out << ',';
-      const bool quote = row[c].find_first_of(",\"\n") != std::string::npos;
-      if (quote) {
-        out << '"';
-        for (char ch : row[c]) {
-          if (ch == '"') out << '"';
-          out << ch;
-        }
-        out << '"';
-      } else {
-        out << row[c];
-      }
-    }
-    out << '\n';
-  };
-  emit(headers_);
-  for (const auto& row : rows_) emit(row);
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  Result<obs::FileWriter> out = obs::FileWriter::Open(path);
+  if (!out.ok()) return out.status();
+  if (Status s = obs::Export(*this, *out, obs::ExportFormat::kCsv); !s.ok()) {
+    return s;
+  }
+  return out->Close();
 }
 
 std::string FormatDouble(double v, int precision) {

@@ -25,10 +25,13 @@ class TablePrinter {
   /// Prints ToString() to stdout.
   void Print() const;
 
-  /// Writes the table as CSV to `path`.
+  /// Writes the table as CSV to `path` (thin wrapper over
+  /// obs::Export(table, FileWriter, kCsv)).
   Status WriteCsv(const std::string& path) const;
 
   size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
  private:
   std::vector<std::string> headers_;

@@ -1,0 +1,298 @@
+#include "obs/export.h"
+
+#include <utility>
+
+#include "exp/table.h"
+#include "obs/json.h"
+#include "stats/metrics.h"
+
+namespace csfc {
+namespace obs {
+
+// --------------------------------------------------------------------------
+// Writers
+// --------------------------------------------------------------------------
+
+Result<FileWriter> FileWriter::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  return FileWriter(f, path);
+}
+
+FileWriter::~FileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+FileWriter::FileWriter(FileWriter&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      path_(std::move(other.path_)) {}
+
+FileWriter& FileWriter::operator=(FileWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+Status FileWriter::Append(std::string_view data) {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer is closed");
+  if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+    return Status::IoError("write failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Status FileWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const bool ok = std::fflush(file_) == 0;
+  const bool closed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  if (!ok || !closed) return Status::IoError("close failed: " + path_);
+  return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// Trace events
+// --------------------------------------------------------------------------
+
+std::string TraceEventToJson(const TraceEvent& e) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("ev", TraceEventKindName(e.kind));
+  w.Field("t_ms", SimToMs(e.t));
+  if (e.has_request()) w.Field("id", e.id);
+  switch (e.kind) {
+    case TraceEventKind::kArrival:
+      w.Field("cyl", e.cylinder);
+      w.Field("level", e.level);
+      if (e.deadline != kNoDeadline) w.Field("deadline_ms", SimToMs(e.deadline));
+      break;
+    case TraceEventKind::kCharacterize:
+      w.Field("v1", e.v1);
+      w.Field("v2", e.v2);
+      w.Field("vc", e.vc);
+      if (e.rekey) w.Field("rekey", true);
+      break;
+    case TraceEventKind::kEnqueue:
+    case TraceEventKind::kQueueSwap:
+      w.Field("qd", e.queue_depth);
+      break;
+    case TraceEventKind::kPreempt:
+    case TraceEventKind::kPromote:
+      w.Field("vc", e.vc);
+      w.Field("window", e.window);
+      break;
+    case TraceEventKind::kWindowReset:
+      w.Field("window", e.window);
+      break;
+    case TraceEventKind::kDispatch:
+      w.Field("cyl", e.cylinder);
+      w.Field("qd", e.queue_depth);
+      break;
+    case TraceEventKind::kCompletion:
+      w.Field("seek_ms", e.seek_ms);
+      w.Field("service_ms", e.service_ms);
+      w.Field("response_ms", e.response_ms);
+      w.Field("missed", e.missed);
+      break;
+    case TraceEventKind::kDeadlineMiss:
+      break;
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+namespace {
+
+std::string CsvQuote(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status AppendCsvRow(Writer& writer, const std::vector<std::string>& cells) {
+  std::string line;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) line += ',';
+    line += CsvQuote(cells[i]);
+  }
+  line += '\n';
+  return writer.Append(line);
+}
+
+std::string Num(double v) {
+  JsonWriter w;
+  w.Value(v);
+  return w.Take();
+}
+
+Status ExportEventsCsv(std::span<const TraceEvent> events, Writer& writer) {
+  if (Status s = AppendCsvRow(
+          writer, {"ev", "t_ms", "id", "cyl", "level", "deadline_ms", "v1",
+                   "v2", "vc", "rekey", "qd", "window", "seek_ms",
+                   "service_ms", "response_ms", "missed"});
+      !s.ok()) {
+    return s;
+  }
+  for (const TraceEvent& e : events) {
+    std::vector<std::string> row;
+    row.emplace_back(TraceEventKindName(e.kind));
+    row.push_back(Num(SimToMs(e.t)));
+    row.push_back(e.has_request() ? std::to_string(e.id) : "");
+    row.push_back(std::to_string(e.cylinder));
+    row.push_back(std::to_string(e.level));
+    row.push_back(e.deadline == kNoDeadline ? "" : Num(SimToMs(e.deadline)));
+    row.push_back(Num(e.v1));
+    row.push_back(Num(e.v2));
+    row.push_back(Num(e.vc));
+    row.push_back(e.rekey ? "1" : "0");
+    row.push_back(std::to_string(e.queue_depth));
+    row.push_back(Num(e.window));
+    row.push_back(Num(e.seek_ms));
+    row.push_back(Num(e.service_ms));
+    row.push_back(Num(e.response_ms));
+    row.push_back(e.missed ? "1" : "0");
+    if (Status s = AppendCsvRow(writer, row); !s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Export(const RunMetrics& metrics, Writer& writer, ExportFormat format) {
+  if (format == ExportFormat::kCsv) {
+    return Status::InvalidArgument(
+        "RunMetrics is a nested aggregate; export it as JSON");
+  }
+  if (Status s = writer.Append(metrics.ToJson()); !s.ok()) return s;
+  return writer.Append("\n");
+}
+
+Status Export(std::span<const TraceEvent> events, Writer& writer,
+              ExportFormat format) {
+  switch (format) {
+    case ExportFormat::kCsv:
+      return ExportEventsCsv(events, writer);
+    case ExportFormat::kJson:
+      return Status::InvalidArgument(
+          "traces export as JSONL (one event per line) or CSV");
+    case ExportFormat::kJsonl:
+      for (const TraceEvent& e : events) {
+        if (Status s = writer.Append(TraceEventToJson(e)); !s.ok()) return s;
+        if (Status s = writer.Append("\n"); !s.ok()) return s;
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status Export(const TraceRecorder& recorder, Writer& writer,
+              ExportFormat format) {
+  const std::vector<TraceEvent> events = recorder.Events();
+  return Export(std::span<const TraceEvent>(events), writer, format);
+}
+
+Status Export(const WindowedMetrics& windows, Writer& writer,
+              ExportFormat format) {
+  const std::vector<WindowRow> rows = windows.Rows();
+  if (format == ExportFormat::kCsv) {
+    if (Status s = AppendCsvRow(
+            writer, {"start_ms", "arrivals", "completions", "misses",
+                     "miss_rate", "mean_queue_depth", "end_queue_depth",
+                     "promotions", "preemptions", "mean_seek_ms"});
+        !s.ok()) {
+      return s;
+    }
+    for (const WindowRow& r : rows) {
+      if (Status s = AppendCsvRow(
+              writer,
+              {Num(r.start_ms), std::to_string(r.arrivals),
+               std::to_string(r.completions), std::to_string(r.misses),
+               Num(r.miss_rate()), Num(r.mean_queue_depth),
+               std::to_string(r.end_queue_depth), std::to_string(r.promotions),
+               std::to_string(r.preemptions), Num(r.mean_seek_ms())});
+          !s.ok()) {
+        return s;
+      }
+    }
+    return Status::OK();
+  }
+  const bool jsonl = format == ExportFormat::kJsonl;
+  JsonWriter w;
+  if (!jsonl) w.BeginArray();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const WindowRow& r = rows[i];
+    w.BeginObject();
+    w.Field("start_ms", r.start_ms);
+    w.Field("arrivals", r.arrivals);
+    w.Field("completions", r.completions);
+    w.Field("misses", r.misses);
+    w.Field("miss_rate", r.miss_rate());
+    w.Field("mean_queue_depth", r.mean_queue_depth);
+    w.Field("end_queue_depth", r.end_queue_depth);
+    w.Field("promotions", r.promotions);
+    w.Field("preemptions", r.preemptions);
+    w.Field("mean_seek_ms", r.mean_seek_ms());
+    w.EndObject();
+    if (jsonl) {
+      if (Status s = writer.Append(w.Take()); !s.ok()) return s;
+      if (Status s = writer.Append("\n"); !s.ok()) return s;
+      w = JsonWriter();
+    }
+  }
+  if (jsonl) return Status::OK();
+  w.EndArray();
+  if (Status s = writer.Append(w.Take()); !s.ok()) return s;
+  return writer.Append("\n");
+}
+
+Status Export(const TablePrinter& table, Writer& writer, ExportFormat format) {
+  const std::vector<std::string>& headers = table.headers();
+  if (format == ExportFormat::kCsv) {
+    if (Status s = AppendCsvRow(writer, headers); !s.ok()) return s;
+    for (const std::vector<std::string>& row : table.rows()) {
+      if (Status s = AppendCsvRow(writer, row); !s.ok()) return s;
+    }
+    return Status::OK();
+  }
+  const bool jsonl = format == ExportFormat::kJsonl;
+  JsonWriter w;
+  if (!jsonl) w.BeginArray();
+  for (const std::vector<std::string>& row : table.rows()) {
+    w.BeginObject();
+    for (size_t c = 0; c < headers.size() && c < row.size(); ++c) {
+      w.Field(headers[c], row[c]);
+    }
+    w.EndObject();
+    if (jsonl) {
+      if (Status s = writer.Append(w.Take()); !s.ok()) return s;
+      if (Status s = writer.Append("\n"); !s.ok()) return s;
+      w = JsonWriter();
+    }
+  }
+  if (jsonl) return Status::OK();
+  w.EndArray();
+  if (Status s = writer.Append(w.Take()); !s.ok()) return s;
+  return writer.Append("\n");
+}
+
+void JsonlSink::OnEvent(const TraceEvent& event) {
+  if (!status_.ok()) return;
+  Status s = writer_->Append(TraceEventToJson(event));
+  if (s.ok()) s = writer_->Append("\n");
+  if (!s.ok()) {
+    status_ = std::move(s);
+    return;
+  }
+  ++events_written_;
+}
+
+}  // namespace obs
+}  // namespace csfc

@@ -1,0 +1,132 @@
+// The unified export API: every structured artifact the repo produces —
+// aggregate RunMetrics, recorded traces, windowed time series, bench
+// tables — leaves the process through one overload set,
+//
+//   Status Export(<thing>, Writer&, ExportFormat)
+//
+// so benches and tools stop hand-rolling fprintf formatting. Formats:
+//
+//   * kJson  - one JSON document (object or array).
+//   * kJsonl - one JSON object per line; the trace interchange format
+//              tools/trace_inspect consumes (schema in DESIGN.md §10).
+//   * kCsv   - header row + data rows, RFC-4180 quoting.
+//
+// Writer is the byte sink: StringWriter for tests/round-trips, FileWriter
+// for files. JsonlSink adapts a Writer into an EventSink so long runs can
+// stream their trace straight to disk instead of buffering it.
+
+#ifndef CSFC_OBS_EXPORT_H_
+#define CSFC_OBS_EXPORT_H_
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "obs/recorder.h"
+#include "obs/trace_event.h"
+#include "obs/windowed.h"
+
+namespace csfc {
+
+struct RunMetrics;
+class TablePrinter;
+
+namespace obs {
+
+/// Byte sink the exporters write through.
+class Writer {
+ public:
+  virtual ~Writer() = default;
+  virtual Status Append(std::string_view data) = 0;
+};
+
+/// Accumulates into a string (tests, in-memory round trips).
+class StringWriter : public Writer {
+ public:
+  Status Append(std::string_view data) override {
+    out_.append(data);
+    return Status::OK();
+  }
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Writes to a file it owns. Move-only; flushes and closes on destruction.
+class FileWriter : public Writer {
+ public:
+  static Result<FileWriter> Open(const std::string& path);
+  ~FileWriter() override;
+
+  FileWriter(FileWriter&& other) noexcept;
+  FileWriter& operator=(FileWriter&& other) noexcept;
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  Status Append(std::string_view data) override;
+  /// Flushes and closes; further Appends fail. Returns the first error.
+  Status Close();
+
+ private:
+  explicit FileWriter(std::FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+enum class ExportFormat { kJson, kJsonl, kCsv };
+
+/// Serializes one trace event as a single-line JSON object (no trailing
+/// newline) — the JSONL schema unit.
+std::string TraceEventToJson(const TraceEvent& event);
+
+/// RunMetrics -> one JSON document (kJson; kJsonl emits the same single
+/// object as one line). kCsv is not meaningful for the nested aggregate
+/// and returns InvalidArgument.
+Status Export(const RunMetrics& metrics, Writer& writer,
+              ExportFormat format = ExportFormat::kJson);
+
+/// Trace events -> JSONL (default) or CSV with one row per event.
+Status Export(std::span<const TraceEvent> events, Writer& writer,
+              ExportFormat format = ExportFormat::kJsonl);
+
+/// Recorded trace -> JSONL/CSV (oldest surviving event first).
+Status Export(const TraceRecorder& recorder, Writer& writer,
+              ExportFormat format = ExportFormat::kJsonl);
+
+/// Windowed time series -> JSONL/CSV, one row per window.
+Status Export(const WindowedMetrics& windows, Writer& writer,
+              ExportFormat format = ExportFormat::kCsv);
+
+/// Bench table -> CSV (what the figure CSVs always were) or a JSON array
+/// of {header: cell} row objects. kJsonl emits one row object per line.
+Status Export(const TablePrinter& table, Writer& writer,
+              ExportFormat format = ExportFormat::kCsv);
+
+/// EventSink that streams every event through `writer` as JSONL, for
+/// runs too long to buffer in a TraceRecorder. Write errors are sticky:
+/// the first failure is kept and later events are dropped.
+class JsonlSink : public EventSink {
+ public:
+  explicit JsonlSink(Writer& writer) : writer_(&writer) {}
+
+  void OnEvent(const TraceEvent& event) override;
+
+  uint64_t events_written() const { return events_written_; }
+  const Status& status() const { return status_; }
+
+ private:
+  Writer* writer_;
+  uint64_t events_written_ = 0;
+  Status status_;
+};
+
+}  // namespace obs
+}  // namespace csfc
+
+#endif  // CSFC_OBS_EXPORT_H_

@@ -1,0 +1,86 @@
+// Minimal JSON support for the export layer: a streaming writer (the only
+// JSON producer in the repo — RunMetrics::ToJson, the JSONL trace
+// exporter and the bench baselines all build on it) and a flat-object
+// parser sized to the trace schema (one-level objects of strings,
+// numbers and booleans — exactly what one JSONL event line is), used by
+// tools/trace_inspect and the round-trip tests. Not a general JSON
+// library; nested values are out of scope by design.
+
+#ifndef CSFC_OBS_JSON_H_
+#define CSFC_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace csfc {
+namespace obs {
+
+/// Escapes `s` per JSON string rules (quotes not included).
+std::string JsonEscape(std::string_view s);
+
+/// Appends JSON values to a string. Handles the comma/key bookkeeping;
+/// callers open/close containers explicitly. Numbers are emitted with
+/// enough precision to round-trip doubles.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Sets the key the next value is written under (objects only).
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(double v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(unsigned v) { return Value(static_cast<uint64_t>(v)); }
+  JsonWriter& Value(bool v);
+
+  /// Key(k).Value(v) in one call.
+  template <typename T>
+  JsonWriter& Field(std::string_view key, T v) {
+    return Key(key).Value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Separate();
+
+  std::string out_;
+  bool need_comma_ = false;
+  bool have_key_ = false;
+};
+
+/// One scalar from a parsed flat JSON object.
+struct JsonScalar {
+  enum class Type { kString, kNumber, kBool, kNull };
+  Type type = Type::kNull;
+  std::string str;     // kString
+  double num = 0.0;    // kNumber
+  bool boolean = false;  // kBool
+
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_bool() const { return type == Type::kBool; }
+};
+
+using JsonObject = std::map<std::string, JsonScalar>;
+
+/// Parses a single flat JSON object ({"k": scalar, ...}). Returns
+/// InvalidArgument on malformed input or on nested containers.
+Result<JsonObject> ParseFlatJsonObject(std::string_view line);
+
+}  // namespace obs
+}  // namespace csfc
+
+#endif  // CSFC_OBS_JSON_H_

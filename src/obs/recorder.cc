@@ -1,0 +1,35 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+
+namespace csfc {
+namespace obs {
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : buffer_(std::max<size_t>(capacity, 1)) {}
+
+void TraceRecorder::OnEvent(const TraceEvent& event) {
+  buffer_[next_] = event;
+  next_ = next_ + 1 == buffer_.size() ? 0 : next_ + 1;
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  const size_t n = size();
+  out.reserve(n);
+  // When wrapped, the oldest surviving event is at next_.
+  const size_t start = total_ <= buffer_.size() ? 0 : next_;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  next_ = 0;
+  total_ = 0;
+}
+
+}  // namespace obs
+}  // namespace csfc

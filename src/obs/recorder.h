@@ -1,0 +1,56 @@
+// TraceRecorder: a bounded in-memory ring buffer of trace events.
+//
+// Records the most recent `capacity` events; older events are overwritten
+// and counted in dropped(). The buffer is sized once at construction so
+// recording never allocates on the hot path.
+
+#ifndef CSFC_OBS_RECORDER_H_
+#define CSFC_OBS_RECORDER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace csfc {
+namespace obs {
+
+class TraceRecorder : public EventSink {
+ public:
+  /// Default capacity: 64k events (~8 MB).
+  static constexpr size_t kDefaultCapacity = size_t{1} << 16;
+
+  explicit TraceRecorder(size_t capacity = kDefaultCapacity);
+
+  void OnEvent(const TraceEvent& event) override;
+
+  /// Events still held, oldest first. O(size) copy; intended for
+  /// post-run export, not the hot path.
+  std::vector<TraceEvent> Events() const;
+
+  /// Total events ever offered.
+  uint64_t total() const { return total_; }
+  /// Events overwritten because the buffer wrapped.
+  uint64_t dropped() const {
+    return total_ > buffer_.size() ? total_ - buffer_.size() : 0;
+  }
+  /// Events currently held.
+  size_t size() const {
+    return total_ < buffer_.size() ? static_cast<size_t>(total_)
+                                   : buffer_.size();
+  }
+  size_t capacity() const { return buffer_.size(); }
+
+  /// Forgets all recorded events (capacity is kept).
+  void Clear();
+
+ private:
+  std::vector<TraceEvent> buffer_;
+  size_t next_ = 0;       // slot the next event lands in
+  uint64_t total_ = 0;
+};
+
+}  // namespace obs
+}  // namespace csfc
+
+#endif  // CSFC_OBS_RECORDER_H_

@@ -1,0 +1,43 @@
+#include "obs/trace_event.h"
+
+namespace csfc {
+namespace obs {
+
+namespace {
+struct KindName {
+  TraceEventKind kind;
+  std::string_view name;
+};
+constexpr KindName kKindNames[] = {
+    {TraceEventKind::kArrival, "arrival"},
+    {TraceEventKind::kCharacterize, "characterize"},
+    {TraceEventKind::kEnqueue, "enqueue"},
+    {TraceEventKind::kPreempt, "preempt"},
+    {TraceEventKind::kPromote, "promote"},
+    {TraceEventKind::kQueueSwap, "queue_swap"},
+    {TraceEventKind::kWindowReset, "window_reset"},
+    {TraceEventKind::kDispatch, "dispatch"},
+    {TraceEventKind::kCompletion, "completion"},
+    {TraceEventKind::kDeadlineMiss, "deadline_miss"},
+};
+}  // namespace
+
+std::string_view TraceEventKindName(TraceEventKind kind) {
+  for (const KindName& kn : kKindNames) {
+    if (kn.kind == kind) return kn.name;
+  }
+  return "unknown";
+}
+
+bool ParseTraceEventKind(std::string_view name, TraceEventKind* out) {
+  for (const KindName& kn : kKindNames) {
+    if (kn.name == name) {
+      *out = kn.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace obs
+}  // namespace csfc

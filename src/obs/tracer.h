@@ -1,0 +1,56 @@
+// The Tracer: the handle instrumented code emits through.
+//
+// A Tracer wraps an EventSink pointer; a null sink means tracing is
+// disabled and every emission site reduces to one branch on enabled().
+// That branch is the whole cost of the observability layer when it is
+// off — the null-sink fast path bench_micro_hotpath verifies stays within
+// noise of the uninstrumented baseline.
+//
+// Tracers are plain handles: copyable, no ownership of the sink. The
+// simulator owns one per run (built from SimulatorConfig::trace_sink) and
+// hands it to the scheduler via Scheduler::Observe(); see
+// sched/scheduler.h for the lifetime contract.
+//
+// now(): dispatcher internals (SP promotions, ER resets) fire deep inside
+// Pop()/Insert() where no DispatchContext is in scope, so the enclosing
+// scheduler stamps the current simulation time on the tracer before
+// delegating and the dispatcher reads it back.
+
+#ifndef CSFC_OBS_TRACER_H_
+#define CSFC_OBS_TRACER_H_
+
+#include "obs/trace_event.h"
+
+namespace csfc {
+namespace obs {
+
+class Tracer {
+ public:
+  /// Disabled tracer (no sink).
+  Tracer() = default;
+  /// Traces into `sink` (not owned; may be null for a disabled tracer).
+  explicit Tracer(EventSink* sink) : sink_(sink) {}
+
+  /// True when a sink is attached. Emission sites must guard on this
+  /// before building a TraceEvent so the disabled path stays free.
+  bool enabled() const { return sink_ != nullptr; }
+
+  /// Forwards `event` to the sink (no-op when disabled).
+  void Emit(const TraceEvent& event) {
+    if (sink_ != nullptr) sink_->OnEvent(event);
+  }
+
+  /// Current simulation time for emission sites with no context of their
+  /// own (see header comment).
+  void set_now(SimTime now) { now_ = now; }
+  SimTime now() const { return now_; }
+
+ private:
+  EventSink* sink_ = nullptr;
+  SimTime now_ = 0;
+};
+
+}  // namespace obs
+}  // namespace csfc
+
+#endif  // CSFC_OBS_TRACER_H_

@@ -1,0 +1,78 @@
+#include "obs/windowed.h"
+
+#include <algorithm>
+
+namespace csfc {
+namespace obs {
+
+WindowedMetrics::WindowedMetrics(double window_ms)
+    : window_ms_(window_ms > 0.0 ? window_ms : 100.0),
+      window_span_(std::max<SimTime>(MsToSim(window_ms_), 1)) {}
+
+void WindowedMetrics::AdvanceTo(SimTime t) {
+  const int64_t index = t / window_span_;
+  if (!started_) {
+    started_ = true;
+    current_index_ = index;
+    current_.start_ms = SimToMs(current_index_ * window_span_);
+    return;
+  }
+  while (index > current_index_) {
+    current_.mean_queue_depth =
+        depth_samples_ > 0 ? depth_sum_ / static_cast<double>(depth_samples_)
+                           : static_cast<double>(depth_);
+    current_.end_queue_depth = depth_;
+    closed_.push_back(current_);
+    ++current_index_;
+    current_ = WindowRow{};
+    current_.start_ms = SimToMs(current_index_ * window_span_);
+    depth_sum_ = 0.0;
+    depth_samples_ = 0;
+  }
+}
+
+void WindowedMetrics::OnEvent(const TraceEvent& e) {
+  AdvanceTo(e.t);
+  switch (e.kind) {
+    case TraceEventKind::kArrival:
+      ++current_.arrivals;
+      break;
+    case TraceEventKind::kEnqueue:
+      ++depth_;
+      break;
+    case TraceEventKind::kDispatch:
+      if (depth_ > 0) --depth_;
+      break;
+    case TraceEventKind::kCompletion:
+      ++current_.completions;
+      current_.total_seek_ms += e.seek_ms;
+      if (e.missed) ++current_.misses;
+      break;
+    case TraceEventKind::kPromote:
+      ++current_.promotions;
+      break;
+    case TraceEventKind::kPreempt:
+      ++current_.preemptions;
+      break;
+    default:
+      break;
+  }
+  depth_sum_ += static_cast<double>(depth_);
+  ++depth_samples_;
+}
+
+std::vector<WindowRow> WindowedMetrics::Rows() const {
+  std::vector<WindowRow> rows = closed_;
+  if (started_) {
+    WindowRow open = current_;
+    open.mean_queue_depth =
+        depth_samples_ > 0 ? depth_sum_ / static_cast<double>(depth_samples_)
+                           : static_cast<double>(depth_);
+    open.end_queue_depth = depth_;
+    rows.push_back(open);
+  }
+  return rows;
+}
+
+}  // namespace obs
+}  // namespace csfc

@@ -1,0 +1,80 @@
+// WindowedMetrics: fixed-width time-series counters over the event
+// stream — queue depth, arrival/completion throughput, deadline-miss rate
+// and mean seek per window. This is the "how did the run evolve" view the
+// aggregate RunMetrics blob cannot give (e.g. queue-depth ramp under a
+// burst, the window in which misses cluster).
+//
+// Depth is reconstructed from enqueue/dispatch deltas, so the sink needs
+// no access to the scheduler; it samples the running depth at every event
+// and reports the per-window mean and end-of-window value.
+
+#ifndef CSFC_OBS_WINDOWED_H_
+#define CSFC_OBS_WINDOWED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace csfc {
+namespace obs {
+
+/// Counters for one time window [start_ms, start_ms + width).
+struct WindowRow {
+  double start_ms = 0.0;
+  uint64_t arrivals = 0;
+  uint64_t completions = 0;
+  uint64_t misses = 0;
+  uint64_t promotions = 0;
+  uint64_t preemptions = 0;
+  /// Mean queue depth over the event samples in this window (end-of-window
+  /// depth when the window saw no events).
+  double mean_queue_depth = 0.0;
+  /// Queue depth when the window closed.
+  uint64_t end_queue_depth = 0;
+  double total_seek_ms = 0.0;
+
+  /// Misses / completions-with-deadline proxy: misses over completions.
+  double miss_rate() const {
+    return completions == 0
+               ? 0.0
+               : static_cast<double>(misses) / static_cast<double>(completions);
+  }
+  double mean_seek_ms() const {
+    return completions == 0 ? 0.0
+                            : total_seek_ms / static_cast<double>(completions);
+  }
+};
+
+class WindowedMetrics : public EventSink {
+ public:
+  explicit WindowedMetrics(double window_ms = 100.0);
+
+  void OnEvent(const TraceEvent& event) override;
+
+  /// Closed windows plus the currently open one, in time order. Windows
+  /// with no events between populated ones are materialized (zero counts,
+  /// carried-over depth) so the series is gap-free.
+  std::vector<WindowRow> Rows() const;
+
+  double window_ms() const { return window_ms_; }
+
+ private:
+  /// Closes windows up to the one containing `t`.
+  void AdvanceTo(SimTime t);
+
+  double window_ms_;
+  SimTime window_span_;         // window width in SimTime units
+  int64_t current_index_ = 0;   // index of the open window
+  bool started_ = false;
+  WindowRow current_;
+  uint64_t depth_ = 0;          // running queue depth
+  uint64_t depth_samples_ = 0;  // samples folded into current_.mean_...
+  double depth_sum_ = 0.0;
+  std::vector<WindowRow> closed_;
+};
+
+}  // namespace obs
+}  // namespace csfc
+
+#endif  // CSFC_OBS_WINDOWED_H_

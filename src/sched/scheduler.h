@@ -20,6 +20,10 @@
 
 namespace csfc {
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+
 /// Disk state visible to a scheduler at enqueue/dispatch time.
 struct DispatchContext {
   /// Current simulation time.
@@ -50,6 +54,24 @@ class Scheduler {
   /// layer to count priority inversions at dispatch time.
   virtual void ForEachWaiting(
       const std::function<void(const Request&)>& fn) const = 0;
+
+  /// Observability hook. The simulator calls this at the start of every
+  /// Run with the run's tracer; policies with internal state worth
+  /// tracing (the cascaded scheduler's per-stage characterization, SP
+  /// promotions, ER resets) override it and emit obs::TraceEvents during
+  /// subsequent Enqueue/Dispatch calls. Contract:
+  ///
+  ///  * The default is a no-op — baselines (FCFS, the SCAN family, EDF,
+  ///    ...) need no changes and pay nothing.
+  ///  * `tracer` is borrowed, not owned. It stays valid until the next
+  ///    Observe call; implementations must drop any stored reference when
+  ///    Observe is called again (the new tracer replaces the old).
+  ///  * The tracer may be disabled (enabled() == false). Implementations
+  ///    must guard event construction behind enabled() so a disabled
+  ///    tracer costs at most one branch per emission site.
+  ///  * Observe may be called multiple times over a scheduler's life (one
+  ///    per simulator Run); each call starts a new trace scope.
+  virtual void Observe(obs::Tracer& tracer) { (void)tracer; }
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;

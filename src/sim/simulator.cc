@@ -4,9 +4,7 @@ namespace csfc {
 
 Status SimulatorConfig::Validate() const {
   if (Status s = disk.Validate(); !s.ok()) return s;
-  if (metric_dims > 12) {
-    return Status::InvalidArgument("metric_dims must be <= 12");
-  }
+  if (Status s = metrics.Validate(); !s.ok()) return s;
   return Status::OK();
 }
 
@@ -20,10 +18,15 @@ Result<DiskServerSimulator> DiskServerSimulator::Create(
 
 DiskServerSimulator::DiskServerSimulator(const SimulatorConfig& config,
                                          DiskModel disk)
-    : config_(config), disk_(std::move(disk)) {}
+    : config_(config), disk_(std::move(disk)), tracer_(config.trace_sink) {}
 
 RunMetrics DiskServerSimulator::Run(RequestGenerator& gen, Scheduler& sched) {
-  MetricsCollector metrics(config_.metric_dims, config_.metric_levels);
+  MetricsCollector metrics(config_.metrics);
+  metrics.set_tracer(&tracer_);
+  // Hand the tracer to the scheduler so observing policies (the cascaded
+  // scheduler) can emit characterize / SP / ER events; baselines inherit
+  // the no-op default.
+  sched.Observe(tracer_);
   std::optional<Rng> latency_rng;
   if (config_.latency_seed) latency_rng.emplace(*config_.latency_seed);
 
@@ -40,6 +43,7 @@ RunMetrics DiskServerSimulator::Run(RequestGenerator& gen, Scheduler& sched) {
   while (true) {
     if (!busy) {
       const DispatchContext ctx{.now = now, .head = head};
+      tracer_.set_now(now);
       std::optional<Request> r = sched.Dispatch(ctx);
       if (r) {
         metrics.OnDispatch(*r, sched);
@@ -82,8 +86,17 @@ RunMetrics DiskServerSimulator::Run(RequestGenerator& gen, Scheduler& sched) {
     } else if (next_arrival) {
       now = next_arrival->arrival;
       const DispatchContext ctx{.now = now, .head = head};
+      tracer_.set_now(now);
       metrics.OnArrival(*next_arrival);
       sched.Enqueue(*next_arrival, ctx);
+      if (tracer_.enabled()) {
+        obs::TraceEvent e;
+        e.kind = obs::TraceEventKind::kEnqueue;
+        e.t = now;
+        e.id = next_arrival->id;
+        e.queue_depth = sched.queue_size();
+        tracer_.Emit(e);
+      }
       next_arrival = gen.Next();
     } else if (!busy) {
       // No arrivals left and the scheduler has nothing to dispatch.

@@ -21,6 +21,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "disk/disk_model.h"
+#include "obs/tracer.h"
 #include "sched/scheduler.h"
 #include "stats/metrics.h"
 #include "workload/generator.h"
@@ -45,11 +46,16 @@ struct SimulatorConfig {
   /// an RNG seeded with this value; otherwise the expected latency is
   /// charged (deterministic).
   std::optional<uint64_t> latency_seed;
-  /// QoS dimensions / levels tracked by the metrics layer.
-  uint32_t metric_dims = 3;
-  uint32_t metric_levels = 16;
+  /// Shape of the QoS metric space (dimensions / levels) tracked by the
+  /// metrics layer. Replaces the former metric_dims / metric_levels pair.
+  MetricsConfig metrics;
   /// Stop after this many completions (0 = run the generator dry).
   uint64_t max_completions = 0;
+  /// When non-null, every Run() emits request-lifecycle trace events into
+  /// this sink (not owned; must outlive the simulator). Null — the
+  /// default — disables tracing at the cost of one branch per would-be
+  /// event (the null-sink fast path, measured by bench_micro_hotpath).
+  obs::EventSink* trace_sink = nullptr;
 
   Status Validate() const;
 };
@@ -69,6 +75,9 @@ class DiskServerSimulator {
 
   SimulatorConfig config_;
   DiskModel disk_;
+  /// Lifecycle-event tracer built from config_.trace_sink; handed to the
+  /// scheduler via Scheduler::Observe at the start of each Run.
+  obs::Tracer tracer_;
 };
 
 }  // namespace csfc

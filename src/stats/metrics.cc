@@ -3,7 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/json.h"
+
 namespace csfc {
+
+Status MetricsConfig::Validate() const {
+  if (dims > 12) {
+    return Status::InvalidArgument("metrics dims must be <= 12");
+  }
+  return Status::OK();
+}
 
 uint64_t RunMetrics::total_inversions() const {
   uint64_t total = 0;
@@ -54,8 +63,68 @@ double RunMetrics::WeightedLossCost(size_t dim, double hi_weight,
   return cost;
 }
 
-MetricsCollector::MetricsCollector(uint32_t dims, uint32_t levels)
-    : dims_(dims), levels_(std::max(levels, 1u)) {
+std::string RunMetrics::ToJson() const {
+  obs::JsonWriter w;
+  const auto stat = [&w](const char* key, const RunningStat& s) {
+    w.Key(key).BeginObject();
+    w.Field("count", s.count());
+    w.Field("mean", s.mean());
+    w.Field("stddev", s.stddev());
+    w.Field("min", s.min());
+    w.Field("max", s.max());
+    w.EndObject();
+  };
+  w.BeginObject();
+  w.Field("arrivals", arrivals);
+  w.Field("completions", completions);
+  w.Field("makespan_ms", SimToMs(makespan));
+  stat("response_ms", response_ms);
+  w.Key("response_per_level").BeginArray();
+  for (const RunningStat& s : response_per_level) {
+    w.BeginObject();
+    w.Field("count", s.count());
+    w.Field("mean", s.mean());
+    w.Field("max", s.max());
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("inversions_per_dim").BeginArray();
+  for (uint64_t v : inversions_per_dim) w.Value(v);
+  w.EndArray();
+  w.Field("total_inversions", total_inversions());
+  w.Field("inversion_stddev", inversion_stddev());
+  w.Key("deadline").BeginObject();
+  w.Field("misses", deadline_misses);
+  w.Field("total", deadline_total);
+  w.Field("miss_rate", deadline_total == 0
+                           ? 0.0
+                           : static_cast<double>(deadline_misses) /
+                                 static_cast<double>(deadline_total));
+  w.EndObject();
+  const auto grid = [&w](const char* key,
+                         const std::vector<std::vector<uint64_t>>& g) {
+    w.Key(key).BeginArray();
+    for (const std::vector<uint64_t>& dim : g) {
+      w.BeginArray();
+      for (uint64_t v : dim) w.Value(v);
+      w.EndArray();
+    }
+    w.EndArray();
+  };
+  grid("misses_per_dim_level", misses_per_dim_level);
+  grid("totals_per_dim_level", totals_per_dim_level);
+  w.Key("seek").BeginObject();
+  w.Field("total_ms", total_seek_ms);
+  w.Field("mean_ms", mean_seek_ms());
+  w.EndObject();
+  w.Field("service_total_ms", total_service_ms);
+  w.Field("weighted_loss_cost", WeightedLossCost());
+  w.EndObject();
+  return w.Take();
+}
+
+MetricsCollector::MetricsCollector(const MetricsConfig& config)
+    : dims_(config.dims), levels_(std::max(config.levels, 1u)) {
   metrics_.inversions_per_dim.assign(dims_, 0);
   metrics_.misses_per_dim_level.assign(
       dims_, std::vector<uint64_t>(levels_, 0));
@@ -64,9 +133,34 @@ MetricsCollector::MetricsCollector(uint32_t dims, uint32_t levels)
   if (dims_ > 0) metrics_.response_per_level.resize(levels_);
 }
 
-void MetricsCollector::OnArrival(const Request&) { ++metrics_.arrivals; }
+MetricsCollector::MetricsCollector(uint32_t dims, uint32_t levels)
+    : MetricsCollector(MetricsConfig{.dims = dims, .levels = levels}) {}
+
+void MetricsCollector::OnArrival(const Request& r) {
+  ++metrics_.arrivals;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kArrival;
+    e.t = r.arrival;
+    e.id = r.id;
+    e.cylinder = r.cylinder;
+    e.level = r.priorities.empty() ? 0 : r.priorities[0];
+    e.deadline = r.deadline;
+    tracer_->Emit(e);
+  }
+}
 
 void MetricsCollector::OnDispatch(const Request& r, const Scheduler& sched) {
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kDispatch;
+    e.t = tracer_->now();
+    e.id = r.id;
+    e.cylinder = r.cylinder;
+    e.level = r.priorities.empty() ? 0 : r.priorities[0];
+    e.queue_depth = sched.queue_size();
+    tracer_->Emit(e);
+  }
   if (dims_ == 0) return;
   sched.ForEachWaiting([&](const Request& w) {
     const size_t dims = std::min<size_t>(dims_, w.priorities.size());
@@ -90,15 +184,34 @@ void MetricsCollector::OnCompletion(const Request& r, SimTime finish_time,
     metrics_.response_per_level[level].Add(response);
   }
   metrics_.makespan = std::max(metrics_.makespan, finish_time);
+  const bool missed = r.has_deadline() && finish_time > r.deadline;
   if (r.has_deadline()) {
     ++metrics_.deadline_total;
-    const bool missed = finish_time > r.deadline;
     if (missed) ++metrics_.deadline_misses;
     const size_t dims = std::min<size_t>(dims_, r.priorities.size());
     for (size_t k = 0; k < dims; ++k) {
       const size_t level = std::min<size_t>(r.priorities[k], levels_ - 1);
       ++metrics_.totals_per_dim_level[k][level];
       if (missed) ++metrics_.misses_per_dim_level[k][level];
+    }
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kCompletion;
+    e.t = finish_time;
+    e.id = r.id;
+    e.level = r.priorities.empty() ? 0 : r.priorities[0];
+    e.seek_ms = seek_ms;
+    e.service_ms = service_ms;
+    e.response_ms = response;
+    e.missed = missed;
+    tracer_->Emit(e);
+    if (missed) {
+      obs::TraceEvent miss;
+      miss.kind = obs::TraceEventKind::kDeadlineMiss;
+      miss.t = finish_time;
+      miss.id = r.id;
+      tracer_->Emit(miss);
     }
   }
 }

@@ -16,14 +16,31 @@
 #define CSFC_STATS_METRICS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/status.h"
 #include "common/types.h"
+#include "obs/tracer.h"
 #include "sched/scheduler.h"
 #include "workload/request.h"
 
 namespace csfc {
+
+/// Shape of the QoS metric space — the one description of how many
+/// dimensions and levels the metrics layer tracks, consumed by both
+/// SimulatorConfig and MetricsCollector (previously duplicated as
+/// SimulatorConfig.metric_dims/metric_levels + MetricsCollector(dims,
+/// levels) arguments).
+struct MetricsConfig {
+  /// QoS dimensions tracked (paper maximum: 12).
+  uint32_t dims = 3;
+  /// Priority levels per dimension.
+  uint32_t levels = 16;
+
+  Status Validate() const;
+};
 
 /// Aggregated results of one simulation run.
 struct RunMetrics {
@@ -68,15 +85,29 @@ struct RunMetrics {
   /// linearly from hi_weight (level 0) to lo_weight (last level).
   double WeightedLossCost(size_t dim = 0, double hi_weight = 11.0,
                           double lo_weight = 1.0) const;
+
+  /// Full metric set as one JSON object (the export schema every bench
+  /// and tool emits; see DESIGN.md section 10).
+  std::string ToJson() const;
 };
 
 /// Collects RunMetrics during a simulation. The simulator drives it; tests
-/// may drive it directly.
+/// may drive it directly. When a tracer is attached it also emits the
+/// arrival / dispatch / completion / deadline-miss lifecycle events.
 class MetricsCollector {
  public:
-  /// `dims` QoS dimensions with `levels` levels each are tracked; requests
-  /// with fewer dimensions contribute to the dimensions they have.
+  /// `config.dims` QoS dimensions with `config.levels` levels each are
+  /// tracked; requests with fewer dimensions contribute to the dimensions
+  /// they have.
+  explicit MetricsCollector(const MetricsConfig& config);
+
+  /// Deprecated one-PR alias for MetricsCollector(MetricsConfig{dims,
+  /// levels}); removed next PR.
   MetricsCollector(uint32_t dims, uint32_t levels);
+
+  /// Attaches the tracer lifecycle events are emitted through (may be
+  /// null / disabled; must outlive the collector's On* calls).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   void OnArrival(const Request& r);
 
@@ -96,6 +127,7 @@ class MetricsCollector {
   uint32_t dims_;
   uint32_t levels_;
   RunMetrics metrics_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace csfc

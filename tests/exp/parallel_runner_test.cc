@@ -89,8 +89,8 @@ void ExpectSameMetrics(const RunMetrics& a, const RunMetrics& b) {
 
 std::vector<RunPoint> MakePoints(const TracePtr& trace) {
   SimulatorConfig sc;
-  sc.metric_dims = 2;
-  sc.metric_levels = 8;
+  sc.metrics.dims = 2;
+  sc.metrics.levels = 8;
   std::vector<RunPoint> points;
   points.push_back(
       {sc, trace, [] { return std::make_unique<FcfsScheduler>(); }});
@@ -155,8 +155,8 @@ TEST(RunParallelTest, LowestIndexErrorWins) {
 TEST(ComparePoliciesTest, ParallelMatchesSerial) {
   const auto trace = SmallTrace(19);
   SimulatorConfig sc;
-  sc.metric_dims = 2;
-  sc.metric_levels = 8;
+  sc.metrics.dims = 2;
+  sc.metrics.levels = 8;
   std::vector<SchedulerEntry> entries;
   entries.push_back(
       {"fcfs", [] { return std::make_unique<FcfsScheduler>(); }});

@@ -136,8 +136,8 @@ TEST(IntegrationTest, MpegWorkloadWeightedCostOrdering) {
   const auto trace = DrainGenerator(**gen);
 
   SimulatorConfig sc;
-  sc.metric_dims = 1;
-  sc.metric_levels = 8;
+  sc.metrics.dims = 1;
+  sc.metrics.levels = 8;
 
   const RunMetrics fcfs =
       RunSim(trace, [] { return std::make_unique<FcfsScheduler>(); }, sc);

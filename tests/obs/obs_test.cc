@@ -1,0 +1,503 @@
+// Observability-layer tests: ring-buffer recorder semantics, the JSON
+// writer/parser pair, JSONL export round trips, windowed counters, and —
+// against a real simulator run — the per-request lifecycle ordering
+// invariant (arrival <= characterize <= enqueue <= dispatch <= completion)
+// plus agreement between trace aggregates and RunMetrics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "core/presets.h"
+#include "exp/runner.h"
+#include "exp/table.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/recorder.h"
+#include "obs/windowed.h"
+#include "sched/fcfs.h"
+#include "workload/generator.h"
+
+namespace csfc {
+namespace obs {
+namespace {
+
+TraceEvent MakeEvent(TraceEventKind kind, double t_ms, RequestId id) {
+  TraceEvent e;
+  e.kind = kind;
+  e.t = MsToSim(t_ms);
+  e.id = id;
+  return e;
+}
+
+// ---------------------------------------------------------------- recorder
+
+TEST(TraceRecorderTest, HoldsEverythingBelowCapacity) {
+  TraceRecorder rec(8);
+  for (RequestId i = 0; i < 5; ++i) {
+    rec.OnEvent(MakeEvent(TraceEventKind::kArrival, 1.0 * i, i));
+  }
+  EXPECT_EQ(rec.size(), 5u);
+  EXPECT_EQ(rec.total(), 5u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  const auto events = rec.Events();
+  ASSERT_EQ(events.size(), 5u);
+  for (RequestId i = 0; i < 5; ++i) EXPECT_EQ(events[i].id, i);
+}
+
+TEST(TraceRecorderTest, WrapsAroundOverwritingOldest) {
+  TraceRecorder rec(4);
+  for (RequestId i = 0; i < 11; ++i) {
+    rec.OnEvent(MakeEvent(TraceEventKind::kArrival, 1.0 * i, i));
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.total(), 11u);
+  EXPECT_EQ(rec.dropped(), 7u);
+  // Survivors are the newest four, oldest first.
+  const auto events = rec.Events();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(events[i].id, 7u + i);
+}
+
+TEST(TraceRecorderTest, ClearKeepsCapacity) {
+  TraceRecorder rec(4);
+  for (RequestId i = 0; i < 6; ++i) {
+    rec.OnEvent(MakeEvent(TraceEventKind::kArrival, 1.0 * i, i));
+  }
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.total(), 0u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  rec.OnEvent(MakeEvent(TraceEventKind::kArrival, 0.0, 42));
+  ASSERT_EQ(rec.Events().size(), 1u);
+  EXPECT_EQ(rec.Events()[0].id, 42u);
+}
+
+// -------------------------------------------------------------- JSON layer
+
+TEST(JsonWriterTest, WritesNestedDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("name", "a\"b\\c\n");
+  w.Key("values");
+  w.BeginArray();
+  w.Value(1).Value(2.5).Value(true);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"a\\\"b\\\\c\\n\",\"values\":[1,2.5,true]}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(std::nan("")).Value(HUGE_VAL).Value(1.0);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,1]");
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("s", "x y\tz");
+  w.Field("n", 3.14159);
+  w.Field("i", uint64_t{1234567890123ULL});
+  w.Field("b", false);
+  w.EndObject();
+
+  auto parsed = ParseFlatJsonObject(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonObject& obj = *parsed;
+  ASSERT_EQ(obj.size(), 4u);
+  EXPECT_EQ(obj.at("s").str, "x y\tz");
+  EXPECT_DOUBLE_EQ(obj.at("n").num, 3.14159);
+  EXPECT_DOUBLE_EQ(obj.at("i").num, 1234567890123.0);
+  EXPECT_FALSE(obj.at("b").boolean);
+}
+
+TEST(JsonParseTest, DecodesUnicodeEscapes) {
+  auto parsed = ParseFlatJsonObject("{\"k\": \"\\u00e9\\u0041\"}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->at("k").str, "\xC3\xA9"  "A");
+}
+
+TEST(JsonParseTest, RejectsNestedContainersAndGarbage) {
+  EXPECT_FALSE(ParseFlatJsonObject("{\"k\": {\"x\": 1}}").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("{\"k\": [1, 2]}").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("{\"k\": 1} trailing").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("not json").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("{\"k\": }").ok());
+}
+
+// ----------------------------------------------------------- JSONL export
+
+TEST(ExportTest, TraceEventJsonRoundTripsEveryKind) {
+  std::vector<TraceEvent> events;
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kArrival, 1.5, 7);
+    e.cylinder = 123;
+    e.level = 3;
+    e.deadline = MsToSim(99.25);
+    events.push_back(e);
+  }
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kCharacterize, 1.5, 7);
+    e.v1 = 0.25;
+    e.v2 = 0.5;
+    e.vc = 0.75;
+    e.rekey = true;
+    events.push_back(e);
+  }
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kEnqueue, 1.5, 7);
+    e.queue_depth = 4;
+    events.push_back(e);
+  }
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kPromote, 2.0, 7);
+    e.vc = 0.125;
+    e.window = 0.05;
+    events.push_back(e);
+  }
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kQueueSwap, 2.5, kNoRequestId);
+    e.queue_depth = 9;
+    events.push_back(e);
+  }
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kWindowReset, 2.5, kNoRequestId);
+    e.window = 0.05;
+    events.push_back(e);
+  }
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kDispatch, 3.0, 7);
+    e.cylinder = 123;
+    e.queue_depth = 3;
+    events.push_back(e);
+  }
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kCompletion, 4.0, 7);
+    e.seek_ms = 1.25;
+    e.service_ms = 2.5;
+    e.response_ms = 2.75;
+    e.missed = true;
+    events.push_back(e);
+  }
+  events.push_back(MakeEvent(TraceEventKind::kDeadlineMiss, 4.0, 7));
+
+  StringWriter out;
+  ASSERT_TRUE(Export(std::span<const TraceEvent>(events), out,
+                     ExportFormat::kJsonl)
+                  .ok());
+
+  std::istringstream lines(out.str());
+  std::string line;
+  size_t i = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_LT(i, events.size());
+    auto parsed = ParseFlatJsonObject(line);
+    ASSERT_TRUE(parsed.ok()) << line << ": " << parsed.status().ToString();
+    const JsonObject& obj = *parsed;
+    TraceEventKind kind;
+    ASSERT_TRUE(ParseTraceEventKind(obj.at("ev").str, &kind));
+    EXPECT_EQ(kind, events[i].kind);
+    EXPECT_NEAR(obj.at("t_ms").num, SimToMs(events[i].t), 1e-9);
+    if (events[i].has_request()) {
+      EXPECT_DOUBLE_EQ(obj.at("id").num, static_cast<double>(events[i].id));
+    } else {
+      EXPECT_EQ(obj.count("id"), 0u);
+    }
+    ++i;
+  }
+  EXPECT_EQ(i, events.size());
+
+  // Spot-check kind-specific payloads survived.
+  auto arrival = ParseFlatJsonObject(out.str().substr(0, out.str().find('\n')));
+  ASSERT_TRUE(arrival.ok());
+  EXPECT_DOUBLE_EQ(arrival->at("cyl").num, 123.0);
+  EXPECT_DOUBLE_EQ(arrival->at("level").num, 3.0);
+  EXPECT_NEAR(arrival->at("deadline_ms").num, 99.25, 1e-9);
+}
+
+TEST(ExportTest, JsonlSinkStreamsAndCounts) {
+  StringWriter out;
+  JsonlSink sink(out);
+  for (RequestId i = 0; i < 3; ++i) {
+    sink.OnEvent(MakeEvent(TraceEventKind::kArrival, 1.0 * i, i));
+  }
+  EXPECT_TRUE(sink.status().ok());
+  EXPECT_EQ(sink.events_written(), 3u);
+  EXPECT_EQ(std::count(out.str().begin(), out.str().end(), '\n'), 3);
+}
+
+TEST(ExportTest, TableCsvQuotesSpecialCells) {
+  TablePrinter t({"name", "note"});
+  t.AddRow({"plain", "has,comma"});
+  t.AddRow({"quote\"d", "two\nlines"});
+  StringWriter out;
+  ASSERT_TRUE(Export(t, out, ExportFormat::kCsv).ok());
+  EXPECT_EQ(out.str(),
+            "name,note\n"
+            "plain,\"has,comma\"\n"
+            "\"quote\"\"d\",\"two\nlines\"\n");
+}
+
+TEST(ExportTest, RunMetricsCsvIsRejected) {
+  RunMetrics m;
+  StringWriter out;
+  EXPECT_FALSE(Export(m, out, ExportFormat::kCsv).ok());
+}
+
+// ------------------------------------------------------- windowed counters
+
+TEST(WindowedMetricsTest, BucketsCountsAndMaterializesGaps) {
+  WindowedMetrics wm(/*window_ms=*/10.0);
+  auto feed = [&wm](TraceEvent e) { wm.OnEvent(e); };
+
+  feed(MakeEvent(TraceEventKind::kArrival, 1.0, 0));
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kEnqueue, 1.0, 0);
+    e.queue_depth = 1;
+    feed(e);
+  }
+  feed(MakeEvent(TraceEventKind::kArrival, 2.0, 1));
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kEnqueue, 2.0, 1);
+    e.queue_depth = 2;
+    feed(e);
+  }
+  feed(MakeEvent(TraceEventKind::kDispatch, 12.0, 0));
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kCompletion, 15.0, 0);
+    e.seek_ms = 2.0;
+    feed(e);
+  }
+  feed(MakeEvent(TraceEventKind::kDispatch, 31.0, 1));
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kCompletion, 35.0, 1);
+    e.seek_ms = 4.0;
+    e.missed = true;
+    feed(e);
+    feed(MakeEvent(TraceEventKind::kDeadlineMiss, 35.0, 1));
+  }
+
+  const auto rows = wm.Rows();
+  ASSERT_EQ(rows.size(), 4u);  // [0,10) [10,20) [20,30) gap [30,40)
+  EXPECT_DOUBLE_EQ(rows[0].start_ms, 0.0);
+  EXPECT_EQ(rows[0].arrivals, 2u);
+  EXPECT_EQ(rows[0].end_queue_depth, 2u);
+
+  EXPECT_EQ(rows[1].completions, 1u);
+  EXPECT_EQ(rows[1].misses, 0u);
+  EXPECT_EQ(rows[1].end_queue_depth, 1u);
+  EXPECT_DOUBLE_EQ(rows[1].total_seek_ms, 2.0);
+
+  // The empty window carries the depth through with zero counts.
+  EXPECT_DOUBLE_EQ(rows[2].start_ms, 20.0);
+  EXPECT_EQ(rows[2].arrivals, 0u);
+  EXPECT_EQ(rows[2].completions, 0u);
+  EXPECT_EQ(rows[2].end_queue_depth, 1u);
+
+  EXPECT_EQ(rows[3].completions, 1u);
+  EXPECT_EQ(rows[3].misses, 1u);
+  EXPECT_DOUBLE_EQ(rows[3].miss_rate(), 1.0);
+  EXPECT_EQ(rows[3].end_queue_depth, 0u);
+
+  StringWriter out;
+  ASSERT_TRUE(Export(wm, out, ExportFormat::kCsv).ok());
+  // Header + one line per window.
+  EXPECT_EQ(std::count(out.str().begin(), out.str().end(), '\n'), 5);
+}
+
+// ------------------------------------------------- simulator integration
+
+std::vector<Request> TestTrace(uint64_t seed, uint64_t count) {
+  WorkloadConfig c;
+  c.seed = seed;
+  c.count = count;
+  c.mean_interarrival_ms = 10.0;
+  c.priority_dims = 3;
+  c.priority_levels = 16;
+  c.deadline_lo_ms = 300;
+  c.deadline_hi_ms = 700;
+  auto gen = SyntheticGenerator::Create(c);
+  EXPECT_TRUE(gen.ok());
+  return DrainGenerator(**gen);
+}
+
+SchedulerFactory CascadedFactory() {
+  const CascadedConfig config =
+      PresetFull("hilbert", 3, 4, 1.0, 3, 3832, 0.05, 700.0);
+  return [config] {
+    auto s = CascadedSfcScheduler::Create(config);
+    EXPECT_TRUE(s.ok());
+    return std::move(*s);
+  };
+}
+
+struct Timeline {
+  SimTime arrival = 0, characterize = 0, enqueue = 0, dispatch = 0,
+          completion = 0;
+  bool has_arrival = false, has_characterize = false, has_enqueue = false,
+       has_dispatch = false, has_completion = false;
+  bool missed = false;
+  double response_ms = 0.0;
+};
+
+TEST(ObservabilitySimTest, LifecycleOrderingAndAggregateAgreement) {
+  const auto trace = TestTrace(7, 1500);
+  TraceRecorder recorder;  // default 64k capacity: no wraparound here
+  SimulatorConfig sc;
+  sc.trace_sink = &recorder;
+
+  auto metrics = RunSchedulerOnTrace(sc, trace, CascadedFactory());
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  const RunMetrics& m = *metrics;
+  ASSERT_EQ(m.completions, 1500u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+
+  std::map<RequestId, Timeline> timelines;
+  uint64_t completions = 0, misses = 0;
+  double response_sum_ms = 0.0;
+  for (const TraceEvent& e : recorder.Events()) {
+    if (!e.has_request()) continue;
+    Timeline& tl = timelines[e.id];
+    switch (e.kind) {
+      case TraceEventKind::kArrival:
+        EXPECT_FALSE(tl.has_arrival) << "duplicate arrival for " << e.id;
+        tl.arrival = e.t;
+        tl.has_arrival = true;
+        break;
+      case TraceEventKind::kCharacterize:
+        if (!tl.has_characterize) {
+          tl.characterize = e.t;
+          tl.has_characterize = true;
+        }
+        EXPECT_GE(e.vc, 0.0);
+        EXPECT_LT(e.vc, 1.0);
+        break;
+      case TraceEventKind::kEnqueue:
+        tl.enqueue = e.t;
+        tl.has_enqueue = true;
+        break;
+      case TraceEventKind::kDispatch:
+        EXPECT_FALSE(tl.has_dispatch) << "duplicate dispatch for " << e.id;
+        tl.dispatch = e.t;
+        tl.has_dispatch = true;
+        break;
+      case TraceEventKind::kCompletion:
+        EXPECT_FALSE(tl.has_completion);
+        tl.completion = e.t;
+        tl.has_completion = true;
+        tl.missed = e.missed;
+        tl.response_ms = e.response_ms;
+        ++completions;
+        if (e.missed) ++misses;
+        response_sum_ms += e.response_ms;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Every request has the full lifecycle, in order.
+  EXPECT_EQ(timelines.size(), 1500u);
+  for (const auto& [id, tl] : timelines) {
+    ASSERT_TRUE(tl.has_arrival && tl.has_characterize && tl.has_enqueue &&
+                tl.has_dispatch && tl.has_completion)
+        << "incomplete lifecycle for request " << id;
+    EXPECT_LE(tl.arrival, tl.characterize) << id;
+    EXPECT_LE(tl.characterize, tl.enqueue) << id;
+    EXPECT_LE(tl.enqueue, tl.dispatch) << id;
+    EXPECT_LE(tl.dispatch, tl.completion) << id;
+  }
+
+  // Trace aggregates match the run's RunMetrics.
+  EXPECT_EQ(completions, m.completions);
+  EXPECT_EQ(misses, m.deadline_misses);
+  EXPECT_NEAR(response_sum_ms / static_cast<double>(completions),
+              m.response_ms.mean(), 1e-6);
+}
+
+TEST(ObservabilitySimTest, NullSinkLeavesMetricsIdentical) {
+  const auto trace = TestTrace(11, 800);
+  SimulatorConfig plain;
+  auto without = RunSchedulerOnTrace(plain, trace, CascadedFactory());
+  ASSERT_TRUE(without.ok());
+
+  TraceRecorder recorder;
+  SimulatorConfig traced;
+  traced.trace_sink = &recorder;
+  auto with = RunSchedulerOnTrace(traced, trace, CascadedFactory());
+  ASSERT_TRUE(with.ok());
+
+  // Tracing is observation only: the schedule itself must not change.
+  EXPECT_EQ(without->completions, with->completions);
+  EXPECT_EQ(without->deadline_misses, with->deadline_misses);
+  EXPECT_EQ(without->makespan, with->makespan);
+  EXPECT_DOUBLE_EQ(without->total_seek_ms, with->total_seek_ms);
+  EXPECT_DOUBLE_EQ(without->response_ms.mean(), with->response_ms.mean());
+  EXPECT_GT(recorder.total(), 0u);
+}
+
+TEST(ObservabilitySimTest, BaselineSchedulersTraceCoreLifecycle) {
+  // Baselines don't override Observe, so no scheduler-internal events —
+  // but the simulator/metrics instrumentation still yields the full
+  // arrival/enqueue/dispatch/completion skeleton.
+  const auto trace = TestTrace(13, 400);
+  TraceRecorder recorder;
+  SimulatorConfig sc;
+  sc.trace_sink = &recorder;
+  auto m = RunSchedulerOnTrace(
+      sc, trace, [] { return std::make_unique<FcfsScheduler>(); });
+  ASSERT_TRUE(m.ok());
+
+  std::map<TraceEventKind, uint64_t> counts;
+  for (const TraceEvent& e : recorder.Events()) ++counts[e.kind];
+  EXPECT_EQ(counts[TraceEventKind::kArrival], 400u);
+  EXPECT_EQ(counts[TraceEventKind::kEnqueue], 400u);
+  EXPECT_EQ(counts[TraceEventKind::kDispatch], 400u);
+  EXPECT_EQ(counts[TraceEventKind::kCompletion], 400u);
+  EXPECT_EQ(counts[TraceEventKind::kCharacterize], 0u);
+  EXPECT_EQ(counts[TraceEventKind::kPromote], 0u);
+}
+
+// ------------------------------------------------------------ MetricsConfig
+
+TEST(MetricsConfigTest, ValidateRejectsOversizedDims) {
+  MetricsConfig ok;
+  EXPECT_TRUE(ok.Validate().ok());
+  MetricsConfig bad;
+  bad.dims = 13;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(MetricsConfigTest, DeprecatedAliasCtorMatchesConfigCtor) {
+  MetricsConfig cfg;
+  cfg.dims = 2;
+  cfg.levels = 8;
+  MetricsCollector a(cfg);
+  MetricsCollector b(2, 8);  // deprecated alias, removed next PR
+  const RunMetrics& ma = a.metrics();
+  const RunMetrics& mb = b.metrics();
+  EXPECT_EQ(ma.inversions_per_dim.size(), mb.inversions_per_dim.size());
+  EXPECT_EQ(ma.misses_per_dim_level.size(), mb.misses_per_dim_level.size());
+}
+
+TEST(RunMetricsTest, ToJsonContainsCoreAggregates) {
+  MetricsCollector c(MetricsConfig{});
+  const std::string json = c.metrics().ToJson();
+  for (const char* key :
+       {"\"arrivals\"", "\"completions\"", "\"response_ms\"", "\"deadline\"",
+        "\"seek\"", "\"inversions_per_dim\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace csfc

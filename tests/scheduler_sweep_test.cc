@@ -50,8 +50,8 @@ TEST_P(SchedulerSweepTest, ServesEveryRequestExactlyOnce) {
 
   const auto trace = SweepTrace();
   SimulatorConfig sc;
-  sc.metric_dims = 2;
-  sc.metric_levels = 8;
+  sc.metrics.dims = 2;
+  sc.metrics.levels = 8;
   auto metrics = RunSchedulerOnTrace(sc, trace, *factory);
   ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
   EXPECT_EQ(metrics->arrivals, trace.size());
@@ -71,8 +71,8 @@ TEST_P(SchedulerSweepTest, DeterministicAcrossRuns) {
   ASSERT_TRUE(factory.ok());
   const auto trace = SweepTrace();
   SimulatorConfig sc;
-  sc.metric_dims = 2;
-  sc.metric_levels = 8;
+  sc.metrics.dims = 2;
+  sc.metrics.levels = 8;
   auto a = RunSchedulerOnTrace(sc, trace, *factory);
   auto b = RunSchedulerOnTrace(sc, trace, *factory);
   ASSERT_TRUE(a.ok() && b.ok());

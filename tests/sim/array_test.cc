@@ -11,8 +11,8 @@ namespace {
 
 ArrayConfig BaseConfig() {
   ArrayConfig c;
-  c.disk_sim.metric_dims = 1;
-  c.disk_sim.metric_levels = 8;
+  c.disk_sim.metrics.dims = 1;
+  c.disk_sim.metrics.levels = 8;
   return c;
 }
 

@@ -32,7 +32,7 @@ TEST(SimulatorConfigTest, Validation) {
   c.disk.rpm = 0;
   EXPECT_FALSE(DiskServerSimulator::Create(c).ok());
   c = SimulatorConfig();
-  c.metric_dims = 13;
+  c.metrics.dims = 13;
   EXPECT_FALSE(DiskServerSimulator::Create(c).ok());
   EXPECT_TRUE(DiskServerSimulator::Create(SimulatorConfig()).ok());
 }
@@ -100,7 +100,7 @@ TEST(SimulatorTest, IdleGapsAdvanceTime) {
 
 TEST(SimulatorTest, DeadlineMissesCounted) {
   SimulatorConfig c;
-  c.metric_dims = 0;
+  c.metrics.dims = 0;
   DiskServerSimulator sim = MakeSim(c);
   // Request 0: deadline far in the future (met). Request 1: deadline
   // before it can possibly finish (missed).
@@ -114,8 +114,8 @@ TEST(SimulatorTest, DeadlineMissesCounted) {
 
 TEST(SimulatorTest, PerLevelMissAccounting) {
   SimulatorConfig c;
-  c.metric_dims = 1;
-  c.metric_levels = 8;
+  c.metrics.dims = 1;
+  c.metrics.levels = 8;
   DiskServerSimulator sim = MakeSim(c);
   Request met = Req(0, 0, 100, MsToSim(1000));
   met.priorities.push_back(2);
@@ -132,8 +132,8 @@ TEST(SimulatorTest, PerLevelMissAccounting) {
 
 TEST(SimulatorTest, PriorityInversionCountedAtDispatch) {
   SimulatorConfig c;
-  c.metric_dims = 1;
-  c.metric_levels = 4;
+  c.metrics.dims = 1;
+  c.metrics.levels = 4;
   c.service_model = ServiceModel::kTransferOnly;
   DiskServerSimulator sim = MakeSim(c);
   // FCFS serves id 0 (level 3) while id 1 (level 0) and id 2 (level 1)
@@ -164,8 +164,8 @@ TEST(SimulatorTest, PriorityInversionCountedAtDispatch) {
 
 TEST(SimulatorTest, PriorityInversionPositiveCase) {
   SimulatorConfig c;
-  c.metric_dims = 1;
-  c.metric_levels = 4;
+  c.metrics.dims = 1;
+  c.metrics.levels = 4;
   c.service_model = ServiceModel::kTransferOnly;
   DiskServerSimulator sim = MakeSim(c);
   // id 0 (level 0) served first; id 1 (level 3) dispatched while id 2

@@ -9,21 +9,29 @@
 //            [--dims=D] [--levels=L] [--deadline=LO:HI | --relaxed]
 //            [--bytes=LO:HI] [--seed=S] [--transfer-only]
 //            [--trace-in=FILE] [--trace-out=FILE]
+//            [--trace-jsonl=FILE] [--json]
 //            [--sfc1=CURVE] [--f=F] [--r=R] [--window=W]
 //   csfc_sim --list
+//
+// --trace-jsonl streams every lifecycle event of the run to FILE in the
+// JSONL schema of DESIGN.md section 10 (inspect with trace_inspect).
+// --json replaces the human-readable summary with RunMetrics::ToJson().
 //
 // Examples:
 //   csfc_sim --sched=edf --count=5000 --interarrival=20
 //   csfc_sim --sched=csfc --sfc1=diagonal --f=1 --r=3 --window=0.05
 //   csfc_sim --trace-in=load.trace --sched=scan-rt
+//   csfc_sim --sched=csfc --trace-jsonl=run.jsonl && trace_inspect run.jsonl
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "core/presets.h"
 #include "exp/runner.h"
+#include "obs/export.h"
 #include "sched/registry.h"
 #include "workload/edl.h"
 #include "workload/mpeg.h"
@@ -42,6 +50,8 @@ struct Args {
   bool transfer_only = false;
   std::string trace_in;
   std::string trace_out;
+  std::string trace_jsonl;
+  bool json = false;
   std::string sfc1 = "hilbert";
   double f = 1.0;
   uint32_t r = 3;
@@ -73,7 +83,9 @@ int Usage() {
                "                [--deadline=LO:HI | --relaxed] "
                "[--bytes=LO:HI] [--seed=S] [--transfer-only]\n"
                "                [--trace-in=F] [--trace-out=F] "
-               "[--sfc1=CURVE] [--f=F] [--r=R] [--window=W] | --list\n");
+               "[--trace-jsonl=F] [--json]\n"
+               "                [--sfc1=CURVE] [--f=F] [--r=R] [--window=W] "
+               "| --list\n");
   return 2;
 }
 
@@ -90,6 +102,8 @@ int main(int argc, char** argv) {
       args.workload_cfg.relaxed_deadlines = true;
     } else if (std::strcmp(argv[i], "--transfer-only") == 0) {
       args.transfer_only = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      args.json = true;
     } else if (ParseKv(argv[i], "--sched", &v)) {
       args.sched = v;
     } else if (ParseKv(argv[i], "--workload", &v)) {
@@ -125,6 +139,8 @@ int main(int argc, char** argv) {
       args.trace_in = v;
     } else if (ParseKv(argv[i], "--trace-out", &v)) {
       args.trace_out = v;
+    } else if (ParseKv(argv[i], "--trace-jsonl", &v)) {
+      args.trace_jsonl = v;
     } else if (ParseKv(argv[i], "--sfc1", &v)) {
       args.sfc1 = v;
     } else if (ParseKv(argv[i], "--f", &v)) {
@@ -200,8 +216,22 @@ int main(int argc, char** argv) {
   SimulatorConfig sc;
   sc.service_model = args.transfer_only ? ServiceModel::kTransferOnly
                                         : ServiceModel::kFullDisk;
-  sc.metric_dims = args.workload_cfg.priority_dims;
-  sc.metric_levels = args.workload_cfg.priority_levels;
+  sc.metrics.dims = args.workload_cfg.priority_dims;
+  sc.metrics.levels = args.workload_cfg.priority_levels;
+
+  // Optional lifecycle trace, streamed to disk as the run progresses.
+  std::optional<obs::FileWriter> trace_file;
+  std::optional<obs::JsonlSink> trace_sink;
+  if (!args.trace_jsonl.empty()) {
+    auto opened = obs::FileWriter::Open(args.trace_jsonl);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    trace_file.emplace(std::move(*opened));
+    trace_sink.emplace(*trace_file);
+    sc.trace_sink = &*trace_sink;
+  }
 
   auto disk = DiskModel::Create(sc.disk);
   if (!disk.ok()) {
@@ -227,6 +257,26 @@ int main(int argc, char** argv) {
     return 1;
   }
   const RunMetrics& m = *metrics;
+
+  if (trace_sink) {
+    if (!trace_sink->status().ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   trace_sink->status().ToString().c_str());
+      return 1;
+    }
+    if (Status s = trace_file->Close(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace written: %s (%llu events)\n",
+                 args.trace_jsonl.c_str(),
+                 static_cast<unsigned long long>(trace_sink->events_written()));
+  }
+
+  if (args.json) {
+    std::printf("%s\n", m.ToJson().c_str());
+    return 0;
+  }
   std::printf("scheduler:        %s\n", args.sched.c_str());
   std::printf("requests:         %llu\n",
               static_cast<unsigned long long>(m.completions));
