@@ -1,5 +1,7 @@
 #include "core/cascaded_scheduler.h"
 
+#include <utility>
+
 namespace csfc {
 
 Result<std::unique_ptr<CascadedSfcScheduler>> CascadedSfcScheduler::Create(
@@ -34,8 +36,7 @@ void CascadedSfcScheduler::Observe(obs::Tracer& tracer) {
   dispatcher_->set_tracer(&tracer);
 }
 
-void CascadedSfcScheduler::Enqueue(const Request& r,
-                                   const DispatchContext& ctx) {
+void CascadedSfcScheduler::Enqueue(Request r, const DispatchContext& ctx) {
   if (tracer_ != nullptr && tracer_->enabled()) {
     tracer_->set_now(ctx.now);
     const StageValues sv = encapsulator_->CharacterizeStages(r, ctx);
@@ -51,7 +52,7 @@ void CascadedSfcScheduler::Enqueue(const Request& r,
   } else {
     last_cvalue_ = encapsulator_->Characterize(r, ctx);
   }
-  dispatcher_->Insert(last_cvalue_, r);
+  dispatcher_->Insert(last_cvalue_, std::move(r));
 }
 
 std::optional<Request> CascadedSfcScheduler::Dispatch(
@@ -59,34 +60,45 @@ std::optional<Request> CascadedSfcScheduler::Dispatch(
   const bool tracing = tracer_ != nullptr && tracer_->enabled();
   if (tracing) tracer_->set_now(ctx.now);
   if (recharacterize_on_swap_ && dispatcher_->NeedsSwapForPop()) {
+    // Batch formation: the whole forming batch is re-characterized against
+    // the current head/time in one CharacterizeBatch call, so the
+    // encapsulator hoists its per-batch invariants once instead of
+    // re-deriving them per waiting request. This is the dominant swap-time
+    // cost at high queue depths.
     if (tracing) {
-      // Batch formation: each waiting request is re-characterized against
-      // the current head/time; trace the new stage values so v_c drift
-      // between arrival and service is attributable.
-      dispatcher_->RekeyWaiting([this, &ctx](const Request& r) {
-        const StageValues sv = encapsulator_->CharacterizeStages(r, ctx);
-        obs::TraceEvent e;
-        e.kind = obs::TraceEventKind::kCharacterize;
-        e.t = ctx.now;
-        e.id = r.id;
-        e.v1 = sv.v1;
-        e.v2 = sv.v2;
-        e.vc = sv.vc;
-        e.rekey = true;
-        tracer_->Emit(e);
-        return sv.vc;
-      });
+      // Tracing path: same batch shape, but per-stage values are needed so
+      // v_c drift between arrival and service is attributable.
+      dispatcher_->RekeyWaitingBatch(
+          [this, &ctx](std::span<const Request* const> reqs,
+                       std::span<CValue> out) {
+            stage_scratch_.resize(reqs.size());
+            encapsulator_->CharacterizeStagesBatch(reqs, ctx, stage_scratch_);
+            for (size_t i = 0; i < reqs.size(); ++i) {
+              const StageValues& sv = stage_scratch_[i];
+              obs::TraceEvent e;
+              e.kind = obs::TraceEventKind::kCharacterize;
+              e.t = ctx.now;
+              e.id = reqs[i]->id;
+              e.v1 = sv.v1;
+              e.v2 = sv.v2;
+              e.vc = sv.vc;
+              e.rekey = true;
+              tracer_->Emit(e);
+              out[i] = sv.vc;
+            }
+          });
     } else {
-      dispatcher_->RekeyWaiting([this, &ctx](const Request& r) {
-        return encapsulator_->Characterize(r, ctx);
-      });
+      dispatcher_->RekeyWaitingBatch(
+          [this, &ctx](std::span<const Request* const> reqs,
+                       std::span<CValue> out) {
+            encapsulator_->CharacterizeBatch(reqs, ctx, out);
+          });
     }
   }
   return dispatcher_->Pop();
 }
 
-void CascadedSfcScheduler::ForEachWaiting(
-    const std::function<void(const Request&)>& fn) const {
+void CascadedSfcScheduler::ForEachWaiting(FunctionRef<void(const Request&)> fn) const {
   dispatcher_->ForEach(fn);
 }
 

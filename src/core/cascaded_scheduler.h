@@ -32,11 +32,10 @@ class CascadedSfcScheduler final : public Scheduler {
       const CascadedConfig& config);
 
   std::string_view name() const override { return name_; }
-  void Enqueue(const Request& r, const DispatchContext& ctx) override;
+  void Enqueue(Request r, const DispatchContext& ctx) override;
   std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return dispatcher_->size(); }
-  void ForEachWaiting(
-      const std::function<void(const Request&)>& fn) const override;
+  void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
   /// Emits characterize events (with the per-stage SFC1/SFC2/SFC3
   /// intermediate values) on every Enqueue and batch re-key, and wires
   /// the dispatcher's preempt / SP-promote / queue-swap / ER-reset
@@ -60,6 +59,9 @@ class CascadedSfcScheduler final : public Scheduler {
   CValue last_cvalue_ = 0.0;
   bool recharacterize_on_swap_;
   obs::Tracer* tracer_ = nullptr;  // borrowed; set by Observe
+  /// Scratch for the tracing batch-rekey path (per-stage values of each
+  /// request in the forming batch), reused across swaps.
+  std::vector<StageValues> stage_scratch_;
 };
 
 }  // namespace csfc

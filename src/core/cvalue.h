@@ -11,13 +11,20 @@
 // normalized quotient only needs to be order-preserving, which division by
 // a constant power-of-two count is for indices below 2^53; stage grids in
 // csfc are <= 2^48 cells).
+//
+// The quantizers are defined inline: each runs once per stage per
+// characterized request — the innermost loop of both the scalar and the
+// batch path — and an out-of-line call there costs as much as the handful
+// of arithmetic ops it guards.
 
 #ifndef CSFC_CORE_CVALUE_H_
 #define CSFC_CORE_CVALUE_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/types.h"
+#include "workload/request.h"
 
 namespace csfc {
 
@@ -31,17 +38,34 @@ inline CValue NormalizeIndex(uint64_t index, uint64_t num_cells) {
 
 /// Quantizes a normalized value in [0, 1] onto a grid with `cells` cells,
 /// clamping to the last cell.
-uint32_t QuantizeUnit(double v, uint32_t cells);
+inline uint32_t QuantizeUnit(double v, uint32_t cells) {
+  if (v <= 0.0) return 0;
+  if (v >= 1.0) return cells - 1;
+  const uint32_t cell = static_cast<uint32_t>(v * cells);
+  return std::min(cell, cells - 1);
+}
 
 /// Maps an absolute deadline to a grid cell: time-to-deadline at `now`,
 /// clamped to [0, horizon], scaled so cell 0 = already due (most urgent)
 /// and the last cell = relaxed / beyond the horizon.
-uint32_t QuantizeDeadline(SimTime deadline, SimTime now, SimTime horizon,
-                          uint32_t cells);
+inline uint32_t QuantizeDeadline(SimTime deadline, SimTime now,
+                                 SimTime horizon, uint32_t cells) {
+  if (deadline == kNoDeadline) return cells - 1;
+  if (deadline <= now) return 0;
+  const SimTime remaining = deadline - now;
+  if (remaining >= horizon) return cells - 1;
+  return QuantizeUnit(static_cast<double>(remaining) /
+                          static_cast<double>(horizon),
+                      cells);
+}
 
 /// Forward C-SCAN distance from `head` to `cyl` (wrapping upward sweep),
 /// in cylinders: 0 when the head is already there.
-uint32_t CScanDistance(Cylinder cyl, Cylinder head, uint32_t cylinders);
+inline uint32_t CScanDistance(Cylinder cyl, Cylinder head,
+                              uint32_t cylinders) {
+  if (cyl >= head) return cyl - head;
+  return cyl + cylinders - head;
+}
 
 }  // namespace csfc
 

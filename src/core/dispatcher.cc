@@ -71,23 +71,37 @@ std::optional<Request> ReferenceDispatcher::Pop() {
     Swap();
   }
   auto it = active_.begin();
+  // Copy, not move: the reference stays the verbatim seed implementation
+  // so the map-vs-flat microbenchmark baseline is stable across PRs.
   Request r = it->second;
   current_ = it->first.first;
   active_.erase(it);
   return r;
 }
 
-void ReferenceDispatcher::RekeyWaiting(
-    const std::function<CValue(const Request&)>& key) {
+void ReferenceDispatcher::RekeyWaiting(RekeyFn key) {
   Queue rekeyed;
   for (auto& [old_key, r] : waiting_) {
-    rekeyed.emplace(std::make_pair(key(r), old_key.second), r);
+    rekeyed.emplace(std::make_pair(key(r), old_key.second), std::move(r));
   }
   waiting_ = std::move(rekeyed);
 }
 
-void ReferenceDispatcher::ForEach(
-    const std::function<void(const Request&)>& fn) const {
+void ReferenceDispatcher::RekeyWaitingBatch(BatchRekeyFn key) {
+  std::vector<const Request*> reqs;
+  reqs.reserve(waiting_.size());
+  for (const auto& [old_key, r] : waiting_) reqs.push_back(&r);
+  std::vector<CValue> vals(waiting_.size());
+  key(reqs, vals);
+  Queue rekeyed;
+  size_t i = 0;
+  for (auto& [old_key, r] : waiting_) {
+    rekeyed.emplace(std::make_pair(vals[i++], old_key.second), std::move(r));
+  }
+  waiting_ = std::move(rekeyed);
+}
+
+void ReferenceDispatcher::ForEach(RequestVisitor fn) const {
   for (const auto& [key, r] : active_) fn(r);
   for (const auto& [key, r] : waiting_) fn(r);
 }
@@ -130,14 +144,15 @@ Dispatcher& Dispatcher::operator=(const Dispatcher& other) {
 }
 #endif
 
-uint32_t Dispatcher::AllocSlot(const Request& r) {
+template <typename R>
+uint32_t Dispatcher::AllocSlot(R&& r) {
   if (!free_.empty()) {
     const uint32_t slot = free_.back();
     free_.pop_back();
-    pool_[slot] = r;
+    pool_[slot] = std::forward<R>(r);
     return slot;
   }
-  pool_.push_back(r);
+  pool_.push_back(std::forward<R>(r));
   return static_cast<uint32_t>(pool_.size() - 1);
 }
 
@@ -156,12 +171,20 @@ void Dispatcher::CheckShadow() const {
 #endif
 }
 
-void Dispatcher::Insert(CValue v, const Request& r) {
+void Dispatcher::Insert(CValue v, const Request& r) { InsertImpl(v, r); }
+
+void Dispatcher::Insert(CValue v, Request&& r) {
+  InsertImpl(v, std::move(r));
+}
+
+template <typename R>
+void Dispatcher::InsertImpl(CValue v, R&& r) {
 #ifndef NDEBUG
-  shadow_->Insert(v, r);
+  shadow_->Insert(v, r);  // the shadow copies; the pool below may move
 #endif
+  const RequestId id = r.id;  // for the preempt trace after the transfer
   const QueueKey key{v, seq_++};
-  const uint32_t slot = AllocSlot(r);
+  const uint32_t slot = AllocSlot(std::forward<R>(r));
   switch (config_.discipline) {
     case QueueDiscipline::kFullyPreemptive:
       active_.Push(key, slot);
@@ -187,7 +210,7 @@ void Dispatcher::Insert(CValue v, const Request& r) {
           obs::TraceEvent e;
           e.kind = obs::TraceEventKind::kPreempt;
           e.t = tracer_->now();
-          e.id = r.id;
+          e.id = id;
           e.vc = v;
           e.window = window_;
           tracer_->Emit(e);
@@ -270,8 +293,7 @@ std::optional<Request> Dispatcher::Pop() {
   return r;
 }
 
-void Dispatcher::RekeyWaiting(
-    const std::function<CValue(const Request&)>& key) {
+void Dispatcher::RekeyWaiting(RekeyFn key) {
 #ifndef NDEBUG
   shadow_->RekeyWaiting(key);
 #endif
@@ -279,8 +301,23 @@ void Dispatcher::RekeyWaiting(
   CheckShadow();
 }
 
-void Dispatcher::ForEach(
-    const std::function<void(const Request&)>& fn) const {
+void Dispatcher::RekeyWaitingBatch(BatchRekeyFn key) {
+#ifndef NDEBUG
+  shadow_->RekeyWaitingBatch(key);
+#endif
+  const std::span<const SlotHeap::Entry> entries = waiting_.entries();
+  rekey_reqs_.resize(entries.size());
+  const Request* const pool = pool_.data();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    rekey_reqs_[i] = pool + entries[i].slot;
+  }
+  rekey_vals_.resize(entries.size());
+  key(rekey_reqs_, rekey_vals_);
+  waiting_.AssignKeys(rekey_vals_);
+  CheckShadow();
+}
+
+void Dispatcher::ForEach(RequestVisitor fn) const {
   active_.ForEachOrdered([&](uint32_t slot) { fn(pool_[slot]); });
   waiting_.ForEachOrdered([&](uint32_t slot) { fn(pool_[slot]); });
 }

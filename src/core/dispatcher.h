@@ -42,12 +42,13 @@
 #ifndef CSFC_CORE_DISPATCHER_H_
 #define CSFC_CORE_DISPATCHER_H_
 
-#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "common/function_ref.h"
 #include "common/status.h"
 #include "core/cvalue.h"
 #include "core/flat_queue.h"
@@ -55,6 +56,22 @@
 #include "workload/request.h"
 
 namespace csfc {
+
+/// Per-request re-characterization hook: new v_c for one waiting request.
+/// A FunctionRef, not a std::function: rekey hooks are invoked once per
+/// waiting request on every queue swap, and the owning scheduler's lambda
+/// lives on the caller's stack for the duration of the call.
+using RekeyFn = FunctionRef<CValue(const Request&)>;
+
+/// Batch re-characterization hook: called exactly once per rekey with all
+/// waiting requests; must fill out[i] with the new v_c of *reqs[i]
+/// (out.size() == reqs.size()). This is the swap-time hot path — the one
+/// call lets the encapsulator hoist its per-batch invariants.
+using BatchRekeyFn =
+    FunctionRef<void(std::span<const Request* const>, std::span<CValue>)>;
+
+/// Pending-request visitor (metric walks, equivalence checks).
+using RequestVisitor = FunctionRef<void(const Request&)>;
 
 /// Queue discipline of the dispatcher.
 enum class QueueDiscipline {
@@ -89,8 +106,11 @@ class ReferenceDispatcher {
 
   void Insert(CValue v, const Request& r);
   std::optional<Request> Pop();
-  void RekeyWaiting(const std::function<CValue(const Request&)>& key);
-  void ForEach(const std::function<void(const Request&)>& fn) const;
+  void RekeyWaiting(RekeyFn key);
+  /// One-call batch rekey; observable behavior identical to RekeyWaiting
+  /// with the equivalent per-request hook.
+  void RekeyWaitingBatch(BatchRekeyFn key);
+  void ForEach(RequestVisitor fn) const;
 
   size_t size() const { return active_.size() + waiting_.size(); }
   bool empty() const { return size() == 0; }
@@ -131,10 +151,15 @@ class Dispatcher {
   Dispatcher& operator=(Dispatcher&&) = default;
 #endif
 
-  /// Inserts a request with characterization value `v`.
+  /// Inserts a request with characterization value `v`. The push_back-style
+  /// overload pair keeps both call shapes single-transfer: lvalue callers
+  /// copy straight into the slot pool, movers (the simulator's arrival
+  /// handoff) move straight in — neither pays an intermediate Request.
   void Insert(CValue v, const Request& r);
+  void Insert(CValue v, Request&& r);
 
   /// Removes and returns the next request to serve (nullopt when empty).
+  /// The payload is moved out of the slot pool, never copied.
   std::optional<Request> Pop();
 
   size_t size() const { return active_.size() + waiting_.size(); }
@@ -149,11 +174,19 @@ class Dispatcher {
   /// forming batch against the *current* head position and time, so the
   /// SFC3 cylinder sweep of each batch is coherent (and deadline urgency
   /// is current) instead of frozen at the various enqueue instants.
-  void RekeyWaiting(const std::function<CValue(const Request&)>& key);
+  void RekeyWaiting(RekeyFn key);
+
+  /// Batch form of RekeyWaiting: gathers every waiting request, invokes
+  /// `key` exactly once for the whole set, and restores the heap with the
+  /// same single O(n) Floyd pass. Semantically identical to RekeyWaiting
+  /// with the equivalent per-request hook; exists so swap-time
+  /// re-characterization goes through Encapsulator::CharacterizeBatch
+  /// instead of one full characterization dispatch per request.
+  void RekeyWaitingBatch(BatchRekeyFn key);
 
   /// Visits all pending requests (active then waiting, each in ascending
   /// (v_c, seq) order).
-  void ForEach(const std::function<void(const Request&)>& fn) const;
+  void ForEach(RequestVisitor fn) const;
 
   /// Current blocking window (grows under ER).
   double current_window() const { return window_; }
@@ -177,8 +210,12 @@ class Dispatcher {
   explicit Dispatcher(const DispatcherConfig& config);
 
   void Swap();
+  /// Shared body of the Insert overloads; R is Request& or Request&&.
+  template <typename R>
+  void InsertImpl(CValue v, R&& r);
   /// Parks `r` in the slot pool and returns its slot index.
-  uint32_t AllocSlot(const Request& r);
+  template <typename R>
+  uint32_t AllocSlot(R&& r);
   /// Moves the request out of `slot` and returns the slot to the free list.
   Request TakeSlot(uint32_t slot);
   /// Debug-build cross-check: mirrors the op on shadow_ and asserts the
@@ -200,6 +237,10 @@ class Dispatcher {
   /// Insert and Pop, including across SP promotions and queue swaps.
   std::vector<Request> pool_;
   std::vector<uint32_t> free_;
+  /// Scratch for RekeyWaitingBatch (gathered payload pointers + new keys),
+  /// reused across swaps so batch rekey settles to zero allocations.
+  std::vector<const Request*> rekey_reqs_;
+  std::vector<CValue> rekey_vals_;
   uint64_t seq_ = 0;
   uint64_t preemptions_ = 0;
   uint64_t promotions_ = 0;

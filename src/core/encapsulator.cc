@@ -1,7 +1,9 @@
 #include "core/encapsulator.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <vector>
 
 #include "sfc/registry.h"
 
@@ -147,6 +149,45 @@ StageValues Encapsulator::CharacterizeStages(const Request& r,
   return sv;
 }
 
+void Encapsulator::CharacterizeBatch(std::span<const Request* const> reqs,
+                                     const DispatchContext& ctx,
+                                     std::span<CValue> out) const {
+  assert(reqs.size() == out.size());
+  // Full-cascade common case: run each request's three stages back to
+  // back in one pass (see FusedFormulaPartitionedBatch).
+  if (config_.stage2_mode == Stage2Mode::kFormula &&
+      config_.stage3_mode == Stage3Mode::kPartitionedCScan &&
+      config_.stage3_bits <= 16) {  // magic-divide exactness bound
+    if (curve1_ == nullptr) {
+      FusedFormulaPartitionedBatch<false>(reqs, ctx, out);
+      return;
+    }
+    if (!lut1_.empty()) {
+      FusedFormulaPartitionedBatch<true>(reqs, ctx, out);
+      return;
+    }
+  }
+  // The value array is the carry between stages: each batch stage reads
+  // out[i], transforms it, and writes it back, so the whole cascade is
+  // three tight passes with no per-request re-dispatch.
+  Stage1Batch(reqs, out);
+  Stage2Batch(reqs, ctx, out);
+  Stage3Batch(reqs, ctx, out);
+}
+
+void Encapsulator::CharacterizeStagesBatch(
+    std::span<const Request* const> reqs, const DispatchContext& ctx,
+    std::span<StageValues> out) const {
+  assert(reqs.size() == out.size());
+  std::vector<CValue> carry(reqs.size());
+  Stage1Batch(reqs, carry);
+  for (size_t i = 0; i < reqs.size(); ++i) out[i].v1 = carry[i];
+  Stage2Batch(reqs, ctx, carry);
+  for (size_t i = 0; i < reqs.size(); ++i) out[i].v2 = carry[i];
+  Stage3Batch(reqs, ctx, carry);
+  for (size_t i = 0; i < reqs.size(); ++i) out[i].vc = carry[i];
+}
+
 CValue Encapsulator::Stage1(const Request& r) const {
   if (curve1_ == nullptr) {
     // Pass-through: single-priority (or no-priority) applications skip
@@ -258,6 +299,287 @@ CValue Encapsulator::Stage3(CValue v2, const Request& r,
   }
   const uint64_t index = curve3_->Index(std::span<const uint32_t>(point, 2));
   return NormalizeIndex(index, curve3_->num_cells());
+}
+
+// ---------------------------------------------------------------------------
+// Batch stage passes. Each mirrors its scalar stage operation-for-operation
+// (the equivalence tests assert bit-identical values); what changes is
+// where the decisions live: mode branches, LUT base pointers, grid scales
+// and context terms are resolved once per batch instead of once per
+// request, leaving a tight loop whose body is just the per-request math.
+// ---------------------------------------------------------------------------
+
+void Encapsulator::Stage1Batch(std::span<const Request* const> reqs,
+                               std::span<CValue> v) const {
+  const size_t n = reqs.size();
+  const uint32_t bits = config_.priority_bits;
+  const uint32_t levels = uint32_t{1} << bits;
+  if (curve1_ == nullptr) {
+    const double levels_d = static_cast<double>(levels);
+    for (size_t i = 0; i < n; ++i) {
+      const Request& r = *reqs[i];
+      if (r.priorities.empty()) {
+        v[i] = 0.0;
+      } else {
+        const PriorityLevel p = std::min(r.priorities[0], levels - 1);
+        v[i] = static_cast<double>(p) / levels_d;
+      }
+    }
+    return;
+  }
+  const uint32_t dims = config_.priority_dims;
+  if (!lut1_.empty()) {
+    const CValue* const lut = lut1_.data();
+    for (size_t i = 0; i < n; ++i) {
+      const Request& r = *reqs[i];
+      uint64_t cell = 0;
+      for (uint32_t k = 0; k < dims; ++k) {
+        cell = (cell << bits) | std::min<uint32_t>(r.priority(k), levels - 1);
+      }
+      v[i] = lut[cell];
+    }
+    return;
+  }
+  const SpaceFillingCurve& curve = *curve1_;
+  const uint64_t num_cells = curve.num_cells();
+  for (size_t i = 0; i < n; ++i) {
+    const Request& r = *reqs[i];
+    uint32_t point[16];
+    for (uint32_t k = 0; k < dims; ++k) {
+      point[k] = std::min<uint32_t>(r.priority(k), levels - 1);
+    }
+    v[i] = NormalizeIndex(curve.Index(std::span<const uint32_t>(point, dims)),
+                          num_cells);
+  }
+}
+
+void Encapsulator::Stage2Batch(std::span<const Request* const> reqs,
+                               const DispatchContext& ctx,
+                               std::span<CValue> v) const {
+  if (config_.stage2_mode == Stage2Mode::kDisabled) return;
+  const size_t n = reqs.size();
+  const SimTime horizon = MsToSim(config_.deadline_horizon_ms);
+  const SimTime now = ctx.now;
+
+  if (config_.stage2_mode == Stage2Mode::kFormula) {
+    const double f = config_.f;
+    const double denom = 1.0 + f;
+    const double cap = std::nextafter(1.0, 0.0);
+    const double horizon_d = static_cast<double>(horizon);
+    const Stage2TieBreak tie = config_.stage2_tie;
+    for (size_t i = 0; i < n; ++i) {
+      const Request& r = *reqs[i];
+      double dl;
+      if (!r.has_deadline()) {
+        dl = 1.0;
+      } else if (r.deadline <= now) {
+        dl = 0.0;
+      } else {
+        dl = std::min(1.0, static_cast<double>(r.deadline - now) / horizon_d);
+      }
+      double val = (v[i] + f * dl) / denom;
+      switch (tie) {
+        case Stage2TieBreak::kNone:
+          break;
+        case Stage2TieBreak::kEarliestDeadline:
+          val += kTieEpsilon * dl;
+          break;
+        case Stage2TieBreak::kHighestPriority:
+          val += kTieEpsilon * v[i];
+          break;
+      }
+      v[i] = std::min(val, cap);
+    }
+    return;
+  }
+
+  // kCurve
+  const uint32_t bits = config_.stage2_bits;
+  const uint32_t cells = uint32_t{1} << bits;
+  const bool dl_major = config_.stage2_deadline_major;
+  if (!lut2_.empty()) {
+    const CValue* const lut = lut2_.data();
+    for (size_t i = 0; i < n; ++i) {
+      const Request& r = *reqs[i];
+      const uint32_t pri_cell = QuantizeUnit(v[i], cells);
+      const uint32_t dl_cell = QuantizeDeadline(r.deadline, now, horizon, cells);
+      const uint32_t x0 = dl_major ? dl_cell : pri_cell;
+      const uint32_t x1 = dl_major ? pri_cell : dl_cell;
+      v[i] = lut[(uint64_t{x0} << bits) | x1];
+    }
+    return;
+  }
+  const SpaceFillingCurve& curve = *curve2_;
+  const uint64_t num_cells = curve.num_cells();
+  for (size_t i = 0; i < n; ++i) {
+    const Request& r = *reqs[i];
+    const uint32_t pri_cell = QuantizeUnit(v[i], cells);
+    const uint32_t dl_cell = QuantizeDeadline(r.deadline, now, horizon, cells);
+    uint32_t point[2];
+    point[0] = dl_major ? dl_cell : pri_cell;
+    point[1] = dl_major ? pri_cell : dl_cell;
+    v[i] = NormalizeIndex(curve.Index(std::span<const uint32_t>(point, 2)),
+                          num_cells);
+  }
+}
+
+void Encapsulator::Stage3Batch(std::span<const Request* const> reqs,
+                               const DispatchContext& ctx,
+                               std::span<CValue> v) const {
+  if (config_.stage3_mode == Stage3Mode::kDisabled) return;
+  const size_t n = reqs.size();
+  const uint32_t cylinders = config_.cylinders;
+  const Cylinder head = ctx.head;
+
+  if (config_.stage3_mode == Stage3Mode::kPartitionedCScan) {
+    const uint32_t max_x = uint32_t{1} << config_.stage3_bits;
+    const uint32_t r_parts = config_.partitions_r;
+    const uint32_t p_s = (max_x + r_parts - 1) / r_parts;  // partition width
+    const uint64_t max_y = cylinders;
+    const double raw_max =
+        static_cast<double>(static_cast<uint64_t>(r_parts) * max_y * p_s);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t y_v = CScanDistance(reqs[i]->cylinder, head, cylinders);
+      const uint32_t x_v = QuantizeUnit(v[i], max_x);
+      const uint32_t p_n = x_v / p_s;
+      const uint64_t raw =
+          (static_cast<uint64_t>(p_n) * max_y + y_v) * p_s + (x_v % p_s);
+      v[i] = static_cast<double>(raw) / raw_max;
+    }
+    return;
+  }
+
+  // kCurve
+  const uint32_t bits = config_.stage3_bits;
+  const uint32_t cells = uint32_t{1} << bits;
+  const double cylinders_d = static_cast<double>(cylinders);
+  if (!lut3_.empty()) {
+    const CValue* const lut = lut3_.data();
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t y_v = CScanDistance(reqs[i]->cylinder, head, cylinders);
+      const uint32_t x0 = QuantizeUnit(v[i], cells);
+      const uint32_t x1 =
+          QuantizeUnit(static_cast<double>(y_v) / cylinders_d, cells);
+      v[i] = lut[(uint64_t{x0} << bits) | x1];
+    }
+    return;
+  }
+  const SpaceFillingCurve& curve = *curve3_;
+  const uint64_t num_cells = curve.num_cells();
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t y_v = CScanDistance(reqs[i]->cylinder, head, cylinders);
+    uint32_t point[2];
+    point[0] = QuantizeUnit(v[i], cells);
+    point[1] = QuantizeUnit(static_cast<double>(y_v) / cylinders_d, cells);
+    v[i] = NormalizeIndex(curve.Index(std::span<const uint32_t>(point, 2)),
+                          num_cells);
+  }
+}
+
+template <bool kLut1>
+void Encapsulator::FusedFormulaPartitionedBatch(
+    std::span<const Request* const> reqs, const DispatchContext& ctx,
+    std::span<CValue> v) const {
+  const size_t n = reqs.size();
+  // Stage-1 invariants.
+  const uint32_t bits = config_.priority_bits;
+  const uint32_t levels = uint32_t{1} << bits;
+  [[maybe_unused]] const double levels_d = static_cast<double>(levels);
+  [[maybe_unused]] const uint32_t dims = config_.priority_dims;
+  [[maybe_unused]] const CValue* const lut = kLut1 ? lut1_.data() : nullptr;
+  // Stage-2 invariants.
+  const SimTime now = ctx.now;
+  const double f = config_.f;
+  const double denom = 1.0 + f;
+  // When denom is a power of two (notably f = 1), dividing by it and
+  // multiplying by its reciprocal are the same exact exponent shift, so
+  // the per-request divide can become a multiply. Another per-batch
+  // invariant decision; the scalar stage pays the divide every call.
+  int denom_exp = 0;
+  const bool denom_pow2 = std::frexp(denom, &denom_exp) == 0.5;
+  const double inv_denom = denom_pow2 ? 1.0 / denom : 0.0;
+  const double cap = std::nextafter(1.0, 0.0);
+  const double horizon_d = static_cast<double>(MsToSim(config_.deadline_horizon_ms));
+  const Stage2TieBreak tie = config_.stage2_tie;
+  // Stage-3 invariants.
+  const uint32_t cylinders = config_.cylinders;
+  const Cylinder head = ctx.head;
+  const uint32_t max_x = uint32_t{1} << config_.stage3_bits;
+  const uint32_t r_parts = config_.partitions_r;
+  const uint32_t p_s = (max_x + r_parts - 1) / r_parts;  // partition width
+  const uint64_t max_y = cylinders;
+  const double raw_max =
+      static_cast<double>(static_cast<uint64_t>(r_parts) * max_y * p_s);
+  // x_v / p_s as an exact multiply-shift: with magic = ceil(2^32 / p_s),
+  // floor(x_v * magic / 2^32) == x_v / p_s whenever
+  // x_v * (magic * p_s - 2^32) < 2^32, and here x_v < 2^16 and the error
+  // term is < p_s <= 2^16 (CharacterizeBatch only takes this kernel when
+  // stage3_bits <= 16). p_s is a per-batch invariant, so this hoists the
+  // per-request hardware divide into one multiply per request.
+  const uint64_t magic = ((uint64_t{1} << 32) + p_s - 1) / p_s;
+  for (size_t i = 0; i < n; ++i) {
+    // The gathered pointers scatter across the dispatcher's slot pool,
+    // which outgrows L2 at simulation queue depths; prefetch a few
+    // requests ahead (a Request spans two cache lines). This is a
+    // batch-only option: the per-request path sees one request at a time.
+    if (i + 16 < n) {
+      const char* next = reinterpret_cast<const char*>(reqs[i + 16]);
+      __builtin_prefetch(next);
+      __builtin_prefetch(next + 64);
+    }
+    const Request& r = *reqs[i];
+    // Stage 1: LUT load or pass-through.
+    double v1;
+    if constexpr (kLut1) {
+      uint64_t cell = 0;
+      for (uint32_t k = 0; k < dims; ++k) {
+        cell = (cell << bits) | std::min<uint32_t>(r.priority(k), levels - 1);
+      }
+      v1 = lut[cell];
+    } else {
+      if (r.priorities.empty()) {
+        v1 = 0.0;
+      } else {
+        const PriorityLevel p = std::min(r.priorities[0], levels - 1);
+        v1 = static_cast<double>(p) / levels_d;
+      }
+    }
+    // Stage 2: the formula blend. Unlike the scalar stage, the deadline
+    // clamp is selects, not branches: deadlines are effectively random
+    // per request, so the scalar if/else chain mispredicts constantly.
+    // The unsigned difference below is exact whenever it survives the
+    // selects — past-due wrap-arounds are discarded by the `due` select,
+    // and kNoDeadline's enormous quotient hits the min() clamp at exactly
+    // the 1.0 the scalar no-deadline arm returns.
+    const SimTime deadline = r.deadline;
+    const uint64_t remaining =
+        static_cast<uint64_t>(deadline) - static_cast<uint64_t>(now);
+    double dl = std::min(1.0, static_cast<double>(remaining) / horizon_d);
+    dl = deadline <= now ? 0.0 : dl;
+    double val = denom_pow2 ? (v1 + f * dl) * inv_denom : (v1 + f * dl) / denom;
+    switch (tie) {
+      case Stage2TieBreak::kNone:
+        break;
+      case Stage2TieBreak::kEarliestDeadline:
+        val += kTieEpsilon * dl;
+        break;
+      case Stage2TieBreak::kHighestPriority:
+        val += kTieEpsilon * v1;
+        break;
+    }
+    const double v2 = std::min(val, cap);
+    // Stage 3: partitioned C-SCAN. The C-SCAN wrap test is a select for
+    // the same reason as the deadline clamp: request cylinders are
+    // scattered relative to the head, so the branch form mispredicts on
+    // roughly every other request.
+    const uint32_t cyl = r.cylinder;
+    const uint32_t y_v = cyl - head + (cyl < head ? cylinders : 0);
+    const uint32_t x_v = QuantizeUnit(v2, max_x);
+    const uint32_t p_n = static_cast<uint32_t>((x_v * magic) >> 32);
+    const uint64_t raw =
+        (static_cast<uint64_t>(p_n) * max_y + y_v) * p_s + (x_v - p_n * p_s);
+    v[i] = static_cast<double>(raw) / raw_max;
+  }
 }
 
 }  // namespace csfc

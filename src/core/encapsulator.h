@@ -41,6 +41,7 @@
 #define CSFC_CORE_ENCAPSULATOR_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -126,6 +127,25 @@ class Encapsulator {
   StageValues CharacterizeStages(const Request& r,
                                  const DispatchContext& ctx) const;
 
+  /// Batch characterization under one shared context: out[i] receives the
+  /// v_c of *reqs[i], bit-identical to Characterize(*reqs[i], ctx)
+  /// (asserted by tests). This is the batch re-characterization hot path:
+  /// every queue swap rekeys the whole forming batch, so the per-call
+  /// invariants — stage-mode branches, LUT base pointers, quantization
+  /// scales, the head-position and partition terms of SFC3 — are hoisted
+  /// out of the loop once and each stage runs as a tight pass over the
+  /// value array. Requires out.size() == reqs.size().
+  void CharacterizeBatch(std::span<const Request* const> reqs,
+                         const DispatchContext& ctx,
+                         std::span<CValue> out) const;
+
+  /// Batch sibling of CharacterizeStages (same hoisting; used by the
+  /// tracing rekey path, which needs every stage's intermediate value).
+  /// out[i].vc is identical to what CharacterizeBatch produces.
+  void CharacterizeStagesBatch(std::span<const Request* const> reqs,
+                               const DispatchContext& ctx,
+                               std::span<StageValues> out) const;
+
   const EncapsulatorConfig& config() const { return config_; }
 
   /// True when stage N resolves through a precomputed lookup table
@@ -140,6 +160,28 @@ class Encapsulator {
   CValue Stage1(const Request& r) const;
   CValue Stage2(CValue v1, const Request& r, const DispatchContext& ctx) const;
   CValue Stage3(CValue v2, const Request& r, const DispatchContext& ctx) const;
+
+  /// Batch stage passes: Stage1Batch fills v[i] from *reqs[i]; the later
+  /// stages transform v in place (v[i] is that stage's input and output).
+  /// Each hoists its mode/LUT/scale decisions out of the request loop.
+  void Stage1Batch(std::span<const Request* const> reqs,
+                   std::span<CValue> v) const;
+  void Stage2Batch(std::span<const Request* const> reqs,
+                   const DispatchContext& ctx, std::span<CValue> v) const;
+  void Stage3Batch(std::span<const Request* const> reqs,
+                   const DispatchContext& ctx, std::span<CValue> v) const;
+
+  /// Single-pass kernel for the full-cascade common case (Stage 1 LUT or
+  /// pass-through, Stage-2 formula, Stage-3 partitioned C-SCAN): each
+  /// request's whole cascade runs back to back, so its fields and the
+  /// carry value stay in registers instead of making three trips through
+  /// the value array. Per-request operations are exactly the three stage
+  /// bodies in order — stages never mix values across requests — so the
+  /// result is bit-identical to the three-pass pipeline.
+  template <bool kLut1>
+  void FusedFormulaPartitionedBatch(std::span<const Request* const> reqs,
+                                    const DispatchContext& ctx,
+                                    std::span<CValue> v) const;
 
   /// Builds the normalized cell -> v tables for every active curve whose
   /// grid has at most `max_cells` cells.

@@ -1,6 +1,7 @@
 #include "sched/bucket.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace csfc {
 
@@ -14,8 +15,8 @@ uint32_t BucketScheduler::BucketOf(PriorityLevel value_level) const {
   return clamped * buckets_ / levels_;
 }
 
-void BucketScheduler::Enqueue(const Request& r, const DispatchContext&) {
-  queues_[BucketOf(r.priority(0))].emplace(r.deadline, r);
+void BucketScheduler::Enqueue(Request r, const DispatchContext&) {
+  queues_[BucketOf(r.priority(0))].emplace(r.deadline, std::move(r));
   ++size_;
 }
 
@@ -23,7 +24,7 @@ std::optional<Request> BucketScheduler::Dispatch(const DispatchContext&) {
   for (auto& queue : queues_) {
     if (queue.empty()) continue;
     auto it = queue.begin();  // earliest deadline within the bucket
-    Request r = it->second;
+    Request r = std::move(it->second);
     queue.erase(it);
     --size_;
     return r;
@@ -31,8 +32,7 @@ std::optional<Request> BucketScheduler::Dispatch(const DispatchContext&) {
   return std::nullopt;
 }
 
-void BucketScheduler::ForEachWaiting(
-    const std::function<void(const Request&)>& fn) const {
+void BucketScheduler::ForEachWaiting(FunctionRef<void(const Request&)> fn) const {
   for (const auto& queue : queues_) {
     for (const auto& [dl, r] : queue) fn(r);
   }

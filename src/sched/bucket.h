@@ -26,11 +26,10 @@ class BucketScheduler final : public Scheduler {
   BucketScheduler(uint32_t levels, uint32_t buckets);
 
   std::string_view name() const override { return "bucket"; }
-  void Enqueue(const Request& r, const DispatchContext& ctx) override;
+  void Enqueue(Request r, const DispatchContext& ctx) override;
   std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return size_; }
-  void ForEachWaiting(
-      const std::function<void(const Request&)>& fn) const override;
+  void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 
  private:
   uint32_t BucketOf(PriorityLevel value_level) const;

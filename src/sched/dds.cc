@@ -1,6 +1,7 @@
 #include "sched/dds.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace csfc {
 
@@ -23,13 +24,13 @@ bool DdsScheduler::PlanFeasible(const DispatchContext& ctx) const {
   return true;
 }
 
-void DdsScheduler::Enqueue(const Request& r, const DispatchContext& ctx) {
+void DdsScheduler::Enqueue(Request r, const DispatchContext& ctx) {
   // Insert in C-SCAN order relative to the current head.
   const uint64_t key = ScanKey(r.cylinder, ctx.head);
   auto pos = std::find_if(plan_.begin(), plan_.end(), [&](const Request& q) {
     return ScanKey(q.cylinder, ctx.head) > key;
   });
-  plan_.insert(pos, r);
+  plan_.insert(pos, std::move(r));
 
   // If the insertion broke a deadline, demote the lowest-priority request
   // to the tail — one victim per arrival, exactly as the paper describes
@@ -42,21 +43,20 @@ void DdsScheduler::Enqueue(const Request& r, const DispatchContext& ctx) {
     for (size_t i = 1; i + 1 < plan_.size(); ++i) {
       if (plan_[i].priority(0) >= plan_[victim].priority(0)) victim = i;
     }
-    Request demoted = plan_[victim];
+    Request demoted = std::move(plan_[victim]);
     plan_.erase(plan_.begin() + static_cast<ptrdiff_t>(victim));
-    plan_.push_back(demoted);
+    plan_.push_back(std::move(demoted));
   }
 }
 
 std::optional<Request> DdsScheduler::Dispatch(const DispatchContext&) {
   if (plan_.empty()) return std::nullopt;
-  Request r = plan_.front();
+  Request r = std::move(plan_.front());
   plan_.erase(plan_.begin());
   return r;
 }
 
-void DdsScheduler::ForEachWaiting(
-    const std::function<void(const Request&)>& fn) const {
+void DdsScheduler::ForEachWaiting(FunctionRef<void(const Request&)> fn) const {
   for (const Request& r : plan_) fn(r);
 }
 

@@ -25,11 +25,10 @@ class DdsScheduler final : public Scheduler {
   explicit DdsScheduler(const DiskModel* disk) : disk_(disk) {}
 
   std::string_view name() const override { return "dds"; }
-  void Enqueue(const Request& r, const DispatchContext& ctx) override;
+  void Enqueue(Request r, const DispatchContext& ctx) override;
   std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return plan_.size(); }
-  void ForEachWaiting(
-      const std::function<void(const Request&)>& fn) const override;
+  void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 
  private:
   // C-SCAN position key of a cylinder relative to the head: distance of

@@ -16,11 +16,10 @@ namespace csfc {
 class EdfScheduler final : public Scheduler {
  public:
   std::string_view name() const override { return "edf"; }
-  void Enqueue(const Request& r, const DispatchContext& ctx) override;
+  void Enqueue(Request r, const DispatchContext& ctx) override;
   std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return size_; }
-  void ForEachWaiting(
-      const std::function<void(const Request&)>& fn) const override;
+  void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 
  private:
   // (deadline, arrival) keyed; FIFO among exact ties via multimap order.

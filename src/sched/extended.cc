@@ -1,6 +1,7 @@
 #include "sched/extended.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "sfc/registry.h"
 
@@ -36,11 +37,10 @@ PriorityLevel SfcDdsScheduler::AbsolutePriority(const Request& r) const {
   return static_cast<PriorityLevel>(index >> shift);
 }
 
-void SfcDdsScheduler::Enqueue(const Request& r, const DispatchContext& ctx) {
+void SfcDdsScheduler::Enqueue(Request r, const DispatchContext& ctx) {
   originals_[r.id] = r.priorities;
-  Request flattened = r;
-  flattened.priorities = PriorityVec{AbsolutePriority(r)};
-  inner_.Enqueue(flattened, ctx);
+  r.priorities = PriorityVec{AbsolutePriority(r)};
+  inner_.Enqueue(std::move(r), ctx);
 }
 
 std::optional<Request> SfcDdsScheduler::Dispatch(const DispatchContext& ctx) {
@@ -54,8 +54,7 @@ std::optional<Request> SfcDdsScheduler::Dispatch(const DispatchContext& ctx) {
   return r;
 }
 
-void SfcDdsScheduler::ForEachWaiting(
-    const std::function<void(const Request&)>& fn) const {
+void SfcDdsScheduler::ForEachWaiting(FunctionRef<void(const Request&)> fn) const {
   inner_.ForEachWaiting([&](const Request& flattened) {
     auto it = originals_.find(flattened.id);
     if (it == originals_.end()) {
@@ -84,8 +83,9 @@ SimTime SfcBucketScheduler::Band(SimTime deadline) const {
   return deadline / urgency_band_;
 }
 
-void SfcBucketScheduler::Enqueue(const Request& r, const DispatchContext&) {
-  queues_[BucketOf(r.priority(0))][Band(r.deadline)].emplace(r.cylinder, r);
+void SfcBucketScheduler::Enqueue(Request r, const DispatchContext&) {
+  queues_[BucketOf(r.priority(0))][Band(r.deadline)].emplace(r.cylinder,
+                                                              std::move(r));
   ++size_;
 }
 
@@ -97,7 +97,7 @@ std::optional<Request> SfcBucketScheduler::Dispatch(
     // SFC3 behavior inside the urgency band: continue the cylinder sweep.
     auto it = group.lower_bound(ctx.head);
     if (it == group.end()) it = group.begin();
-    Request r = it->second;
+    Request r = std::move(it->second);
     group.erase(it);
     if (group.empty()) bucket.erase(bucket.begin());
     --size_;
@@ -106,8 +106,7 @@ std::optional<Request> SfcBucketScheduler::Dispatch(
   return std::nullopt;
 }
 
-void SfcBucketScheduler::ForEachWaiting(
-    const std::function<void(const Request&)>& fn) const {
+void SfcBucketScheduler::ForEachWaiting(FunctionRef<void(const Request&)> fn) const {
   for (const auto& bucket : queues_) {
     for (const auto& [band, group] : bucket) {
       for (const auto& [cyl, r] : group) fn(r);

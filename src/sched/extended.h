@@ -40,11 +40,10 @@ class SfcDdsScheduler final : public Scheduler {
       uint32_t bits);
 
   std::string_view name() const override { return "sfc-dds"; }
-  void Enqueue(const Request& r, const DispatchContext& ctx) override;
+  void Enqueue(Request r, const DispatchContext& ctx) override;
   std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return inner_.queue_size(); }
-  void ForEachWaiting(
-      const std::function<void(const Request&)>& fn) const override;
+  void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 
   /// The absolute priority level SFC1 assigns to `r` (exposed for tests).
   PriorityLevel AbsolutePriority(const Request& r) const;
@@ -72,11 +71,10 @@ class SfcBucketScheduler final : public Scheduler {
                      SimTime urgency_band);
 
   std::string_view name() const override { return "sfc-bucket"; }
-  void Enqueue(const Request& r, const DispatchContext& ctx) override;
+  void Enqueue(Request r, const DispatchContext& ctx) override;
   std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return size_; }
-  void ForEachWaiting(
-      const std::function<void(const Request&)>& fn) const override;
+  void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 
  private:
   uint32_t BucketOf(PriorityLevel value_level) const;

@@ -1,20 +1,21 @@
 #include "sched/fcfs.h"
 
+#include <utility>
+
 namespace csfc {
 
-void FcfsScheduler::Enqueue(const Request& r, const DispatchContext&) {
-  queue_.push_back(r);
+void FcfsScheduler::Enqueue(Request r, const DispatchContext&) {
+  queue_.push_back(std::move(r));
 }
 
 std::optional<Request> FcfsScheduler::Dispatch(const DispatchContext&) {
   if (queue_.empty()) return std::nullopt;
-  Request r = queue_.front();
+  Request r = std::move(queue_.front());
   queue_.pop_front();
   return r;
 }
 
-void FcfsScheduler::ForEachWaiting(
-    const std::function<void(const Request&)>& fn) const {
+void FcfsScheduler::ForEachWaiting(FunctionRef<void(const Request&)> fn) const {
   for (const Request& r : queue_) fn(r);
 }
 

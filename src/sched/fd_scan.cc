@@ -1,10 +1,12 @@
 #include "sched/fd_scan.h"
 
+#include <utility>
+
 namespace csfc {
 
-void FdScanScheduler::Enqueue(const Request& r, const DispatchContext&) {
-  by_cylinder_.emplace(r.cylinder, r);
+void FdScanScheduler::Enqueue(Request r, const DispatchContext&) {
   if (r.has_deadline()) by_deadline_.emplace(r.deadline, r.id);
+  by_cylinder_.emplace(r.cylinder, std::move(r));
   ++size_;
 }
 
@@ -33,7 +35,7 @@ std::optional<Request> FdScanScheduler::Dispatch(const DispatchContext& ctx) {
   }
 
   auto take = [&](std::multimap<Cylinder, Request>::iterator it) {
-    Request r = it->second;
+    Request r = std::move(it->second);
     by_cylinder_.erase(it);
     for (auto dit = by_deadline_.lower_bound(r.deadline);
          dit != by_deadline_.end() && dit->first == r.deadline; ++dit) {
@@ -69,8 +71,7 @@ std::optional<Request> FdScanScheduler::Dispatch(const DispatchContext& ctx) {
   return take(std::prev(it));  // first at/below head going down
 }
 
-void FdScanScheduler::ForEachWaiting(
-    const std::function<void(const Request&)>& fn) const {
+void FdScanScheduler::ForEachWaiting(FunctionRef<void(const Request&)> fn) const {
   for (const auto& [cyl, r] : by_cylinder_) fn(r);
 }
 

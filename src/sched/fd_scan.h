@@ -20,11 +20,10 @@ class FdScanScheduler final : public Scheduler {
   explicit FdScanScheduler(const DiskModel* disk) : disk_(disk) {}
 
   std::string_view name() const override { return "fd-scan"; }
-  void Enqueue(const Request& r, const DispatchContext& ctx) override;
+  void Enqueue(Request r, const DispatchContext& ctx) override;
   std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return size_; }
-  void ForEachWaiting(
-      const std::function<void(const Request&)>& fn) const override;
+  void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 
  private:
   // Estimated completion time if the head went straight to `r` now.

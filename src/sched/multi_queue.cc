@@ -1,16 +1,17 @@
 #include "sched/multi_queue.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace csfc {
 
 MultiQueueScheduler::MultiQueueScheduler(uint32_t levels)
     : queues_(std::max(levels, 1u)) {}
 
-void MultiQueueScheduler::Enqueue(const Request& r, const DispatchContext&) {
+void MultiQueueScheduler::Enqueue(Request r, const DispatchContext&) {
   const size_t level =
       std::min<size_t>(r.priority(0), queues_.size() - 1);
-  queues_[level].emplace(r.cylinder, r);
+  queues_[level].emplace(r.cylinder, std::move(r));
   ++size_;
 }
 
@@ -21,7 +22,7 @@ std::optional<Request> MultiQueueScheduler::Dispatch(
     // Continue the upward sweep within this level; wrap to the lowest.
     auto it = queue.lower_bound(ctx.head);
     if (it == queue.end()) it = queue.begin();
-    Request r = it->second;
+    Request r = std::move(it->second);
     queue.erase(it);
     --size_;
     return r;
@@ -29,8 +30,7 @@ std::optional<Request> MultiQueueScheduler::Dispatch(
   return std::nullopt;
 }
 
-void MultiQueueScheduler::ForEachWaiting(
-    const std::function<void(const Request&)>& fn) const {
+void MultiQueueScheduler::ForEachWaiting(FunctionRef<void(const Request&)> fn) const {
   for (const auto& queue : queues_) {
     for (const auto& [cyl, r] : queue) fn(r);
   }

@@ -18,11 +18,10 @@ class MultiQueueScheduler final : public Scheduler {
   explicit MultiQueueScheduler(uint32_t levels);
 
   std::string_view name() const override { return "multi-queue"; }
-  void Enqueue(const Request& r, const DispatchContext& ctx) override;
+  void Enqueue(Request r, const DispatchContext& ctx) override;
   std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return size_; }
-  void ForEachWaiting(
-      const std::function<void(const Request&)>& fn) const override;
+  void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 
  private:
   // queues_[level] is cylinder-ordered; level 0 = highest priority.

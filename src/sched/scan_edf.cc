@@ -1,9 +1,11 @@
 #include "sched/scan_edf.h"
 
+#include <utility>
+
 namespace csfc {
 
-void ScanEdfScheduler::Enqueue(const Request& r, const DispatchContext&) {
-  buckets_[Bucket(r.deadline)].emplace(r.cylinder, r);
+void ScanEdfScheduler::Enqueue(Request r, const DispatchContext&) {
+  buckets_[Bucket(r.deadline)].emplace(r.cylinder, std::move(r));
   ++size_;
 }
 
@@ -15,15 +17,14 @@ std::optional<Request> ScanEdfScheduler::Dispatch(const DispatchContext& ctx) {
   // in the paper's realization of SCAN-EDF via SFC3).
   auto it = group.lower_bound(ctx.head);
   if (it == group.end()) it = group.begin();
-  Request r = it->second;
+  Request r = std::move(it->second);
   group.erase(it);
   if (group.empty()) buckets_.erase(buckets_.begin());
   --size_;
   return r;
 }
 
-void ScanEdfScheduler::ForEachWaiting(
-    const std::function<void(const Request&)>& fn) const {
+void ScanEdfScheduler::ForEachWaiting(FunctionRef<void(const Request&)> fn) const {
   for (const auto& [bucket, group] : buckets_) {
     for (const auto& [cyl, r] : group) fn(r);
   }

@@ -19,11 +19,10 @@ class ScanEdfScheduler final : public Scheduler {
       : granularity_(deadline_granularity) {}
 
   std::string_view name() const override { return "scan-edf"; }
-  void Enqueue(const Request& r, const DispatchContext& ctx) override;
+  void Enqueue(Request r, const DispatchContext& ctx) override;
   std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return size_; }
-  void ForEachWaiting(
-      const std::function<void(const Request&)>& fn) const override;
+  void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 
  private:
   SimTime Bucket(SimTime deadline) const {

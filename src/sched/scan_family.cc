@@ -1,5 +1,7 @@
 #include "sched/scan_family.h"
 
+#include <utility>
+
 namespace csfc {
 
 ScanScheduler::ScanScheduler(ScanVariant variant, uint32_t cylinders)
@@ -19,15 +21,15 @@ std::string_view ScanScheduler::name() const {
   return "scan?";
 }
 
-void ScanScheduler::Enqueue(const Request& r, const DispatchContext&) {
-  by_cylinder_.emplace(r.cylinder, r);
+void ScanScheduler::Enqueue(Request r, const DispatchContext&) {
+  by_cylinder_.emplace(r.cylinder, std::move(r));
   ++size_;
 }
 
 std::optional<Request> ScanScheduler::Dispatch(const DispatchContext& ctx) {
   if (by_cylinder_.empty()) return std::nullopt;
   auto take = [&](auto it) {
-    Request r = it->second;
+    Request r = std::move(it->second);
     by_cylinder_.erase(it);
     --size_;
     return r;
@@ -59,8 +61,7 @@ std::optional<Request> ScanScheduler::Dispatch(const DispatchContext& ctx) {
   return take(std::prev(it));
 }
 
-void ScanScheduler::ForEachWaiting(
-    const std::function<void(const Request&)>& fn) const {
+void ScanScheduler::ForEachWaiting(FunctionRef<void(const Request&)> fn) const {
   for (const auto& [cyl, r] : by_cylinder_) fn(r);
 }
 

@@ -22,11 +22,10 @@ class ScanScheduler final : public Scheduler {
   ScanScheduler(ScanVariant variant, uint32_t cylinders);
 
   std::string_view name() const override;
-  void Enqueue(const Request& r, const DispatchContext& ctx) override;
+  void Enqueue(Request r, const DispatchContext& ctx) override;
   std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return size_; }
-  void ForEachWaiting(
-      const std::function<void(const Request&)>& fn) const override;
+  void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 
   /// Current sweep direction (+1 toward higher cylinders). Exposed for
   /// tests.

@@ -1,6 +1,7 @@
 #include "sched/scan_rt.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace csfc {
 
@@ -23,29 +24,29 @@ bool ScanRtScheduler::PlanFeasible(const DispatchContext& ctx) const {
   return true;
 }
 
-void ScanRtScheduler::Enqueue(const Request& r, const DispatchContext& ctx) {
+void ScanRtScheduler::Enqueue(Request r, const DispatchContext& ctx) {
   const uint64_t key = ScanKey(r.cylinder, ctx.head);
   auto pos = std::find_if(plan_.begin(), plan_.end(), [&](const Request& q) {
     return ScanKey(q.cylinder, ctx.head) > key;
   });
   const size_t idx = static_cast<size_t>(pos - plan_.begin());
-  plan_.insert(pos, r);
+  plan_.insert(pos, std::move(r));
   if (!PlanFeasible(ctx)) {
     // Back out the SCAN insertion and append instead.
+    Request backed = std::move(plan_[idx]);
     plan_.erase(plan_.begin() + static_cast<ptrdiff_t>(idx));
-    plan_.push_back(r);
+    plan_.push_back(std::move(backed));
   }
 }
 
 std::optional<Request> ScanRtScheduler::Dispatch(const DispatchContext&) {
   if (plan_.empty()) return std::nullopt;
-  Request r = plan_.front();
+  Request r = std::move(plan_.front());
   plan_.erase(plan_.begin());
   return r;
 }
 
-void ScanRtScheduler::ForEachWaiting(
-    const std::function<void(const Request&)>& fn) const {
+void ScanRtScheduler::ForEachWaiting(FunctionRef<void(const Request&)> fn) const {
   for (const Request& r : plan_) fn(r);
 }
 

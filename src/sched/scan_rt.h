@@ -20,11 +20,10 @@ class ScanRtScheduler final : public Scheduler {
   explicit ScanRtScheduler(const DiskModel* disk) : disk_(disk) {}
 
   std::string_view name() const override { return "scan-rt"; }
-  void Enqueue(const Request& r, const DispatchContext& ctx) override;
+  void Enqueue(Request r, const DispatchContext& ctx) override;
   std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return plan_.size(); }
-  void ForEachWaiting(
-      const std::function<void(const Request&)>& fn) const override;
+  void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 
  private:
   uint64_t ScanKey(Cylinder cyl, Cylinder head) const;

@@ -15,6 +15,7 @@
 #include <optional>
 #include <string_view>
 
+#include "common/function_ref.h"
 #include "common/types.h"
 #include "workload/request.h"
 
@@ -40,20 +41,26 @@ class Scheduler {
   /// Policy name for reports ("edf", "cascaded-sfc[hilbert,...]", ...).
   virtual std::string_view name() const = 0;
 
-  /// Accepts an arriving request.
-  virtual void Enqueue(const Request& r, const DispatchContext& ctx) = 0;
+  /// Accepts an arriving request. Taken by value: the simulator moves each
+  /// arrival in, and implementations move it on into their queue state, so
+  /// the ~100-byte payload is never copied on the generator->queue path.
+  /// Callers that still need the request afterwards pass an lvalue and pay
+  /// exactly one copy at the call site.
+  virtual void Enqueue(Request r, const DispatchContext& ctx) = 0;
 
   /// Removes and returns the next request to serve, or nullopt if no
-  /// request is pending.
+  /// request is pending. Implementations move the payload out of their
+  /// queue state (the queue->service path is copy-free too).
   virtual std::optional<Request> Dispatch(const DispatchContext& ctx) = 0;
 
   /// Number of pending requests.
   virtual size_t queue_size() const = 0;
 
   /// Visits every pending request (order unspecified). Used by the metrics
-  /// layer to count priority inversions at dispatch time.
-  virtual void ForEachWaiting(
-      const std::function<void(const Request&)>& fn) const = 0;
+  /// layer to count priority inversions at dispatch time — once per
+  /// dispatch, so the visitor is a non-owning FunctionRef rather than a
+  /// std::function (no allocation, single indirection).
+  virtual void ForEachWaiting(FunctionRef<void(const Request&)> fn) const = 0;
 
   /// Observability hook. The simulator calls this at the start of every
   /// Run with the run's tracer; policies with internal state worth

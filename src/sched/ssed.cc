@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace csfc {
 
@@ -10,8 +11,8 @@ SsedScheduler::SsedScheduler(SsedVariant variant, uint32_t cylinders,
     : variant_(variant), cylinders_(cylinders),
       alpha_(std::clamp(alpha, 0.0, 1.0)) {}
 
-void SsedScheduler::Enqueue(const Request& r, const DispatchContext&) {
-  queue_.push_back(r);
+void SsedScheduler::Enqueue(Request r, const DispatchContext&) {
+  queue_.push_back(std::move(r));
 }
 
 std::optional<Request> SsedScheduler::Dispatch(const DispatchContext& ctx) {
@@ -62,13 +63,12 @@ std::optional<Request> SsedScheduler::Dispatch(const DispatchContext& ctx) {
       best_score = score;
     }
   }
-  Request r = queue_[best];
+  Request r = std::move(queue_[best]);
   queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(best));
   return r;
 }
 
-void SsedScheduler::ForEachWaiting(
-    const std::function<void(const Request&)>& fn) const {
+void SsedScheduler::ForEachWaiting(FunctionRef<void(const Request&)> fn) const {
   for (const Request& r : queue_) fn(r);
 }
 

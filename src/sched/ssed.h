@@ -31,11 +31,10 @@ class SsedScheduler final : public Scheduler {
   std::string_view name() const override {
     return variant_ == SsedVariant::kOrdering ? "ssedo" : "ssedv";
   }
-  void Enqueue(const Request& r, const DispatchContext& ctx) override;
+  void Enqueue(Request r, const DispatchContext& ctx) override;
   std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return queue_.size(); }
-  void ForEachWaiting(
-      const std::function<void(const Request&)>& fn) const override;
+  void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 
  private:
   SsedVariant variant_;

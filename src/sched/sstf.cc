@@ -1,9 +1,11 @@
 #include "sched/sstf.h"
 
+#include <utility>
+
 namespace csfc {
 
-void SstfScheduler::Enqueue(const Request& r, const DispatchContext&) {
-  by_cylinder_.emplace(r.cylinder, r);
+void SstfScheduler::Enqueue(Request r, const DispatchContext&) {
+  by_cylinder_.emplace(r.cylinder, std::move(r));
   ++size_;
 }
 
@@ -20,14 +22,13 @@ std::optional<Request> SstfScheduler::Dispatch(const DispatchContext& ctx) {
       chosen = below;
     }
   }
-  Request r = chosen->second;
+  Request r = std::move(chosen->second);
   by_cylinder_.erase(chosen);
   --size_;
   return r;
 }
 
-void SstfScheduler::ForEachWaiting(
-    const std::function<void(const Request&)>& fn) const {
+void SstfScheduler::ForEachWaiting(FunctionRef<void(const Request&)> fn) const {
   for (const auto& [cyl, r] : by_cylinder_) fn(r);
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "workload/trace.h"
 
@@ -70,14 +71,19 @@ Result<ArrayRunResult> ArraySimulator::Run(RequestGenerator& gen,
     const uint64_t lbn =
         (it->second + stream_block[r->stream]++) % data_blocks;
     const RaidLocation loc = layout_.Map(lbn);
-    Request placed = *r;
+    Request placed = std::move(*r);
     placed.cylinder = loc.cylinder;
-    per_disk[loc.disk].push_back(placed);
+    // A write needs a parity sibling; take the copy before the data
+    // request moves into its member queue (data first, parity second, so
+    // replay order within a member is stable).
     if (placed.is_write) {
       const RaidLocation par = layout_.ParityOf(lbn);
       Request parity = placed;
       parity.cylinder = par.cylinder;
-      per_disk[par.disk].push_back(parity);
+      per_disk[loc.disk].push_back(std::move(placed));
+      per_disk[par.disk].push_back(std::move(parity));
+    } else {
+      per_disk[loc.disk].push_back(std::move(placed));
     }
   }
 

@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <utility>
+
 namespace csfc {
 
 Status SimulatorConfig::Validate() const {
@@ -63,7 +65,7 @@ RunMetrics DiskServerSimulator::Run(RequestGenerator& gen, Scheduler& sched) {
             service_ms = disk_.TransferTimeMs(r->cylinder, r->bytes);
             break;
         }
-        in_service = *r;
+        in_service = std::move(*r);
         in_service_seek_ms = seek_ms;
         in_service_total_ms = service_ms;
         completion_time = now + MsToSim(service_ms);
@@ -88,12 +90,15 @@ RunMetrics DiskServerSimulator::Run(RequestGenerator& gen, Scheduler& sched) {
       const DispatchContext ctx{.now = now, .head = head};
       tracer_.set_now(now);
       metrics.OnArrival(*next_arrival);
-      sched.Enqueue(*next_arrival, ctx);
+      const RequestId arrival_id = next_arrival->id;
+      // Zero-copy handoff: the payload moves generator -> scheduler queue
+      // -> (slot pool) -> in_service without an intermediate copy.
+      sched.Enqueue(std::move(*next_arrival), ctx);
       if (tracer_.enabled()) {
         obs::TraceEvent e;
         e.kind = obs::TraceEventKind::kEnqueue;
         e.t = now;
-        e.id = next_arrival->id;
+        e.id = arrival_id;
         e.queue_depth = sched.queue_size();
         tracer_.Emit(e);
       }

@@ -133,9 +133,6 @@ MetricsCollector::MetricsCollector(const MetricsConfig& config)
   if (dims_ > 0) metrics_.response_per_level.resize(levels_);
 }
 
-MetricsCollector::MetricsCollector(uint32_t dims, uint32_t levels)
-    : MetricsCollector(MetricsConfig{.dims = dims, .levels = levels}) {}
-
 void MetricsCollector::OnArrival(const Request& r) {
   ++metrics_.arrivals;
   if (tracer_ != nullptr && tracer_->enabled()) {

@@ -101,10 +101,6 @@ class MetricsCollector {
   /// they have.
   explicit MetricsCollector(const MetricsConfig& config);
 
-  /// Deprecated one-PR alias for MetricsCollector(MetricsConfig{dims,
-  /// levels}); removed next PR.
-  MetricsCollector(uint32_t dims, uint32_t levels);
-
   /// Attaches the tracer lifecycle events are emitted through (may be
   /// null / disabled; must outlive the collector's On* calls).
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }

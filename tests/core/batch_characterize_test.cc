@@ -1,0 +1,174 @@
+// Bit-identity of Encapsulator::CharacterizeBatch with the per-request
+// scalar path. The batch path hoists every per-call invariant (stage-mode
+// branches, LUT base pointers, quantization scales, the head-position and
+// partition terms of SFC3) out of a tight loop — but it must perform the
+// exact same floating-point operation sequence per request, so the rekeyed
+// heap keys match the debug shadow dispatcher (which rekeys through the
+// scalar path) to the last bit. EXPECT_EQ on doubles below is deliberate:
+// approximate agreement would hide a reordered FP operation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/encapsulator.h"
+
+namespace csfc {
+namespace {
+
+Request RandomRequest(Rng& rng, const EncapsulatorConfig& cfg,
+                      RequestId id, SimTime now) {
+  Request r;
+  r.id = id;
+  r.arrival = now;
+  // Mix relaxed, past-due, near and far deadlines around `now`.
+  switch (rng.Uniform(4)) {
+    case 0:
+      r.deadline = kNoDeadline;
+      break;
+    case 1:
+      r.deadline = now - static_cast<SimTime>(rng.Uniform(50 * kMillisecond));
+      break;
+    default:
+      r.deadline = now + static_cast<SimTime>(rng.Uniform(2 * kSecond));
+      break;
+  }
+  r.cylinder = static_cast<Cylinder>(rng.Uniform(cfg.cylinders));
+  // Vary the dimension count so requests with fewer priorities than the
+  // configured D (priority(k) fallback) are exercised too.
+  const uint32_t dims = static_cast<uint32_t>(rng.Uniform(cfg.priority_dims + 1));
+  const uint32_t levels = 1u << cfg.priority_bits;
+  for (uint32_t k = 0; k < dims; ++k) {
+    r.priorities.push_back(static_cast<PriorityLevel>(rng.Uniform(levels)));
+  }
+  return r;
+}
+
+void ExpectBatchMatchesScalar(const EncapsulatorConfig& cfg, uint64_t seed) {
+  auto created = Encapsulator::Create(cfg);
+  ASSERT_TRUE(created.ok()) << created.status().message();
+  const Encapsulator& enc = **created;
+
+  Rng rng(seed);
+  const SimTime now = MsToSim(500.0);
+  const DispatchContext ctx{
+      .now = now, .head = static_cast<Cylinder>(rng.Uniform(cfg.cylinders))};
+
+  std::vector<Request> reqs;
+  for (RequestId id = 0; id < 257; ++id) {
+    reqs.push_back(RandomRequest(rng, cfg, id, now));
+  }
+  std::vector<const Request*> ptrs;
+  for (const Request& r : reqs) ptrs.push_back(&r);
+
+  std::vector<CValue> batch(reqs.size());
+  enc.CharacterizeBatch(ptrs, ctx, batch);
+  std::vector<StageValues> stages(reqs.size());
+  enc.CharacterizeStagesBatch(ptrs, ctx, stages);
+
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    const CValue scalar = enc.Characterize(reqs[i], ctx);
+    const StageValues sv = enc.CharacterizeStages(reqs[i], ctx);
+    EXPECT_EQ(batch[i], scalar) << "request " << i;
+    EXPECT_EQ(stages[i].v1, sv.v1) << "request " << i;
+    EXPECT_EQ(stages[i].v2, sv.v2) << "request " << i;
+    EXPECT_EQ(stages[i].vc, sv.vc) << "request " << i;
+    EXPECT_EQ(stages[i].vc, batch[i]) << "request " << i;
+  }
+}
+
+// One randomized configuration per seed, sweeping every stage-mode
+// combination; each is checked with the LUT enabled and disabled.
+EncapsulatorConfig RandomConfig(uint64_t seed) {
+  Rng rng(seed);
+  EncapsulatorConfig cfg;
+  cfg.stage1_enabled = rng.Uniform(4) != 0;  // passthrough path too
+  cfg.sfc1 = rng.Uniform(2) == 0 ? "hilbert" : "zorder";
+  cfg.priority_dims = static_cast<uint32_t>(1 + rng.Uniform(3));
+  cfg.priority_bits = static_cast<uint32_t>(2 + rng.Uniform(3));
+  switch (rng.Uniform(3)) {
+    case 0: cfg.stage2_mode = Stage2Mode::kDisabled; break;
+    case 1: cfg.stage2_mode = Stage2Mode::kFormula; break;
+    default: cfg.stage2_mode = Stage2Mode::kCurve; break;
+  }
+  cfg.f = 0.25 * static_cast<double>(1 + rng.Uniform(8));
+  switch (rng.Uniform(3)) {
+    case 0: cfg.stage2_tie = Stage2TieBreak::kNone; break;
+    case 1: cfg.stage2_tie = Stage2TieBreak::kEarliestDeadline; break;
+    default: cfg.stage2_tie = Stage2TieBreak::kHighestPriority; break;
+  }
+  cfg.sfc2 = rng.Uniform(2) == 0 ? "hilbert" : "diagonal";
+  cfg.stage2_bits = static_cast<uint32_t>(4 + rng.Uniform(5));
+  cfg.stage2_deadline_major = rng.Uniform(2) == 0;
+  cfg.deadline_horizon_ms = 200.0 * static_cast<double>(1 + rng.Uniform(10));
+  switch (rng.Uniform(3)) {
+    case 0: cfg.stage3_mode = Stage3Mode::kDisabled; break;
+    case 1: cfg.stage3_mode = Stage3Mode::kPartitionedCScan; break;
+    default: cfg.stage3_mode = Stage3Mode::kCurve; break;
+  }
+  cfg.partitions_r = static_cast<uint32_t>(1 + rng.Uniform(8));
+  cfg.sfc3 = rng.Uniform(2) == 0 ? "cscan" : "hilbert";
+  cfg.stage3_bits = static_cast<uint32_t>(4 + rng.Uniform(5));
+  cfg.cylinders = static_cast<uint32_t>(100 + rng.Uniform(4000));
+  return cfg;
+}
+
+TEST(BatchCharacterizeTest, MatchesScalarAcrossRandomConfigs) {
+  for (uint64_t seed = 0; seed < 24; ++seed) {
+    EncapsulatorConfig cfg = RandomConfig(seed);
+    cfg.enable_lut = true;
+    ExpectBatchMatchesScalar(cfg, seed * 977 + 13);
+    cfg.enable_lut = false;
+    ExpectBatchMatchesScalar(cfg, seed * 977 + 13);
+  }
+}
+
+// Pin each stage-mode combination explicitly (the random sweep could in
+// principle miss one), with both LUT settings.
+TEST(BatchCharacterizeTest, MatchesScalarOnEveryStageModeCombination) {
+  const Stage2Mode s2[] = {Stage2Mode::kDisabled, Stage2Mode::kFormula,
+                           Stage2Mode::kCurve};
+  const Stage3Mode s3[] = {Stage3Mode::kDisabled,
+                           Stage3Mode::kPartitionedCScan, Stage3Mode::kCurve};
+  uint64_t seed = 1000;
+  for (const bool stage1 : {true, false}) {
+    for (const Stage2Mode m2 : s2) {
+      for (const Stage3Mode m3 : s3) {
+        EncapsulatorConfig cfg;
+        cfg.stage1_enabled = stage1;
+        cfg.stage2_mode = m2;
+        cfg.stage3_mode = m3;
+        for (const bool lut : {true, false}) {
+          cfg.enable_lut = lut;
+          ExpectBatchMatchesScalar(cfg, ++seed);
+        }
+      }
+    }
+  }
+}
+
+// Degenerate batch shapes the loop bounds must handle.
+TEST(BatchCharacterizeTest, EmptyAndSingletonBatches) {
+  EncapsulatorConfig cfg;
+  auto created = Encapsulator::Create(cfg);
+  ASSERT_TRUE(created.ok());
+  const Encapsulator& enc = **created;
+  const DispatchContext ctx{.now = MsToSim(1.0), .head = 7};
+
+  enc.CharacterizeBatch({}, ctx, {});
+  enc.CharacterizeStagesBatch({}, ctx, {});
+
+  Request r;
+  r.id = 42;
+  r.deadline = MsToSim(30.0);
+  r.cylinder = 1234;
+  r.priorities.push_back(3);
+  const Request* p = &r;
+  CValue one = -1.0;
+  enc.CharacterizeBatch({&p, 1}, ctx, {&one, 1});
+  EXPECT_EQ(one, enc.Characterize(r, ctx));
+}
+
+}  // namespace
+}  // namespace csfc

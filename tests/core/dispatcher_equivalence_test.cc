@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -69,8 +71,19 @@ void ReplayRandomTrace(const DispatcherConfig& cfg, uint64_t seed,
         const uint64_t h = (r.id + salt) * 2654435761ULL;
         return static_cast<double>(h % 65536) / 65536.0;
       };
-      d.RekeyWaiting(key);
-      ref.RekeyWaiting(key);
+      // Alternate between the per-request and the batch rekey entry
+      // points; both must leave the queues in the same state.
+      if (rng() % 2 == 0) {
+        d.RekeyWaiting(key);
+        ref.RekeyWaiting(key);
+      } else {
+        auto batch = [&key](std::span<const Request* const> reqs,
+                            std::span<CValue> out) {
+          for (size_t k = 0; k < reqs.size(); ++k) out[k] = key(*reqs[k]);
+        };
+        d.RekeyWaitingBatch(batch);
+        ref.RekeyWaitingBatch(batch);
+      }
     } else {
       ExpectSameOrder(d, ref);
     }
@@ -144,6 +157,63 @@ TEST(DispatcherEquivalenceTest, ManySeeds) {
                seed % 2 == 0),
         seed, 1200);
   }
+}
+
+// Zero-copy flow: requests inserted as rvalues (moved into the slot pool)
+// and popped (moved out) must round-trip every payload field intact and
+// still agree with the copying ReferenceDispatcher on service order. The
+// heap-allocating fields (priorities beyond the inline capacity) are the
+// ones a broken move would corrupt.
+TEST(DispatcherEquivalenceTest, MoveBasedInsertPopRoundTripsPayloads) {
+  const DispatcherConfig cfg =
+      Config(QueueDiscipline::kConditionallyPreemptive, 0.05, true, true);
+  auto created = Dispatcher::Create(cfg);
+  ASSERT_TRUE(created.ok());
+  Dispatcher d = *std::move(created);
+  ReferenceDispatcher ref(cfg);
+
+  Rng rng(99);
+  RequestId next_id = 0;
+  for (int i = 0; i < 3000; ++i) {
+    if (rng() % 100 < 55) {
+      Request r;
+      r.id = next_id++;
+      r.arrival = static_cast<SimTime>(i);
+      r.deadline = static_cast<SimTime>(1000 + i);
+      r.cylinder = static_cast<Cylinder>(rng() % 4000);
+      r.bytes = 1024 + r.id;
+      r.stream = static_cast<uint32_t>(r.id % 7);
+      // 16 levels spills SmallVector's inline capacity of 12.
+      for (uint32_t k = 0; k < 16; ++k) {
+        r.priorities.push_back(static_cast<PriorityLevel>((r.id + k) % 8));
+      }
+      const CValue v = UnitValue(rng);
+      ref.Insert(v, r);
+      d.Insert(v, std::move(r));
+    } else {
+      std::optional<Request> a = d.Pop();
+      const std::optional<Request> b = ref.Pop();
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (!a.has_value()) continue;
+      ASSERT_EQ(a->id, b->id);
+      EXPECT_EQ(a->arrival, b->arrival);
+      EXPECT_EQ(a->deadline, b->deadline);
+      EXPECT_EQ(a->cylinder, b->cylinder);
+      EXPECT_EQ(a->bytes, b->bytes);
+      EXPECT_EQ(a->stream, b->stream);
+      ASSERT_EQ(a->priorities.size(), b->priorities.size());
+      for (size_t k = 0; k < a->priorities.size(); ++k) {
+        EXPECT_EQ(a->priorities[k], b->priorities[k]);
+      }
+    }
+  }
+  while (auto a = d.Pop()) {
+    const std::optional<Request> b = ref.Pop();
+    ASSERT_TRUE(b.has_value());
+    ASSERT_EQ(a->id, b->id);
+    ASSERT_EQ(a->priorities.size(), b->priorities.size());
+  }
+  EXPECT_FALSE(ref.Pop().has_value());
 }
 
 }  // namespace

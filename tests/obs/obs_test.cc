@@ -476,18 +476,6 @@ TEST(MetricsConfigTest, ValidateRejectsOversizedDims) {
   EXPECT_FALSE(bad.Validate().ok());
 }
 
-TEST(MetricsConfigTest, DeprecatedAliasCtorMatchesConfigCtor) {
-  MetricsConfig cfg;
-  cfg.dims = 2;
-  cfg.levels = 8;
-  MetricsCollector a(cfg);
-  MetricsCollector b(2, 8);  // deprecated alias, removed next PR
-  const RunMetrics& ma = a.metrics();
-  const RunMetrics& mb = b.metrics();
-  EXPECT_EQ(ma.inversions_per_dim.size(), mb.inversions_per_dim.size());
-  EXPECT_EQ(ma.misses_per_dim_level.size(), mb.misses_per_dim_level.size());
-}
-
 TEST(RunMetricsTest, ToJsonContainsCoreAggregates) {
   MetricsCollector c(MetricsConfig{});
   const std::string json = c.metrics().ToJson();

@@ -63,7 +63,7 @@ TEST(RunMetricsTest, WeightedLossCostOutOfRangeDim) {
 }
 
 TEST(MetricsCollectorTest, ArrivalAndCompletionCounts) {
-  MetricsCollector c(1, 8);
+  MetricsCollector c(MetricsConfig{.dims = 1, .levels = 8});
   const Request r = Req({2}, MsToSim(100));
   c.OnArrival(r);
   c.OnCompletion(r, MsToSim(50), 1.5, 10.0);
@@ -77,7 +77,7 @@ TEST(MetricsCollectorTest, ArrivalAndCompletionCounts) {
 }
 
 TEST(MetricsCollectorTest, LateCompletionIsMiss) {
-  MetricsCollector c(1, 8);
+  MetricsCollector c(MetricsConfig{.dims = 1, .levels = 8});
   const Request r = Req({6}, MsToSim(100));
   c.OnCompletion(r, MsToSim(150), 0, 0);
   EXPECT_EQ(c.metrics().deadline_misses, 1u);
@@ -85,7 +85,7 @@ TEST(MetricsCollectorTest, LateCompletionIsMiss) {
 }
 
 TEST(MetricsCollectorTest, ExactlyOnTimeIsNotAMiss) {
-  MetricsCollector c(0, 1);
+  MetricsCollector c(MetricsConfig{.dims = 0, .levels = 1});
   Request r;
   r.deadline = MsToSim(100);
   c.OnCompletion(r, MsToSim(100), 0, 0);
@@ -93,14 +93,14 @@ TEST(MetricsCollectorTest, ExactlyOnTimeIsNotAMiss) {
 }
 
 TEST(MetricsCollectorTest, RelaxedDeadlinesNotTracked) {
-  MetricsCollector c(0, 1);
+  MetricsCollector c(MetricsConfig{.dims = 0, .levels = 1});
   Request r;  // kNoDeadline
   c.OnCompletion(r, MsToSim(5000), 0, 0);
   EXPECT_EQ(c.metrics().deadline_total, 0u);
 }
 
 TEST(MetricsCollectorTest, InversionsAgainstWaitingQueue) {
-  MetricsCollector c(2, 8);
+  MetricsCollector c(MetricsConfig{.dims = 2, .levels = 8});
   FcfsScheduler sched;
   DispatchContext ctx;
   sched.Enqueue(Req({0, 5}), ctx);  // higher on dim 0
@@ -112,7 +112,7 @@ TEST(MetricsCollectorTest, InversionsAgainstWaitingQueue) {
 }
 
 TEST(MetricsCollectorTest, EqualLevelsAreNotInversions) {
-  MetricsCollector c(1, 8);
+  MetricsCollector c(MetricsConfig{.dims = 1, .levels = 8});
   FcfsScheduler sched;
   DispatchContext ctx;
   sched.Enqueue(Req({3}), ctx);
@@ -121,7 +121,7 @@ TEST(MetricsCollectorTest, EqualLevelsAreNotInversions) {
 }
 
 TEST(MetricsCollectorTest, ResponseTimeTracked) {
-  MetricsCollector c(0, 1);
+  MetricsCollector c(MetricsConfig{.dims = 0, .levels = 1});
   Request r;
   r.arrival = MsToSim(10);
   c.OnCompletion(r, MsToSim(35), 0, 0);
@@ -130,14 +130,14 @@ TEST(MetricsCollectorTest, ResponseTimeTracked) {
 }
 
 TEST(MetricsCollectorTest, LevelsAboveRangeClamp) {
-  MetricsCollector c(1, 4);
+  MetricsCollector c(MetricsConfig{.dims = 1, .levels = 4});
   const Request r = Req({9}, MsToSim(10));
   c.OnCompletion(r, MsToSim(50), 0, 0);
   EXPECT_EQ(c.metrics().misses_per_dim_level[0][3], 1u);
 }
 
 TEST(MetricsCollectorTest, PerLevelResponseTracked) {
-  MetricsCollector c(1, 4);
+  MetricsCollector c(MetricsConfig{.dims = 1, .levels = 4});
   Request hi = Req({0});
   hi.arrival = 0;
   Request lo = Req({3});
@@ -154,14 +154,14 @@ TEST(MetricsCollectorTest, PerLevelResponseTracked) {
 }
 
 TEST(MetricsCollectorTest, NoLevelsNoPerLevelStats) {
-  MetricsCollector c(0, 8);
+  MetricsCollector c(MetricsConfig{.dims = 0, .levels = 8});
   Request r;
   c.OnCompletion(r, MsToSim(5), 0, 0);
   EXPECT_TRUE(c.metrics().response_per_level.empty());
 }
 
 TEST(MetricsCollectorTest, MeanSeek) {
-  MetricsCollector c(0, 1);
+  MetricsCollector c(MetricsConfig{.dims = 0, .levels = 1});
   Request r;
   c.OnCompletion(r, 1, 4.0, 5.0);
   c.OnCompletion(r, 2, 6.0, 7.0);
