@@ -1,0 +1,81 @@
+// Annotated mutex wrappers for Clang Thread Safety Analysis.
+//
+// std::mutex on libstdc++ carries no capability attributes, so locks taken
+// through it are invisible to -Wthread-safety. These thin wrappers carry
+// the attributes and cost nothing extra: Mutex is a std::mutex, MutexLock
+// is a lock_guard, CondVar is a std::condition_variable_any waiting on the
+// annotated Mutex directly. All concurrent code in the repo (ThreadPool,
+// obs::LockedSink) locks through these so the discipline is checked at
+// compile time; see DESIGN.md section 11 for the conventions.
+
+#ifndef CSFC_COMMON_MUTEX_H_
+#define CSFC_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace csfc {
+
+/// A std::mutex that the thread-safety analysis can see. Lock/Unlock are
+/// the annotated entry points; the lowercase BasicLockable aliases exist
+/// so CondVar (condition_variable_any) can wait on it directly.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+
+  // BasicLockable interface for std::condition_variable_any. The analysis
+  // treats these as the same capability as Lock/Unlock.
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock. The analysis knows the capability is held for exactly the
+/// scope of this object.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to an annotated Mutex. Wait atomically
+/// releases and reacquires the mutex internally; REQUIRES expresses the
+/// caller-visible contract (held on entry, held again on return).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks; `mu` is held again on return.
+  /// Spurious wakeups happen: callers re-test their condition in a while
+  /// loop (a loop, not a predicate lambda — lambda bodies are analyzed
+  /// without the enclosing capability context).
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace csfc
+
+#endif  // CSFC_COMMON_MUTEX_H_

@@ -32,7 +32,11 @@ enum class StatusCode : int {
 std::string_view StatusCodeName(StatusCode code);
 
 /// The result of a fallible operation: a code plus an optional message.
-class Status {
+///
+/// [[nodiscard]] at class scope: any call returning a Status by value
+/// must be consumed. An error that should genuinely be ignored is spelled
+/// `s.IgnoreError()` so the decision is visible at the call site.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -67,8 +71,12 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
+
+  /// Explicitly discards this status. The only sanctioned way to drop a
+  /// must-check return (e.g. best-effort cleanup in a destructor).
+  void IgnoreError() const {}
   const std::string& message() const { return msg_; }
 
   /// "OK" or "<CodeName>: <message>".
@@ -85,8 +93,9 @@ class Status {
 
 /// A value-or-Status union. `ok()` implies `value()` is valid; accessing the
 /// value of a failed Result is a programming error (asserted in debug).
+/// [[nodiscard]] like Status: dropping a Result drops an error silently.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value (success).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -96,7 +105,7 @@ class Result {
            "Result<T> must not be built from an OK status");
   }
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// The error status; OK if this Result holds a value.
   Status status() const {

@@ -1,0 +1,66 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These expand to Clang capability attributes when the compiler supports
+// them (clang with -Wthread-safety) and to nothing elsewhere (gcc), so
+// annotated headers stay portable. The analysis statically proves the
+// locking discipline the annotations declare: a GUARDED_BY(mu) member
+// touched without mu held is a compile error, not a TSan report.
+//
+// Annotate with the csfc::Mutex / csfc::MutexLock / csfc::CondVar wrappers
+// from common/mutex.h — libstdc++'s std::mutex carries no capability
+// attributes, so the analysis only sees locks taken through annotated
+// types. Conventions are documented in DESIGN.md section 11.
+
+#ifndef CSFC_COMMON_THREAD_ANNOTATIONS_H_
+#define CSFC_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CSFC_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define CSFC_THREAD_ANNOTATION__(x)  // no-op
+#endif
+
+/// Declares a type to be a capability ("mutex").
+#define CAPABILITY(x) CSFC_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type that acquires a capability at construction and
+/// releases it at destruction.
+#define SCOPED_CAPABILITY CSFC_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define GUARDED_BY(x) CSFC_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Declares that the pointed-to data is protected by the given capability
+/// (the pointer itself is not).
+#define PT_GUARDED_BY(x) CSFC_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Declares that the calling thread must hold the given capabilities.
+#define REQUIRES(...) \
+  CSFC_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// As REQUIRES, for capabilities held shared (read locks).
+#define REQUIRES_SHARED(...) \
+  CSFC_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  CSFC_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability (must be held on entry).
+#define RELEASE(...) \
+  CSFC_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the given capabilities (deadlock guard for
+/// public entry points of a class that locks internally).
+#define EXCLUDES(...) CSFC_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) CSFC_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function body. Use only
+/// for code the analysis cannot model (cf. CondVar::Wait); never to
+/// silence a genuine discipline violation.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CSFC_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // CSFC_COMMON_THREAD_ANNOTATIONS_H_

@@ -53,6 +53,14 @@ struct RunPoint {
 /// ordered by point index and identical to a serial run — the threading
 /// only reassigns which core executes which point. On failure the error of
 /// the lowest-index failing point is returned.
+///
+/// Concurrency contract: each point's simulator/scheduler/RNG are built
+/// and destroyed on the worker that runs it; the only cross-thread state
+/// is the annotated ThreadPool queue, the per-point result slots (disjoint
+/// indices, published by ThreadPool::Wait's release/acquire on the pool
+/// mutex) and whatever `sim_config.trace_sink` points at — which must
+/// therefore be null, per-point, or a lockable sink (obs::LockedSink /
+/// JsonlSink).
 Result<std::vector<RunMetrics>> RunParallel(const std::vector<RunPoint>& points,
                                             unsigned num_threads = 0);
 

@@ -284,6 +284,7 @@ Status Export(const TablePrinter& table, Writer& writer, ExportFormat format) {
 }
 
 void JsonlSink::OnEvent(const TraceEvent& event) {
+  MutexLock lock(mu_);
   if (!status_.ok()) return;
   Status s = writer_->Append(TraceEventToJson(event));
   if (s.ok()) s = writer_->Append("\n");

@@ -23,7 +23,9 @@
 #include <string>
 #include <string_view>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/recorder.h"
 #include "obs/trace_event.h"
 #include "obs/windowed.h"
@@ -111,19 +113,34 @@ Status Export(const TablePrinter& table, Writer& writer,
 /// EventSink that streams every event through `writer` as JSONL, for
 /// runs too long to buffer in a TraceRecorder. Write errors are sticky:
 /// the first failure is kept and later events are dropped.
+///
+/// Unlike the in-memory sinks, JsonlSink is internally locked: the
+/// underlying Writer (a FILE* for FileWriter) is shared mutable state, so
+/// one JsonlSink may be attached to every point of a parallel sweep and
+/// the lines stay whole. The lock is uncontended in the usual
+/// one-sink-per-run setup.
 class JsonlSink : public EventSink {
  public:
   explicit JsonlSink(Writer& writer) : writer_(&writer) {}
 
-  void OnEvent(const TraceEvent& event) override;
+  void OnEvent(const TraceEvent& event) EXCLUDES(mu_) override;
 
-  uint64_t events_written() const { return events_written_; }
-  const Status& status() const { return status_; }
+  uint64_t events_written() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return events_written_;
+  }
+  /// First write failure, OK while the stream is healthy. Settled once no
+  /// emitter is running (copy, not reference: the field is guarded).
+  Status status() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return status_;
+  }
 
  private:
-  Writer* writer_;
-  uint64_t events_written_ = 0;
-  Status status_;
+  mutable Mutex mu_;
+  Writer* const writer_ PT_GUARDED_BY(mu_);
+  uint64_t events_written_ GUARDED_BY(mu_) = 0;
+  Status status_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -3,6 +3,11 @@
 // Records the most recent `capacity` events; older events are overwritten
 // and counted in dropped(). The buffer is sized once at construction so
 // recording never allocates on the hot path.
+//
+// Thread-compatible, deliberately unlocked: one recorder per simulator
+// run (the EventSink contract). A recorder shared across parallel sweep
+// points must go through obs::LockedSink — parallel_stress_test pins that
+// combination under TSan.
 
 #ifndef CSFC_OBS_RECORDER_H_
 #define CSFC_OBS_RECORDER_H_

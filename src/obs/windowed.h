@@ -7,6 +7,9 @@
 // Depth is reconstructed from enqueue/dispatch deltas, so the sink needs
 // no access to the scheduler; it samples the running depth at every event
 // and reports the per-window mean and end-of-window value.
+//
+// Thread-compatible, deliberately unlocked (single-threaded hot path);
+// wrap in obs::LockedSink to share across parallel sweep points.
 
 #ifndef CSFC_OBS_WINDOWED_H_
 #define CSFC_OBS_WINDOWED_H_

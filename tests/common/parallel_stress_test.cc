@@ -1,0 +1,236 @@
+// Concurrency stress for the parallel experiment runner, written to give
+// ThreadSanitizer real interleavings to chew on (CI's tsan job runs the
+// whole suite; this file is its main course). Everything here must also
+// hold under the thread-safety annotations of common/mutex.h:
+//
+//   * RunParallel with one tracing sink per point — the supported
+//     no-sharing setup — stays race-free and bit-identical to serial.
+//   * A single obs::LockedSink / JsonlSink shared by every point — the
+//     locked fan-in — loses no events.
+//   * ThreadPool construction/drain/teardown churn under load.
+//   * The parallel-determinism pin: ComparePolicies(num_threads>1) twice
+//     produces bit-identical RunMetrics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/presets.h"
+#include "exp/runner.h"
+#include "obs/export.h"
+#include "obs/locked_sink.h"
+#include "obs/recorder.h"
+#include "sched/edf.h"
+#include "sched/fcfs.h"
+#include "workload/generator.h"
+
+namespace csfc {
+namespace {
+
+std::vector<Request> StressTrace(uint64_t seed, uint32_t count = 600) {
+  WorkloadConfig wc;
+  wc.count = count;
+  wc.seed = seed;
+  wc.priority_dims = 2;
+  wc.priority_levels = 8;
+  auto gen = SyntheticGenerator::Create(wc);
+  EXPECT_TRUE(gen.ok());
+  return DrainGenerator(**gen);
+}
+
+SimulatorConfig StressSimConfig() {
+  SimulatorConfig sc;
+  sc.metrics.dims = 2;
+  sc.metrics.levels = 8;
+  return sc;
+}
+
+// A trio of policies with different code paths: trivial queue (fcfs),
+// deadline heap (edf), and the full cascaded pipeline (characterize +
+// dispatcher, the code the shadow oracle guards).
+std::vector<RunPoint> StressPoints(const TracePtr& trace, size_t copies) {
+  const SimulatorConfig sc = StressSimConfig();
+  const CascadedConfig cfg =
+      PresetFull("hilbert", 2, 3, 1.0, 3, 3832, 0.05, 700.0);
+  std::vector<RunPoint> points;
+  for (size_t c = 0; c < copies; ++c) {
+    points.push_back(
+        {sc, trace, [] { return std::make_unique<FcfsScheduler>(); }});
+    points.push_back(
+        {sc, trace, [] { return std::make_unique<EdfScheduler>(); }});
+    points.push_back({sc, trace, [cfg]() -> SchedulerPtr {
+                        auto s = CascadedSfcScheduler::Create(cfg);
+                        EXPECT_TRUE(s.ok());
+                        return std::move(*s);
+                      }});
+  }
+  return points;
+}
+
+void ExpectBitIdentical(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.completions, b.completions);
+  EXPECT_EQ(a.inversions_per_dim, b.inversions_per_dim);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.deadline_total, b.deadline_total);
+  // Exact float equality on purpose: parallelism must only reassign which
+  // core runs a point, never perturb its arithmetic.
+  EXPECT_EQ(a.total_seek_ms, b.total_seek_ms);
+  EXPECT_EQ(a.total_service_ms, b.total_service_ms);
+  EXPECT_EQ(a.response_ms.mean(), b.response_ms.mean());
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+// --- per-point sinks under maximum thread pressure --------------------------
+
+TEST(ParallelStressTest, PerPointTracingSinksSeeEveryEventRaceFree) {
+  const TracePtr trace = ShareTrace(StressTrace(101));
+  std::vector<RunPoint> points = StressPoints(trace, 8);  // 24 points
+
+  // Serial reference with its own recorders.
+  std::vector<RunPoint> serial_points = points;
+  std::vector<obs::TraceRecorder> serial_recs(serial_points.size());
+  for (size_t i = 0; i < serial_points.size(); ++i) {
+    serial_points[i].sim_config.trace_sink = &serial_recs[i];
+  }
+  auto serial = RunParallel(serial_points, 1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  // Oversubscribed parallel run: more workers than cores is the point.
+  std::vector<obs::TraceRecorder> recs(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    points[i].sim_config.trace_sink = &recs[i];
+  }
+  auto parallel = RunParallel(points, 8);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  ASSERT_EQ(parallel->size(), serial->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    ExpectBitIdentical((*serial)[i], (*parallel)[i]);
+    EXPECT_EQ(recs[i].total(), serial_recs[i].total()) << "point " << i;
+    EXPECT_GT(recs[i].total(), 0u) << "point " << i;
+  }
+}
+
+// --- one sink shared by every point (the locked fan-in) ---------------------
+
+TEST(ParallelStressTest, SharedLockedSinkLosesNoEvents) {
+  const TracePtr trace = ShareTrace(StressTrace(102));
+  std::vector<RunPoint> points = StressPoints(trace, 6);  // 18 points
+
+  // Per-point totals from a serial reference run.
+  std::vector<RunPoint> serial_points = points;
+  std::vector<obs::TraceRecorder> serial_recs(serial_points.size());
+  for (size_t i = 0; i < serial_points.size(); ++i) {
+    serial_points[i].sim_config.trace_sink = &serial_recs[i];
+  }
+  ASSERT_TRUE(RunParallel(serial_points, 1).ok());
+  uint64_t expected = 0;
+  for (const auto& r : serial_recs) expected += r.total();
+
+  // One ring buffer, every point writing through the locked adapter.
+  obs::TraceRecorder merged(size_t{1} << 20);
+  obs::LockedSink shared(merged);
+  for (RunPoint& p : points) p.sim_config.trace_sink = &shared;
+  auto parallel = RunParallel(points, 8);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  EXPECT_EQ(shared.forwarded(), expected);
+  EXPECT_EQ(merged.total(), expected);
+}
+
+TEST(ParallelStressTest, SharedJsonlSinkKeepsLinesWhole) {
+  const TracePtr trace = ShareTrace(StressTrace(103, 300));
+  std::vector<RunPoint> points = StressPoints(trace, 4);  // 12 points
+
+  obs::StringWriter out;
+  obs::JsonlSink sink(out);  // internally locked; shared across points
+  for (RunPoint& p : points) p.sim_config.trace_sink = &sink;
+  auto parallel = RunParallel(points, 8);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_TRUE(sink.status().ok()) << sink.status().ToString();
+
+  // Interleaving across points is arbitrary, but every line must be one
+  // complete JSON object: count lines and brace pairs, not ordering.
+  const std::string& text = out.str();
+  uint64_t lines = 0;
+  size_t pos = 0;
+  while ((pos = text.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, sink.events_written());
+  EXPECT_GT(lines, 0u);
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    ASSERT_GT(end, start);
+    EXPECT_EQ(text[start], '{');
+    EXPECT_EQ(text[end - 1], '}');
+    start = end + 1;
+  }
+}
+
+// --- ThreadPool churn -------------------------------------------------------
+
+TEST(ParallelStressTest, ThreadPoolSurvivesConstructionChurnUnderLoad) {
+  std::atomic<uint64_t> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&sum] { sum.fetch_add(1, std::memory_order_relaxed); });
+    }
+    if (round % 2 == 0) pool.Wait();  // odd rounds drain in the destructor
+  }
+  EXPECT_EQ(sum.load(), 20u * 64u);
+}
+
+TEST(ParallelStressTest, NestedParallelForFromPoolTasks) {
+  // RunParallel points never nest pools, but nothing forbids a caller
+  // doing it; the queue discipline must hold when a task spins up its own
+  // pool (sibling pools, not re-entrancy into the same pool).
+  std::atomic<uint64_t> leaves{0};
+  ParallelFor(8, 4, [&leaves](size_t) {
+    ParallelFor(16, 2,
+                [&leaves](size_t) { leaves.fetch_add(1); });
+  });
+  EXPECT_EQ(leaves.load(), 8u * 16u);
+}
+
+// --- the parallel-determinism pin -------------------------------------------
+
+TEST(ParallelStressTest, ComparePoliciesTwiceIsBitIdentical) {
+  const auto trace = StressTrace(104);
+  const SimulatorConfig sc = StressSimConfig();
+  const CascadedConfig cfg =
+      PresetFull("hilbert", 2, 3, 1.0, 3, 3832, 0.05, 700.0);
+  std::vector<SchedulerEntry> entries;
+  entries.push_back(
+      {"fcfs", [] { return std::make_unique<FcfsScheduler>(); }});
+  entries.push_back({"edf", [] { return std::make_unique<EdfScheduler>(); }});
+  entries.push_back({"csfc", [cfg]() -> SchedulerPtr {
+                       auto s = CascadedSfcScheduler::Create(cfg);
+                       EXPECT_TRUE(s.ok());
+                       return std::move(*s);
+                     }});
+
+  auto first = ComparePolicies(sc, trace, entries, 4);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = ComparePolicies(sc, trace, entries, 4);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  ASSERT_EQ(first->size(), entries.size());
+  ASSERT_EQ(second->size(), entries.size());
+  for (size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i].label, (*second)[i].label);
+    ExpectBitIdentical((*first)[i].metrics, (*second)[i].metrics);
+  }
+}
+
+}  // namespace
+}  // namespace csfc

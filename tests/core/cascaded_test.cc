@@ -85,7 +85,7 @@ TEST(CascadedSchedulerTest, DeterministicAcrossInstances) {
     const Request r = Req(i, {static_cast<PriorityLevel>(i % 16),
                               static_cast<PriorityLevel>((i * 7) % 16),
                               static_cast<PriorityLevel>((i * 3) % 16)},
-                          MsToSim(100 + (i % 50) * 10),
+                          MsToSim(100.0 + static_cast<double>(i % 50) * 10.0),
                           static_cast<Cylinder>((i * 311) % 3832));
     (*a)->Enqueue(r, ctx);
     (*b)->Enqueue(r, ctx);

@@ -38,7 +38,7 @@ TraceEvent MakeEvent(TraceEventKind kind, double t_ms, RequestId id) {
 TEST(TraceRecorderTest, HoldsEverythingBelowCapacity) {
   TraceRecorder rec(8);
   for (RequestId i = 0; i < 5; ++i) {
-    rec.OnEvent(MakeEvent(TraceEventKind::kArrival, 1.0 * i, i));
+    rec.OnEvent(MakeEvent(TraceEventKind::kArrival, static_cast<double>(i), i));
   }
   EXPECT_EQ(rec.size(), 5u);
   EXPECT_EQ(rec.total(), 5u);
@@ -51,7 +51,7 @@ TEST(TraceRecorderTest, HoldsEverythingBelowCapacity) {
 TEST(TraceRecorderTest, WrapsAroundOverwritingOldest) {
   TraceRecorder rec(4);
   for (RequestId i = 0; i < 11; ++i) {
-    rec.OnEvent(MakeEvent(TraceEventKind::kArrival, 1.0 * i, i));
+    rec.OnEvent(MakeEvent(TraceEventKind::kArrival, static_cast<double>(i), i));
   }
   EXPECT_EQ(rec.size(), 4u);
   EXPECT_EQ(rec.capacity(), 4u);
@@ -66,7 +66,7 @@ TEST(TraceRecorderTest, WrapsAroundOverwritingOldest) {
 TEST(TraceRecorderTest, ClearKeepsCapacity) {
   TraceRecorder rec(4);
   for (RequestId i = 0; i < 6; ++i) {
-    rec.OnEvent(MakeEvent(TraceEventKind::kArrival, 1.0 * i, i));
+    rec.OnEvent(MakeEvent(TraceEventKind::kArrival, static_cast<double>(i), i));
   }
   rec.Clear();
   EXPECT_EQ(rec.size(), 0u);
@@ -227,7 +227,7 @@ TEST(ExportTest, JsonlSinkStreamsAndCounts) {
   StringWriter out;
   JsonlSink sink(out);
   for (RequestId i = 0; i < 3; ++i) {
-    sink.OnEvent(MakeEvent(TraceEventKind::kArrival, 1.0 * i, i));
+    sink.OnEvent(MakeEvent(TraceEventKind::kArrival, static_cast<double>(i), i));
   }
   EXPECT_TRUE(sink.status().ok());
   EXPECT_EQ(sink.events_written(), 3u);

@@ -126,7 +126,7 @@ TEST(SyntheticGeneratorTest, NormalPrioritiesConcentrateMidScale) {
     EXPECT_LT(r.priorities[0], 8u);
     mid += r.priorities[0] >= 2 && r.priorities[0] <= 5;
   }
-  EXPECT_GT(static_cast<double>(mid) / reqs.size(), 0.6);
+  EXPECT_GT(static_cast<double>(mid) / static_cast<double>(reqs.size()), 0.6);
 }
 
 TEST(SyntheticGeneratorTest, DeadlinesInRange) {
@@ -211,7 +211,8 @@ TEST(SyntheticGeneratorTest, WriteFraction) {
   const auto reqs = Generate(c);
   uint64_t writes = 0;
   for (const Request& r : reqs) writes += r.is_write;
-  EXPECT_NEAR(static_cast<double>(writes) / reqs.size(), 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(writes) / static_cast<double>(reqs.size()),
+              0.25, 0.02);
 }
 
 TEST(SyntheticGeneratorTest, ZeroPriorityDims) {
@@ -232,7 +233,7 @@ TEST(SyntheticGeneratorTest, ZipfCylindersSkewLow) {
     EXPECT_LT(r.cylinder, 3832u);
     low += r.cylinder < 383;  // first 10% of the disk
   }
-  EXPECT_GT(static_cast<double>(low) / reqs.size(), 0.4);
+  EXPECT_GT(static_cast<double>(low) / static_cast<double>(reqs.size()), 0.4);
 }
 
 TEST(SyntheticGeneratorTest, ZipfThetaValidated) {

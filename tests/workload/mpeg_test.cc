@@ -132,7 +132,8 @@ TEST(MpegGeneratorTest, ReadWriteMixMatchesFraction) {
   const auto reqs = Generate(c);
   uint64_t writes = 0;
   for (const Request& r : reqs) writes += r.is_write;
-  EXPECT_NEAR(static_cast<double>(writes) / reqs.size(), 0.5, 0.05);
+  EXPECT_NEAR(static_cast<double>(writes) / static_cast<double>(reqs.size()),
+              0.5, 0.05);
 }
 
 TEST(MpegGeneratorTest, DeterministicForSeed) {
