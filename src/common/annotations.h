@@ -1,0 +1,35 @@
+// Hot-path contract annotations, checked by tools/csfc_analyze.
+//
+// CSFC_HOT marks a function as part of the scheduler's per-request hot
+// path: the dispatch/rekey/characterize loop whose allocation behavior
+// the paper's bounds depend on (a malloc inside Pop() turns the bounded
+// priority-inversion argument into "bounded, plus whatever the allocator
+// does"). csfc_analyze verifies that no allocation — `new`, malloc-family
+// calls, `std::function` construction, node-based containers, or
+// unsanctioned container growth — is reachable from a CSFC_HOT function,
+// and that no allocating call sits inside a REQUIRES-annotated lock
+// region reachable from one.
+//
+// Amortized growth that provably settles (slot pools, heap storage,
+// scratch buffers reused across calls) is sanctioned explicitly: put
+//
+//   // csfc:alloc-ok(<short reason>)
+//
+// on the allocating line. The analyzer skips marked lines; the marker
+// keeps every sanctioned allocation visible and greppable rather than
+// silently grandfathered.
+//
+// Under clang the macro expands to an `annotate` attribute the AST engine
+// reads directly; other compilers see nothing (the regex fallback engine
+// matches the macro textually, so annotations work under gcc too).
+
+#ifndef CSFC_COMMON_ANNOTATIONS_H_
+#define CSFC_COMMON_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define CSFC_HOT __attribute__((annotate("csfc_hot")))
+#else
+#define CSFC_HOT  // no-op: the analyzer's regex engine matches the token
+#endif
+
+#endif  // CSFC_COMMON_ANNOTATIONS_H_

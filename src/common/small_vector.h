@@ -9,6 +9,7 @@
 #include <cassert>
 #include <cstddef>
 #include <initializer_list>
+#include <utility>
 #include <vector>
 
 namespace csfc {
@@ -38,6 +39,28 @@ class SmallVector {
     if (this == &other) return *this;
     clear();
     for (const T& v : other) push_back(v);
+    return *this;
+  }
+
+  // Moves are noexcept — a contract tools/csfc_analyze verifies for every
+  // type flowing through the zero-copy queue path: std::vector only uses
+  // move construction during growth when it cannot throw, and the
+  // dispatcher's slot pool relies on that. The inline buffer is memcpy'd
+  // (T is trivially copyable); only the heap spill actually moves.
+  SmallVector(SmallVector&& other) noexcept
+      : heap_(std::move(other.heap_)), size_(other.size_) {
+    std::copy(other.inline_, other.inline_ + std::min(size_, N), inline_);
+    other.heap_.clear();
+    other.size_ = 0;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this == &other) return *this;
+    heap_ = std::move(other.heap_);
+    size_ = other.size_;
+    std::copy(other.inline_, other.inline_ + std::min(size_, N), inline_);
+    other.heap_.clear();
+    other.size_ = 0;
     return *this;
   }
 

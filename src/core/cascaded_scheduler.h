@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "common/annotations.h"
 #include "core/dispatcher.h"
 #include "core/encapsulator.h"
 #include "sched/scheduler.h"
@@ -32,8 +33,8 @@ class CascadedSfcScheduler final : public Scheduler {
       const CascadedConfig& config);
 
   std::string_view name() const override { return name_; }
-  void Enqueue(Request r, const DispatchContext& ctx) override;
-  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  CSFC_HOT void Enqueue(Request r, const DispatchContext& ctx) override;
+  CSFC_HOT std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return dispatcher_->size(); }
   void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
   /// Emits characterize events (with the per-stage SFC1/SFC2/SFC3

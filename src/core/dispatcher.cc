@@ -152,12 +152,12 @@ uint32_t Dispatcher::AllocSlot(R&& r) {
     pool_[slot] = std::forward<R>(r);
     return slot;
   }
-  pool_.push_back(std::forward<R>(r));
+  pool_.push_back(std::forward<R>(r));  // csfc:alloc-ok(slot pool grows to peak depth, then recycles)
   return static_cast<uint32_t>(pool_.size() - 1);
 }
 
 Request Dispatcher::TakeSlot(uint32_t slot) {
-  free_.push_back(slot);
+  free_.push_back(slot);  // csfc:alloc-ok(free list capacity tracks the slot pool)
   return std::move(pool_[slot]);
 }
 
@@ -306,12 +306,12 @@ void Dispatcher::RekeyWaitingBatch(BatchRekeyFn key) {
   shadow_->RekeyWaitingBatch(key);
 #endif
   const std::span<const SlotHeap::Entry> entries = waiting_.entries();
-  rekey_reqs_.resize(entries.size());
+  rekey_reqs_.resize(entries.size());  // csfc:alloc-ok(rekey scratch reused across swaps)
   const Request* const pool = pool_.data();
   for (size_t i = 0; i < entries.size(); ++i) {
     rekey_reqs_[i] = pool + entries[i].slot;
   }
-  rekey_vals_.resize(entries.size());
+  rekey_vals_.resize(entries.size());  // csfc:alloc-ok(rekey scratch reused across swaps)
   key(rekey_reqs_, rekey_vals_);
   waiting_.AssignKeys(rekey_vals_);
   CheckShadow();

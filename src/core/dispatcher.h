@@ -48,6 +48,7 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/function_ref.h"
 #include "common/status.h"
 #include "core/cvalue.h"
@@ -155,12 +156,12 @@ class Dispatcher {
   /// overload pair keeps both call shapes single-transfer: lvalue callers
   /// copy straight into the slot pool, movers (the simulator's arrival
   /// handoff) move straight in — neither pays an intermediate Request.
-  void Insert(CValue v, const Request& r);
-  void Insert(CValue v, Request&& r);
+  CSFC_HOT void Insert(CValue v, const Request& r);
+  CSFC_HOT void Insert(CValue v, Request&& r);
 
   /// Removes and returns the next request to serve (nullopt when empty).
   /// The payload is moved out of the slot pool, never copied.
-  std::optional<Request> Pop();
+  CSFC_HOT std::optional<Request> Pop();
 
   size_t size() const { return active_.size() + waiting_.size(); }
   bool empty() const { return size() == 0; }
@@ -174,7 +175,7 @@ class Dispatcher {
   /// forming batch against the *current* head position and time, so the
   /// SFC3 cylinder sweep of each batch is coherent (and deadline urgency
   /// is current) instead of frozen at the various enqueue instants.
-  void RekeyWaiting(RekeyFn key);
+  CSFC_HOT void RekeyWaiting(RekeyFn key);
 
   /// Batch form of RekeyWaiting: gathers every waiting request, invokes
   /// `key` exactly once for the whole set, and restores the heap with the
@@ -182,7 +183,7 @@ class Dispatcher {
   /// with the equivalent per-request hook; exists so swap-time
   /// re-characterization goes through Encapsulator::CharacterizeBatch
   /// instead of one full characterization dispatch per request.
-  void RekeyWaitingBatch(BatchRekeyFn key);
+  CSFC_HOT void RekeyWaitingBatch(BatchRekeyFn key);
 
   /// Visits all pending requests (active then waiting, each in ascending
   /// (v_c, seq) order).
@@ -209,15 +210,15 @@ class Dispatcher {
  private:
   explicit Dispatcher(const DispatcherConfig& config);
 
-  void Swap();
+  CSFC_HOT void Swap();
   /// Shared body of the Insert overloads; R is Request& or Request&&.
   template <typename R>
-  void InsertImpl(CValue v, R&& r);
+  CSFC_HOT void InsertImpl(CValue v, R&& r);
   /// Parks `r` in the slot pool and returns its slot index.
   template <typename R>
-  uint32_t AllocSlot(R&& r);
+  CSFC_HOT uint32_t AllocSlot(R&& r);
   /// Moves the request out of `slot` and returns the slot to the free list.
-  Request TakeSlot(uint32_t slot);
+  CSFC_HOT Request TakeSlot(uint32_t slot);
   /// Debug-build cross-check: mirrors the op on shadow_ and asserts the
   /// two implementations agree (no-op in release builds).
   void CheckShadow() const;

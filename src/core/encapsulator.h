@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "core/cvalue.h"
 #include "sched/scheduler.h"
@@ -119,7 +120,7 @@ class Encapsulator {
       const EncapsulatorConfig& config);
 
   /// Computes v_c in [0, 1) for `r` given the disk state in `ctx`.
-  CValue Characterize(const Request& r, const DispatchContext& ctx) const;
+  CSFC_HOT CValue Characterize(const Request& r, const DispatchContext& ctx) const;
 
   /// Characterize, also returning each stage's intermediate value.
   /// StageValues.vc is identical to what Characterize returns on the same
@@ -135,9 +136,9 @@ class Encapsulator {
   /// scales, the head-position and partition terms of SFC3 — are hoisted
   /// out of the loop once and each stage runs as a tight pass over the
   /// value array. Requires out.size() == reqs.size().
-  void CharacterizeBatch(std::span<const Request* const> reqs,
-                         const DispatchContext& ctx,
-                         std::span<CValue> out) const;
+  CSFC_HOT void CharacterizeBatch(std::span<const Request* const> reqs,
+                                  const DispatchContext& ctx,
+                                  std::span<CValue> out) const;
 
   /// Batch sibling of CharacterizeStages (same hoisting; used by the
   /// tracing rekey path, which needs every stage's intermediate value).
@@ -157,19 +158,23 @@ class Encapsulator {
  private:
   explicit Encapsulator(const EncapsulatorConfig& config);
 
-  CValue Stage1(const Request& r) const;
-  CValue Stage2(CValue v1, const Request& r, const DispatchContext& ctx) const;
-  CValue Stage3(CValue v2, const Request& r, const DispatchContext& ctx) const;
+  CSFC_HOT CValue Stage1(const Request& r) const;
+  CSFC_HOT CValue Stage2(CValue v1, const Request& r,
+                         const DispatchContext& ctx) const;
+  CSFC_HOT CValue Stage3(CValue v2, const Request& r,
+                         const DispatchContext& ctx) const;
 
   /// Batch stage passes: Stage1Batch fills v[i] from *reqs[i]; the later
   /// stages transform v in place (v[i] is that stage's input and output).
   /// Each hoists its mode/LUT/scale decisions out of the request loop.
-  void Stage1Batch(std::span<const Request* const> reqs,
-                   std::span<CValue> v) const;
-  void Stage2Batch(std::span<const Request* const> reqs,
-                   const DispatchContext& ctx, std::span<CValue> v) const;
-  void Stage3Batch(std::span<const Request* const> reqs,
-                   const DispatchContext& ctx, std::span<CValue> v) const;
+  CSFC_HOT void Stage1Batch(std::span<const Request* const> reqs,
+                            std::span<CValue> v) const;
+  CSFC_HOT void Stage2Batch(std::span<const Request* const> reqs,
+                            const DispatchContext& ctx,
+                            std::span<CValue> v) const;
+  CSFC_HOT void Stage3Batch(std::span<const Request* const> reqs,
+                            const DispatchContext& ctx,
+                            std::span<CValue> v) const;
 
   /// Single-pass kernel for the full-cascade common case (Stage 1 LUT or
   /// pass-through, Stage-2 formula, Stage-3 partitioned C-SCAN): each
@@ -179,9 +184,9 @@ class Encapsulator {
   /// bodies in order — stages never mix values across requests — so the
   /// result is bit-identical to the three-pass pipeline.
   template <bool kLut1>
-  void FusedFormulaPartitionedBatch(std::span<const Request* const> reqs,
-                                    const DispatchContext& ctx,
-                                    std::span<CValue> v) const;
+  CSFC_HOT void FusedFormulaPartitionedBatch(
+      std::span<const Request* const> reqs, const DispatchContext& ctx,
+      std::span<CValue> v) const;
 
   /// Builds the normalized cell -> v tables for every active curve whose
   /// grid has at most `max_cells` cells.

@@ -29,9 +29,11 @@
 #include <cassert>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/cvalue.h"
 
 namespace csfc {
@@ -66,8 +68,8 @@ class SlotHeap {
   /// pair with AssignKeys, which consumes values in this same order.
   std::span<const Entry> entries() const { return {heap_.data(), heap_.size()}; }
 
-  void Push(QueueKey key, uint32_t slot) {
-    heap_.push_back(Entry{key, slot});
+  CSFC_HOT void Push(QueueKey key, uint32_t slot) {
+    heap_.push_back(Entry{key, slot});  // csfc:alloc-ok(amortized heap storage growth)
     SiftUp(heap_.size() - 1);
   }
 
@@ -81,7 +83,7 @@ class SlotHeap {
   /// 10^4 by almost 2x — because it always pays the full-height walk plus
   /// a second pass of writes, while the classic sift's early exit is
   /// cheaper than its extra comparison on this entry-size/arity mix.
-  Entry PopMin() {
+  CSFC_HOT Entry PopMin() {
     const Entry top = heap_.front();
     heap_.front() = heap_.back();
     heap_.pop_back();
@@ -93,14 +95,14 @@ class SlotHeap {
   /// preserved) and restores the heap in one O(n) Floyd pass. The callable
   /// is invoked exactly once per entry, in unspecified order.
   template <typename ValueOfSlot>
-  void Rekey(ValueOfSlot&& value_of_slot) {
+  CSFC_HOT void Rekey(ValueOfSlot&& value_of_slot) {
     RekeyAll([&](size_t i) { return value_of_slot(heap_[i].slot); });
   }
 
   /// Batch form of Rekey: values[i] becomes entry i's v_c, where i indexes
   /// entries() order (sequence numbers are preserved), then the heap is
   /// restored in one O(n) Floyd pass.
-  void AssignKeys(std::span<const CValue> values) {
+  CSFC_HOT void AssignKeys(std::span<const CValue> values) {
     assert(values.size() == heap_.size());
     RekeyAll([&](size_t i) { return values[i]; });
   }
@@ -110,7 +112,7 @@ class SlotHeap {
   /// fresh allocation per walk was measurable at simulation queue depths.
   template <typename Fn>
   void ForEachOrdered(Fn&& fn) const {
-    scratch_.assign(heap_.begin(), heap_.end());
+    scratch_.assign(heap_.begin(), heap_.end());  // csfc:alloc-ok(sort scratch reused across walks)
     std::sort(scratch_.begin(), scratch_.end(),
               [](const Entry& a, const Entry& b) { return a.key < b.key; });
     for (const Entry& e : scratch_) fn(e.slot);
@@ -129,7 +131,7 @@ class SlotHeap {
   /// there is still the original entry i, and every key a sift compares
   /// has already been rewritten.
   template <typename KeyOfIndex>
-  void RekeyAll(KeyOfIndex&& key_of_index) {
+  CSFC_HOT void RekeyAll(KeyOfIndex&& key_of_index) {
     const size_t n = heap_.size();
     for (size_t i = n; i-- > 0;) {
       heap_[i].key.v = key_of_index(i);
@@ -144,7 +146,7 @@ class SlotHeap {
     }
   }
 
-  void SiftUp(size_t i) {
+  CSFC_HOT void SiftUp(size_t i) {
     const Entry e = heap_[i];
     while (i > 0) {
       const size_t parent = (i - 1) / kArity;
@@ -155,7 +157,7 @@ class SlotHeap {
     heap_[i] = e;
   }
 
-  void SiftDown(size_t i) {
+  CSFC_HOT void SiftDown(size_t i) {
     const Entry e = heap_[i];
     const size_t n = heap_.size();
     while (true) {
@@ -178,6 +180,13 @@ class SlotHeap {
   // between calls, so copies of the heap need not preserve it).
   mutable std::vector<Entry> scratch_;
 };
+
+// Sift operations copy entries raw over hot cache lines; keys and entries
+// must stay trivially copyable PODs for that to remain a memmove.
+static_assert(std::is_trivially_copyable_v<QueueKey>,
+              "QueueKey must stay trivially copyable");
+static_assert(std::is_trivially_copyable_v<SlotHeap::Entry>,
+              "SlotHeap::Entry must stay trivially copyable");
 
 }  // namespace csfc
 

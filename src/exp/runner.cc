@@ -25,26 +25,44 @@ double Percent(double value, double base) {
 }
 
 Result<std::vector<RunMetrics>> RunParallel(const std::vector<RunPoint>& points,
-                                            unsigned num_threads) {
+                                            unsigned num_threads,
+                                            RunProgress* progress) {
   std::vector<std::optional<RunMetrics>> slots(points.size());
   std::vector<Status> errors(points.size());
   ParallelFor(points.size(), num_threads, [&](size_t i) {
+    // The abort gate sits before any per-point work: a point either runs
+    // in full or is skipped entirely, so `completed` counts whole
+    // simulations and a skipped point never touches its result slot.
+    if (progress != nullptr) {
+      if (progress->aborted()) return;
+      progress->started.fetch_add(1, std::memory_order_relaxed);
+    }
     const RunPoint& p = points[i];
     if (p.trace == nullptr) {
       errors[i] = Status::InvalidArgument("RunPoint.trace is null");
-      return;
-    }
-    Result<RunMetrics> m =
-        RunSchedulerOnTrace(p.sim_config, *p.trace, p.factory);
-    if (m.ok()) {
-      slots[i] = std::move(*m);
     } else {
-      errors[i] = m.status();
+      Result<RunMetrics> m =
+          RunSchedulerOnTrace(p.sim_config, *p.trace, p.factory);
+      if (m.ok()) {
+        slots[i] = std::move(*m);
+      } else {
+        errors[i] = m.status();
+      }
+    }
+    if (progress != nullptr) {
+      progress->completed.fetch_add(1, std::memory_order_relaxed);
     }
   });
-  // Deterministic error reporting: the lowest-index failure wins.
+  // Deterministic error reporting: the lowest-index failure wins, and a
+  // point failure outranks the abort (aborting must not mask an error).
   for (const Status& s : errors) {
     if (!s.ok()) return s;
+  }
+  if (progress != nullptr && progress->aborted()) {
+    return Status::Cancelled(
+        "sweep aborted: " +
+        std::to_string(progress->completed.load(std::memory_order_relaxed)) +
+        " of " + std::to_string(points.size()) + " points completed");
   }
   std::vector<RunMetrics> results;
   results.reserve(slots.size());

@@ -13,6 +13,7 @@
 #ifndef CSFC_EXP_RUNNER_H_
 #define CSFC_EXP_RUNNER_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -48,6 +49,28 @@ struct RunPoint {
   SchedulerFactory factory;
 };
 
+/// Shared progress/early-abort state for RunParallel. Every field is an
+/// atomic — never a plain aggregate — so the cross-thread publication is
+/// explicit to both ThreadSanitizer and `-Wthread-safety` (atomics need
+/// no capability; a plain counter here would be the exact "shared mutable
+/// aggregate" gap ROADMAP warned about). Writers are the worker threads;
+/// any thread (a UI poller, a deadline watchdog) may read `started` /
+/// `completed` or flip `abort` while the sweep runs.
+struct RunProgress {
+  /// Points whose simulation has begun (monotonic, <= points.size()).
+  std::atomic<size_t> started{0};
+  /// Points whose simulation has finished, success or failure (monotonic,
+  /// <= started).
+  std::atomic<size_t> completed{0};
+  /// Set to stop the sweep early: points not yet started are skipped and
+  /// RunParallel returns Status::Cancelled. Points already in flight run
+  /// to completion (a simulation point is not interruptible mid-run).
+  std::atomic<bool> abort{false};
+
+  void RequestAbort() { abort.store(true, std::memory_order_relaxed); }
+  bool aborted() const { return abort.load(std::memory_order_relaxed); }
+};
+
 /// Runs every point, fanning them out across `num_threads` workers (0 =
 /// one per hardware thread, 1 = serial on the calling thread). Results are
 /// ordered by point index and identical to a serial run — the threading
@@ -58,11 +81,19 @@ struct RunPoint {
 /// and destroyed on the worker that runs it; the only cross-thread state
 /// is the annotated ThreadPool queue, the per-point result slots (disjoint
 /// indices, published by ThreadPool::Wait's release/acquire on the pool
-/// mutex) and whatever `sim_config.trace_sink` points at — which must
-/// therefore be null, per-point, or a lockable sink (obs::LockedSink /
-/// JsonlSink).
+/// mutex), the optional `progress` atomics, and whatever
+/// `sim_config.trace_sink` points at — which must therefore be null,
+/// per-point, or a lockable sink (obs::LockedSink / JsonlSink).
+///
+/// `progress` (optional, borrowed, must outlive the call) publishes
+/// started/completed counts while the sweep runs and accepts an abort
+/// request from any thread. On abort, points not yet started are skipped
+/// and the call returns Status::Cancelled (point errors that occurred
+/// before the abort still win, lowest index first, so an abort can never
+/// mask a failure).
 Result<std::vector<RunMetrics>> RunParallel(const std::vector<RunPoint>& points,
-                                            unsigned num_threads = 0);
+                                            unsigned num_threads = 0,
+                                            RunProgress* progress = nullptr);
 
 /// A labelled scheduler entry for comparison sweeps.
 struct SchedulerEntry {

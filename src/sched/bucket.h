@@ -15,6 +15,7 @@
 #include <map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "sched/scheduler.h"
 
 namespace csfc {
@@ -27,7 +28,7 @@ class BucketScheduler final : public Scheduler {
 
   std::string_view name() const override { return "bucket"; }
   void Enqueue(Request r, const DispatchContext& ctx) override;
-  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  CSFC_HOT std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return size_; }
   void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 

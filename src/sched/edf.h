@@ -9,6 +9,7 @@
 
 #include <map>
 
+#include "common/annotations.h"
 #include "sched/scheduler.h"
 
 namespace csfc {
@@ -17,7 +18,7 @@ class EdfScheduler final : public Scheduler {
  public:
   std::string_view name() const override { return "edf"; }
   void Enqueue(Request r, const DispatchContext& ctx) override;
-  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  CSFC_HOT std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return size_; }
   void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 

@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "disk/disk_model.h"
 #include "sched/dds.h"
+#include "common/annotations.h"
 #include "sched/scheduler.h"
 #include "sfc/curve.h"
 
@@ -41,7 +42,7 @@ class SfcDdsScheduler final : public Scheduler {
 
   std::string_view name() const override { return "sfc-dds"; }
   void Enqueue(Request r, const DispatchContext& ctx) override;
-  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  CSFC_HOT std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return inner_.queue_size(); }
   void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 
@@ -72,7 +73,7 @@ class SfcBucketScheduler final : public Scheduler {
 
   std::string_view name() const override { return "sfc-bucket"; }
   void Enqueue(Request r, const DispatchContext& ctx) override;
-  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  CSFC_HOT std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return size_; }
   void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 

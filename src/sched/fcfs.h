@@ -7,6 +7,7 @@
 
 #include <deque>
 
+#include "common/annotations.h"
 #include "sched/scheduler.h"
 
 namespace csfc {
@@ -15,7 +16,7 @@ class FcfsScheduler final : public Scheduler {
  public:
   std::string_view name() const override { return "fcfs"; }
   void Enqueue(Request r, const DispatchContext& ctx) override;
-  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  CSFC_HOT std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return queue_.size(); }
   void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 

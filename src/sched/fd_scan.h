@@ -10,6 +10,7 @@
 #include <map>
 
 #include "disk/disk_model.h"
+#include "common/annotations.h"
 #include "sched/scheduler.h"
 
 namespace csfc {
@@ -21,7 +22,7 @@ class FdScanScheduler final : public Scheduler {
 
   std::string_view name() const override { return "fd-scan"; }
   void Enqueue(Request r, const DispatchContext& ctx) override;
-  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  CSFC_HOT std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return size_; }
   void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 

@@ -9,6 +9,7 @@
 
 #include <map>
 
+#include "common/annotations.h"
 #include "sched/scheduler.h"
 
 namespace csfc {
@@ -20,7 +21,7 @@ class ScanEdfScheduler final : public Scheduler {
 
   std::string_view name() const override { return "scan-edf"; }
   void Enqueue(Request r, const DispatchContext& ctx) override;
-  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  CSFC_HOT std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return size_; }
   void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 

@@ -9,6 +9,7 @@
 
 #include <map>
 
+#include "common/annotations.h"
 #include "sched/scheduler.h"
 
 namespace csfc {
@@ -23,7 +24,7 @@ class ScanScheduler final : public Scheduler {
 
   std::string_view name() const override;
   void Enqueue(Request r, const DispatchContext& ctx) override;
-  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  CSFC_HOT std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return size_; }
   void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 

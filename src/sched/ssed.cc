@@ -18,8 +18,11 @@ void SsedScheduler::Enqueue(Request r, const DispatchContext&) {
 std::optional<Request> SsedScheduler::Dispatch(const DispatchContext& ctx) {
   if (queue_.empty()) return std::nullopt;
 
-  // Urgency normalization inputs.
-  std::vector<size_t> order(queue_.size());
+  // Urgency normalization inputs. Both scratch vectors are fully
+  // overwritten below before any element is read, so reusing them across
+  // dispatches is safe.
+  std::vector<size_t>& order = order_scratch_;
+  order.resize(queue_.size());  // csfc:alloc-ok(scoring scratch reused across dispatches)
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   SimTime min_dl = kNoDeadline;
   SimTime max_dl = 0;
@@ -33,7 +36,8 @@ std::optional<Request> SsedScheduler::Dispatch(const DispatchContext& ctx) {
       if (r.has_deadline()) max_dl = std::max(max_dl, r.deadline);
     }
   }
-  std::vector<double> urgency(queue_.size());
+  std::vector<double>& urgency = urgency_scratch_;
+  urgency.resize(queue_.size());  // csfc:alloc-ok(scoring scratch reused across dispatches)
   if (variant_ == SsedVariant::kOrdering) {
     for (size_t rank = 0; rank < order.size(); ++rank) {
       urgency[order[rank]] =

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <type_traits>
 
 #include "common/small_vector.h"
 #include "common/types.h"
@@ -41,6 +42,16 @@ struct Request {
   /// Owning stream for stream workloads (0 when not applicable).
   uint32_t stream = 0;
 
+  // Requests move through slot pools and growing vectors on the zero-copy
+  // dispatch path; the moves are declared noexcept explicitly so the
+  // compiler rejects any member change that would make them throwing
+  // (which would silently degrade every vector growth back to copies).
+  Request() = default;
+  Request(const Request&) = default;
+  Request& operator=(const Request&) = default;
+  Request(Request&&) noexcept = default;
+  Request& operator=(Request&&) noexcept = default;
+
   bool has_deadline() const { return deadline != kNoDeadline; }
 
   /// The priority level on dimension `k`, or 0 if the request has fewer
@@ -52,6 +63,11 @@ struct Request {
   /// Debug rendering: "id=3 t=12.5ms dl=100ms cyl=77 pri=[1,0,4]".
   std::string DebugString() const;
 };
+
+static_assert(std::is_nothrow_move_constructible_v<Request> &&
+                  std::is_nothrow_move_assignable_v<Request>,
+              "Request must stay nothrow-movable: slot pools and queue "
+              "growth rely on moves never falling back to copies");
 
 }  // namespace csfc
 

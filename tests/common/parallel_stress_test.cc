@@ -202,6 +202,126 @@ TEST(ParallelStressTest, NestedParallelForFromPoolTasks) {
   EXPECT_EQ(leaves.load(), 8u * 16u);
 }
 
+// --- progress / early-abort (RunProgress atomics) ---------------------------
+
+TEST(ParallelStressTest, ProgressCountersReachTotalAndStayMonotonic) {
+  const TracePtr trace = ShareTrace(StressTrace(105, 200));
+  std::vector<RunPoint> points = StressPoints(trace, 8);  // 24 points
+
+  RunProgress progress;
+  // Concurrent readers poll the counters the whole time the sweep runs —
+  // the shared-mutable-aggregate path ROADMAP wanted hammered. Each
+  // asserts monotonicity and the started >= completed invariant.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  std::atomic<bool> violated{false};
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      size_t last_started = 0;
+      size_t last_completed = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t c = progress.completed.load(std::memory_order_relaxed);
+        const size_t s = progress.started.load(std::memory_order_relaxed);
+        // `completed` read first: started is incremented before completed,
+        // so a consistent snapshot can never show completed > started.
+        if (s < last_started || c < last_completed || c > s) {
+          violated.store(true, std::memory_order_relaxed);
+        }
+        last_started = s;
+        last_completed = c;
+      }
+    });
+  }
+
+  auto result = RunParallel(points, 8, &progress);
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& r : readers) r.join();
+
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(progress.started.load(), points.size());
+  EXPECT_EQ(progress.completed.load(), points.size());
+
+  // The progress plumbing must not perturb results: identical to a run
+  // without it.
+  auto plain = RunParallel(points, 1);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(result->size(), plain->size());
+  for (size_t i = 0; i < plain->size(); ++i) {
+    ExpectBitIdentical((*result)[i], (*plain)[i]);
+  }
+}
+
+TEST(ParallelStressTest, AbortBeforeStartSkipsEveryPoint) {
+  const TracePtr trace = ShareTrace(StressTrace(106, 100));
+  std::vector<RunPoint> points = StressPoints(trace, 4);
+
+  RunProgress progress;
+  progress.RequestAbort();
+  auto result = RunParallel(points, 4, &progress);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(progress.started.load(), 0u);
+  EXPECT_EQ(progress.completed.load(), 0u);
+}
+
+TEST(ParallelStressTest, MidSweepAbortStopsCleanlyOrFinishes) {
+  const TracePtr trace = ShareTrace(StressTrace(107, 200));
+  std::vector<RunPoint> points = StressPoints(trace, 16);  // 48 points
+
+  RunProgress progress;
+  // A watcher aborts once a few points have completed. The race between
+  // the abort and the last point is inherent; the contract is only that
+  // the outcome is one of two clean states, with coherent counters.
+  std::thread watcher([&] {
+    while (progress.completed.load(std::memory_order_relaxed) < 3) {
+      std::this_thread::yield();
+    }
+    progress.RequestAbort();
+  });
+  auto result = RunParallel(points, 8, &progress);
+  watcher.join();
+
+  const size_t started = progress.started.load();
+  const size_t completed = progress.completed.load();
+  EXPECT_EQ(started, completed);  // no point left mid-flight after return
+  EXPECT_LE(completed, points.size());
+  EXPECT_GE(completed, 3u);
+  if (result.ok()) {
+    // The watcher lost the race: every point finished before the abort
+    // landed. Legal, but then the result must be complete.
+    EXPECT_EQ(completed, points.size());
+    EXPECT_EQ(result->size(), points.size());
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(ParallelStressTest, AbortNeverMasksAPointError) {
+  const TracePtr trace = ShareTrace(StressTrace(108, 100));
+  std::vector<RunPoint> points = StressPoints(trace, 2);
+  points[1].trace = nullptr;  // guaranteed InvalidArgument from point 1
+
+  RunProgress progress;
+  auto clean = RunParallel(points, 2, &progress);
+  ASSERT_FALSE(clean.ok());
+  EXPECT_EQ(clean.status().code(), StatusCode::kInvalidArgument);
+
+  // Same failing sweep with an abort racing in: the point error still
+  // wins over Cancelled (lowest-index deterministic reporting).
+  RunProgress aborted;
+  std::thread watcher([&] {
+    while (aborted.completed.load(std::memory_order_relaxed) < 1) {
+      std::this_thread::yield();
+    }
+    aborted.RequestAbort();
+  });
+  auto result = RunParallel(points, 2, &aborted);
+  watcher.join();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 // --- the parallel-determinism pin -------------------------------------------
 
 TEST(ParallelStressTest, ComparePoliciesTwiceIsBitIdentical) {

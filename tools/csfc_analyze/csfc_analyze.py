@@ -1,0 +1,1178 @@
+#!/usr/bin/env python3
+"""csfc_analyze: AST-backed contract analyzer for the csfc codebase.
+
+Three rule families, one checked-in manifest (tools/csfc_analyze/layers.toml):
+
+  layering       src/ include edges must follow the layer DAG declared in
+                 layers.toml, plus the tracer seam and per-file exceptions
+                 declared there. Subsumes csfc_lint's include-hygiene rule
+                 (csfc_lint now reads the same manifest).
+  hot-alloc      Functions annotated CSFC_HOT (common/annotations.h) and
+                 functions that hold a lock (REQUIRES(...)) must not
+                 allocate: no operator new / malloc family /
+                 make_unique|make_shared / std::function / node-based
+                 containers / std::string construction / container growth
+                 calls. A sanctioned amortized allocation is marked on its
+                 own line with `// csfc:alloc-ok(<reason>)`. Code compiled
+                 out of release builds (#ifndef NDEBUG) is exempt.
+  exc-safety     Types on the zero-copy queue path (Request, SmallVector)
+                 must declare explicit noexcept move operations, and
+                 Status / Result must be [[nodiscard]] at class level —
+                 a throwing move silently degrades every vector growth
+                 and slot-pool recycle back to copies.
+
+Engines:
+
+  libclang   (preferred) python3-clang + libclang over the build tree's
+             compile_commands.json. The hot-alloc rule walks the real call
+             graph: every project-defined function *reachable* from a
+             CSFC_HOT or REQUIRES root is scanned; traversal stops at
+             virtual and external calls. noexcept and [[nodiscard]] are
+             verified on the AST (exception specifications and the
+             WarnUnusedResult attribute), not by pattern match.
+  regex      fallback when libclang is unavailable (the dev container is
+             gcc-only). Implements all three rules textually; the
+             hot-alloc scan degrades to the direct bodies of annotated
+             functions — no transitive call graph. The degradation is
+             announced on stderr so a clean exit is never mistaken for
+             full AST coverage.
+
+`--self-test` seeds one violation per rule against synthetic trees and
+verifies each is caught. `--seed-violation=RULE` injects a violation into
+the real tree (in memory — forces the regex engine) so the CLI test can
+assert exit codes end to end. Exit 0 = clean, 1 = findings, 2 =
+usage/engine error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - python < 3.11
+    tomllib = None
+
+# The hardened comment stripper lives in csfc_lint; one implementation,
+# two tools.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "csfc_lint"))
+import csfc_lint  # noqa: E402
+
+strip_comments = csfc_lint.strip_comments
+
+CXX_SUFFIXES = (".h", ".cc")
+ALLOC_OK_MARKER = "csfc:alloc-ok("
+HOT_TOKEN = "CSFC_HOT"
+
+
+class Finding(NamedTuple):
+    rule: str
+    path: str
+    line: int  # 1-based; 0 = whole-file finding
+    message: str
+
+    def render(self) -> str:
+        loc = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{loc}: [{self.rule}] {self.message}"
+
+
+Tree = Dict[str, str]
+
+
+def load_tree(repo: Path) -> Tree:
+    tree: Tree = {}
+    base = repo / "src"
+    for path in sorted(base.rglob("*")):
+        if path.suffix in CXX_SUFFIXES and path.is_file():
+            tree[path.relative_to(repo).as_posix()] = path.read_text(
+                encoding="utf-8")
+    return tree
+
+
+# --- manifest (layers.toml) -------------------------------------------------
+
+
+class Manifest(NamedTuple):
+    layers: Dict[str, List[str]]
+    seam_headers: List[str]
+    seam_layers: List[str]
+    exceptions: Dict[str, List[str]]  # src-relative file -> allowed includes
+
+
+def parse_manifest(text: str) -> Manifest:
+    if tomllib is None:
+        raise RuntimeError("python >= 3.11 (tomllib) required")
+    data = tomllib.loads(text)
+    seam = data.get("seam", {})
+    exceptions: Dict[str, List[str]] = {}
+    for exc in data.get("exception", []):
+        exceptions.setdefault(exc["file"], []).extend(exc["allow"])
+    return Manifest(
+        layers={k: list(v) for k, v in data.get("layers", {}).items()},
+        seam_headers=list(seam.get("headers", [])),
+        seam_layers=list(seam.get("layers", [])),
+        exceptions=exceptions)
+
+
+# --- contract tables --------------------------------------------------------
+
+
+class Contracts(NamedTuple):
+    # (header path, type name): must declare explicit noexcept move ops.
+    nothrow_move: List[Tuple[str, str]]
+    # (header path, type name): must be `class [[nodiscard]]`.
+    nodiscard: List[Tuple[str, str]]
+
+
+DEFAULT_CONTRACTS = Contracts(
+    nothrow_move=[
+        # Slot-pool entries and SmallVector spill both live inside Request;
+        # CValue is a trivial double alias and needs no declaration.
+        ("src/workload/request.h", "Request"),
+        ("src/common/small_vector.h", "SmallVector"),
+    ],
+    nodiscard=[
+        ("src/common/status.h", "Status"),
+        ("src/common/status.h", "Result"),
+    ])
+
+
+# --- text utilities ---------------------------------------------------------
+
+
+def blank_strings(code: str) -> str:
+    """Blanks the contents of string/char literals, preserving offsets.
+
+    Run on comment-stripped text. Keeps the quotes so tokens stay
+    delimited; handles escapes. Raw strings survive strip_comments with
+    their delimiters intact and are blanked here by the same scan (the
+    d-char-seq is rare enough in this codebase that plain-quote pairing is
+    sufficient for structure matching).
+    """
+    out: List[str] = []
+    i, n = 0, len(code)
+    while i < n:
+        c = code[i]
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n and code[i] != quote:
+                if code[i] == "\\" and i + 1 < n:
+                    out.append("  " if code[i + 1] != "\n" else " \n")
+                    i += 2
+                    continue
+                out.append("\n" if code[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def scrub(text: str) -> str:
+    """Comments stripped, string contents blanked. Offsets preserved."""
+    return blank_strings(strip_comments(text))
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def match_delim(code: str, open_idx: int, open_c: str, close_c: str) -> int:
+    """Index just past the delimiter matching code[open_idx], or len."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == open_c:
+            depth += 1
+        elif code[i] == close_c:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+def ndebug_exempt_lines(code: str) -> Set[int]:
+    """0-based indices of lines inside `#ifndef NDEBUG` regions.
+
+    Release builds (RelWithDebInfo defines NDEBUG) compile these out, so
+    debug-only shadow/audit blocks are exempt from the hot-alloc rule.
+    """
+    exempt: Set[int] = set()
+    stack: List[str] = []
+    for idx, raw in enumerate(code.splitlines()):
+        line = raw.lstrip()
+        m = re.match(r"#\s*(ifndef|ifdef|if|elif|else|endif)\b\s*(\w+)?", line)
+        if m:
+            kind, macro = m.group(1), m.group(2)
+            if kind == "ifndef":
+                stack.append("ndebug" if macro == "NDEBUG" else "other")
+            elif kind in ("ifdef", "if"):
+                stack.append("other")
+            elif kind in ("else", "elif"):
+                if stack:
+                    stack[-1] = "other" if stack[-1] == "ndebug" else stack[-1]
+            elif kind == "endif":
+                if stack:
+                    stack.pop()
+        if "ndebug" in stack:
+            exempt.add(idx)
+    return exempt
+
+
+def class_scopes(code: str) -> List[Tuple[int, int, str]]:
+    """(body_start, body_end, name) for every class/struct body in `code`.
+
+    Expects scrubbed text. Used to qualify out-of-line definition lookups
+    for annotated member declarations.
+    """
+    scopes: List[Tuple[int, int, str]] = []
+    for m in re.finditer(
+            r"\b(?:class|struct)\s+(?:\[\[[^\]]*\]\]\s*)?(\w+)[^;{}()]*\{",
+            code):
+        open_idx = m.end() - 1
+        scopes.append((open_idx, match_delim(code, open_idx, "{", "}"),
+                       m.group(1)))
+    return scopes
+
+
+def enclosing_class(scopes: List[Tuple[int, int, str]],
+                    offset: int) -> Optional[str]:
+    best = None
+    for start, end, name in scopes:
+        if start < offset < end:
+            if best is None or start > best[0]:
+                best = (start, name)
+    return best[1] if best else None
+
+
+def sibling_path(path: str) -> Optional[str]:
+    if path.endswith(".h"):
+        return path[:-2] + ".cc"
+    if path.endswith(".cc"):
+        return path[:-3] + ".h"
+    return None
+
+
+# --- rule 1: layering -------------------------------------------------------
+
+INCLUDE_RE = re.compile(r"#\s*include\s+\"([^\"]+)\"")
+
+
+def check_layering(tree: Tree, manifest: Manifest) -> List[Finding]:
+    findings: List[Finding] = []
+    for path, text in sorted(tree.items()):
+        parts = path.split("/")
+        if parts[0] != "src" or len(parts) < 3:
+            continue
+        layer = parts[1]
+        if layer not in manifest.layers:
+            findings.append(Finding(
+                "layering", path, 0,
+                f"layer `{layer}` is not declared in layers.toml — every "
+                f"src/ directory must have a row in [layers]"))
+            continue
+        allowed = set(manifest.layers[layer])
+        code = strip_comments(text)
+        for m in INCLUDE_RE.finditer(code):
+            inc = m.group(1)
+            inc_layer = inc.split("/")[0] if "/" in inc else None
+            if inc_layer is None or inc_layer not in manifest.layers:
+                continue
+            if inc_layer == layer or inc_layer in allowed:
+                continue
+            if (inc in manifest.seam_headers
+                    and layer in manifest.seam_layers):
+                continue
+            if inc in manifest.exceptions.get(path, []):
+                continue
+            findings.append(Finding(
+                "layering", path, line_of(code, m.start()),
+                f"#include \"{inc}\": layer `{layer}` may not depend on "
+                f"`{inc_layer}` — see tools/csfc_analyze/layers.toml for "
+                f"the DAG (add a [[exception]] there only with a comment "
+                f"saying why)"))
+    return findings
+
+
+# --- rule 2: hot-path allocation freedom (regex engine) ---------------------
+
+ALLOC_PATTERNS: List[Tuple[re.Pattern, str]] = [
+    (re.compile(r"\bnew\b"), "operator new"),
+    (re.compile(r"\b(?:malloc|calloc|realloc|strdup)\s*\("),
+     "C heap allocation"),
+    (re.compile(r"\bmake_(?:unique|shared)\b"), "make_unique/make_shared"),
+    (re.compile(r"\bstd::function\b"),
+     "std::function (type-erasing, may allocate)"),
+    (re.compile(r"\bstd::(?:multi)?(?:map|set)\b"
+                r"|\bstd::(?:unordered_\w+|list|forward_list|deque)\b"),
+     "node-based container"),
+    (re.compile(r"(?:\.|->)\s*(?:push_back|emplace_back|emplace|resize|"
+                r"reserve|insert|append|assign)\s*\("),
+     "container growth call"),
+    (re.compile(r"\bstd::string\b(?!\s*[&*])|\bstd::to_string\b"),
+     "std::string construction"),
+]
+
+HOT_MESSAGE = ("CSFC_HOT code must stay allocation-free; if this allocation "
+               "is amortized by design, mark the line with "
+               "// csfc:alloc-ok(reason)")
+
+
+def _scan_body(path: str, text: str, code: str, start: int, end: int,
+               label: str, exempt: Set[int], why: str,
+               seen: Set[Tuple[str, int, str]],
+               findings: List[Finding]) -> None:
+    orig_lines = text.splitlines()
+    code_lines = code.splitlines()
+    first = line_of(code, start) - 1
+    last = line_of(code, min(end, len(code) - 1) if code else 0) - 1
+    for idx in range(first, min(last + 1, len(code_lines))):
+        if idx in exempt:
+            continue
+        if idx < len(orig_lines) and ALLOC_OK_MARKER in orig_lines[idx]:
+            continue
+        sline = code_lines[idx]
+        for pat, what in ALLOC_PATTERNS:
+            if not pat.search(sline):
+                continue
+            if what == "node-based container" and "iterator" in sline:
+                continue  # naming an iterator type allocates nothing
+            key = (path, idx + 1, what)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                "hot-alloc", path, idx + 1,
+                f"{what} in {why} `{label}` — {HOT_MESSAGE}"))
+
+
+def _body_after_signature(code: str, j: int) -> Optional[int]:
+    """Scans past trailing signature tokens (const, noexcept(...),
+    override, ->ret) to the defining `{`; None for declarations, calls
+    and anything else."""
+    n = len(code)
+    while j < n:
+        c = code[j]
+        if c == "{":
+            return j
+        if c in ";=)}":
+            return None
+        if c == "(":
+            j = match_delim(code, j, "(", ")")
+            continue
+        j += 1
+    return None
+
+
+def _definition_bodies(code: str, cls: Optional[str],
+                       name: str) -> List[Tuple[int, int]]:
+    """(body_start, body_end) of out-of-line definitions of cls::name."""
+    qual = rf"\b{re.escape(cls)}\s*::\s*{re.escape(name)}\s*\(" if cls \
+        else rf"\b{re.escape(name)}\s*\("
+    bodies: List[Tuple[int, int]] = []
+    for m in re.finditer(qual, code):
+        close = match_delim(code, m.end() - 1, "(", ")")
+        body = _body_after_signature(code, close)
+        if body is not None:
+            bodies.append((body, match_delim(code, body, "{", "}")))
+    return bodies
+
+
+def check_hot_alloc(tree: Tree) -> List[Finding]:
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, str]] = set()
+    scrubbed = {p: scrub(t) for p, t in tree.items()
+                if p.startswith("src/")}
+    exempt = {p: ndebug_exempt_lines(c) for p, c in scrubbed.items()}
+
+    for path, code in sorted(scrubbed.items()):
+        if path == "src/common/annotations.h":
+            continue
+        text = tree[path]
+        scopes = None
+        for m in re.finditer(rf"\b{HOT_TOKEN}\b", code):
+            line_start = code.rfind("\n", 0, m.start()) + 1
+            if code[line_start:m.start()].lstrip().startswith("#"):
+                continue  # the macro definition itself
+            brace = code.find("{", m.end())
+            semi = code.find(";", m.end())
+            head_end = min(x for x in (brace, semi, len(code)) if x >= 0)
+            head = code[m.end():head_end]
+            paren = head.find("(")
+            if paren < 0:
+                continue
+            name_m = re.search(r"(\w+)\s*$", head[:paren])
+            if not name_m:
+                continue
+            name = name_m.group(1)
+            if brace != -1 and (semi == -1 or brace < semi):
+                _scan_body(path, text, code, brace,
+                           match_delim(code, brace, "{", "}"), name,
+                           exempt[path], "hot function", seen, findings)
+                continue
+            # Declaration only: find the out-of-line definition in this
+            # file (inline/template) or its .h/.cc sibling, qualified by
+            # the enclosing class so same-named methods of other classes
+            # (e.g. the reference implementations) are not swept in.
+            if scopes is None:
+                scopes = class_scopes(code)
+            cls = enclosing_class(scopes, m.start())
+            label = f"{cls}::{name}" if cls else name
+            candidates = [path]
+            sib = sibling_path(path)
+            if sib in scrubbed:
+                candidates.append(sib)
+            for cand in candidates:
+                for start, end in _definition_bodies(scrubbed[cand], cls,
+                                                     name):
+                    _scan_body(cand, tree[cand], scrubbed[cand], start, end,
+                               label, exempt[cand], "hot function", seen,
+                               findings)
+
+        # Lock-holding functions: REQUIRES(...) marks a region that runs
+        # under a capability; allocating there stretches the critical
+        # section by a potential syscall.
+        for m in re.finditer(r"\bREQUIRES\s*\(", code):
+            line_start = code.rfind("\n", 0, m.start()) + 1
+            if code[line_start:m.start()].lstrip().startswith("#"):
+                continue  # the macro definition
+            close = match_delim(code, m.end() - 1, "(", ")")
+            body = _body_after_signature(code, close)
+            if body is None:
+                continue
+            seg = code[max(0, m.start() - 400):m.start()]
+            names = list(re.finditer(r"(\w+)\s*\(", seg))
+            label = names[-1].group(1) if names else "<lock region>"
+            _scan_body(path, text, code, body,
+                       match_delim(code, body, "{", "}"), label,
+                       exempt[path], "lock-holding function", seen, findings)
+    return findings
+
+
+# --- rule 3: exception safety (textual form) --------------------------------
+
+
+def check_exc_safety(tree: Tree, contracts: Contracts) -> List[Finding]:
+    findings: List[Finding] = []
+    for path, tname in contracts.nothrow_move:
+        text = tree.get(path)
+        if text is None:
+            findings.append(Finding(
+                "noexcept-move", path, 0,
+                f"contract type {tname}: file not found — update the "
+                f"manifest in tools/csfc_analyze if the type moved"))
+            continue
+        code = strip_comments(text)
+        t = re.escape(tname)
+        if not re.search(rf"\b{t}\s*\(\s*{t}\s*&&[^)]*\)\s*noexcept", code):
+            findings.append(Finding(
+                "noexcept-move", path, 0,
+                f"{tname} must declare an explicit noexcept move "
+                f"constructor — a throwing (or suppressed) move degrades "
+                f"vector growth and slot recycling to copies"))
+        if not re.search(rf"operator=\s*\(\s*{t}\s*&&[^)]*\)\s*noexcept",
+                         code):
+            findings.append(Finding(
+                "noexcept-move", path, 0,
+                f"{tname} must declare an explicit noexcept move "
+                f"assignment operator"))
+    for path, tname in contracts.nodiscard:
+        text = tree.get(path)
+        if text is None:
+            findings.append(Finding(
+                "nodiscard", path, 0,
+                f"contract type {tname}: file not found"))
+            continue
+        code = strip_comments(text)
+        if not re.search(
+                rf"(?:class|struct)\s*\[\[\s*nodiscard\s*\]\]\s*{re.escape(tname)}\b",
+                code):
+            findings.append(Finding(
+                "nodiscard", path, 0,
+                f"{tname} must be declared `class [[nodiscard]]` so "
+                f"dropped error returns fail to compile"))
+    return findings
+
+
+def run_regex_engine(tree: Tree, manifest: Manifest,
+                     contracts: Contracts) -> List[Finding]:
+    return (check_layering(tree, manifest)
+            + check_hot_alloc(tree)
+            + check_exc_safety(tree, contracts))
+
+
+# --- libclang engine --------------------------------------------------------
+
+
+def load_libclang():
+    """Returns the clang.cindex module with a working library, or None."""
+    try:
+        from clang import cindex  # type: ignore
+    except Exception:
+        return None
+    try:
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        pass
+    import glob
+    candidates = sorted(
+        glob.glob("/usr/lib/llvm-*/lib/libclang.so*")
+        + glob.glob("/usr/lib/*/libclang-*.so*"), reverse=True)
+    for cand in candidates:
+        try:
+            cindex.Config.set_library_file(cand)
+            cindex.Index.create()
+            return cindex
+        except Exception:
+            continue
+    return None
+
+
+C_ALLOC_FNS = {"malloc", "calloc", "realloc", "strdup"}
+STD_ALLOC_FNS = {"make_unique", "make_shared", "to_string"}
+GROWTH_METHODS = {"push_back", "emplace_back", "emplace", "emplace_hint",
+                  "resize", "reserve", "insert", "append", "assign",
+                  "push_front"}
+ALLOC_CTOR_CLASSES = {"basic_string", "function", "map", "multimap", "set",
+                      "multiset", "list", "forward_list", "deque",
+                      "unordered_map", "unordered_multimap", "unordered_set",
+                      "unordered_multiset"}
+
+
+class LibclangEngine:
+    """AST engine: transitive hot-alloc call-graph walk plus AST-level
+    exception-spec / attribute verification. Layering stays textual —
+    include edges are lexical facts either way."""
+
+    def __init__(self, cindex, repo: Path, compdb: Path):
+        self.cx = cindex
+        self.repo = repo
+        self.compdb_dir = compdb.parent if compdb.is_file() else compdb
+        self.index = cindex.Index.create()
+        self._files: Dict[str, List[str]] = {}
+        # usr -> {qual, file, line, hot, requires, calls: [usr],
+        #         allocs: [(file, line, what)]}
+        self.funcs: Dict[str, dict] = {}
+        # (rel_path, type name) -> {move_ctor, move_assign, nodiscard}
+        self.records: Dict[Tuple[str, str], dict] = {}
+
+    # -- source access -------------------------------------------------------
+
+    def _lines(self, fname: str) -> List[str]:
+        if fname not in self._files:
+            try:
+                self._files[fname] = Path(fname).read_text(
+                    encoding="utf-8", errors="replace").splitlines()
+            except OSError:
+                self._files[fname] = []
+        return self._files[fname]
+
+    def _source_line(self, fname: str, line: int) -> str:
+        lines = self._lines(fname)
+        return lines[line - 1] if 0 < line <= len(lines) else ""
+
+    def _rel(self, fname: str) -> str:
+        try:
+            return Path(fname).resolve().relative_to(self.repo).as_posix()
+        except ValueError:
+            return fname
+
+    def _in_repo_src(self, cursor) -> bool:
+        loc = cursor.location
+        if loc.file is None:
+            return False
+        return self._rel(loc.file.name).startswith("src/")
+
+    # -- collection ----------------------------------------------------------
+
+    def parse_all(self) -> List[str]:
+        cx = self.cx
+        warnings: List[str] = []
+        db = cx.CompilationDatabase.fromDirectory(str(self.compdb_dir))
+        seen_files: Set[str] = set()
+        for cmd in db.getAllCompileCommands():
+            fname = cmd.filename
+            if not Path(fname).is_absolute():
+                fname = str(Path(cmd.directory) / fname)
+            if fname in seen_files:
+                continue
+            seen_files.add(fname)
+            if not self._rel(fname).startswith("src/"):
+                continue
+            args, skip = [], False
+            for a in list(cmd.arguments)[1:]:
+                if skip:
+                    skip = False
+                    continue
+                if a == "-o":
+                    skip = True
+                    continue
+                if a in ("-c", fname, cmd.filename):
+                    continue
+                args.append(a)
+            try:
+                tu = self.index.parse(fname, args=args)
+            except Exception as e:  # noqa: BLE001 - report, keep going
+                warnings.append(f"parse failed for {fname}: {e}")
+                continue
+            errors = [d for d in tu.diagnostics if d.severity >= 3]
+            if errors:
+                warnings.append(
+                    f"{self._rel(fname)}: {len(errors)} parse error(s), "
+                    f"first: {errors[0].spelling}")
+            self._walk_top(tu.cursor)
+        return warnings
+
+    def _walk_top(self, cursor) -> None:
+        cx = self.cx
+        K = cx.CursorKind
+        func_kinds = {K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR,
+                      K.DESTRUCTOR, K.FUNCTION_TEMPLATE,
+                      K.CONVERSION_FUNCTION}
+        record_kinds = {K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE}
+        for c in cursor.get_children():
+            if not self._in_repo_src(c):
+                continue
+            if c.kind in func_kinds and c.is_definition():
+                self._register_function(c)
+            elif c.kind in record_kinds and c.is_definition():
+                self._register_record(c)
+                self._walk_top(c)  # inline member definitions
+            elif c.kind in (K.NAMESPACE, K.UNEXPOSED_DECL,
+                            K.LINKAGE_SPEC):
+                self._walk_top(c)
+
+    def _qualname(self, cursor) -> str:
+        cx = self.cx
+        parts = [cursor.spelling]
+        p = cursor.semantic_parent
+        while p is not None and p.kind != cx.CursorKind.TRANSLATION_UNIT:
+            if p.spelling and p.kind != cx.CursorKind.NAMESPACE:
+                parts.append(p.spelling)
+            elif p.spelling and p.spelling != "csfc":
+                parts.append(p.spelling)
+            p = p.semantic_parent
+        return "::".join(reversed(parts))
+
+    def _has_annotation(self, cursor, text: str) -> bool:
+        cx = self.cx
+        for decl in {cursor, cursor.canonical}:
+            for ch in decl.get_children():
+                if (ch.kind == cx.CursorKind.ANNOTATE_ATTR
+                        and ch.spelling == text):
+                    return True
+        return False
+
+    def _pre_body_text(self, cursor) -> str:
+        """Source from the declaration start to its body (the signature
+        and attributes), for both the definition and its first decl."""
+        cx = self.cx
+        out = []
+        for decl in {cursor, cursor.canonical}:
+            ext = decl.extent
+            if ext.start.file is None:
+                continue
+            lines = self._lines(ext.start.file.name)
+            body_line = ext.end.line
+            for ch in decl.get_children():
+                if ch.kind == cx.CursorKind.COMPOUND_STMT:
+                    body_line = ch.extent.start.line
+                    break
+            out.append("\n".join(lines[ext.start.line - 1:body_line]))
+        return "\n".join(out)
+
+    def _in_std(self, cursor) -> bool:
+        cx = self.cx
+        p = cursor.semantic_parent
+        while p is not None and p.kind != cx.CursorKind.TRANSLATION_UNIT:
+            if (p.kind == cx.CursorKind.NAMESPACE
+                    and p.spelling in ("std", "__cxx11", "__1")):
+                return True
+            p = p.semantic_parent
+        return False
+
+    def _register_function(self, cursor) -> None:
+        usr = cursor.get_usr()
+        if not usr or usr in self.funcs:
+            return
+        pre = self._pre_body_text(cursor)
+        info = {
+            "qual": self._qualname(cursor),
+            "file": cursor.location.file.name,
+            "line": cursor.location.line,
+            "hot": self._has_annotation(cursor, "csfc_hot"),
+            "requires": ("REQUIRES(" in pre
+                         or "requires_capability" in pre),
+            "calls": [],
+            "allocs": [],
+        }
+        self.funcs[usr] = info
+        self._collect_body(cursor, info)
+
+    def _collect_body(self, cursor, info: dict) -> None:
+        cx = self.cx
+        K = cx.CursorKind
+        for c in cursor.get_children():
+            loc = c.location
+            if c.kind == K.CXX_NEW_EXPR and loc.file is not None:
+                info["allocs"].append(
+                    (loc.file.name, loc.line, "operator new"))
+            elif c.kind == K.CALL_EXPR and loc.file is not None:
+                ref = c.referenced
+                if ref is not None:
+                    name = ref.spelling
+                    in_std = self._in_std(ref)
+                    what = None
+                    if name in C_ALLOC_FNS and not in_std:
+                        what = f"C heap allocation ({name})"
+                    elif in_std and name in STD_ALLOC_FNS:
+                        what = f"std::{name}"
+                    elif in_std and name in GROWTH_METHODS:
+                        what = f"std container growth ({name})"
+                    elif (ref.kind == K.CONSTRUCTOR and in_std
+                          and ref.semantic_parent is not None
+                          and ref.semantic_parent.spelling
+                          in ALLOC_CTOR_CLASSES):
+                        what = (f"allocating std type construction "
+                                f"({ref.semantic_parent.spelling})")
+                    if what is not None:
+                        info["allocs"].append(
+                            (loc.file.name, loc.line, what))
+                    elif not in_std:
+                        try:
+                            virtual = ref.is_virtual_method()
+                        except Exception:
+                            virtual = False
+                        if not virtual:
+                            u = ref.get_usr()
+                            if u:
+                                info["calls"].append(u)
+            self._collect_body(c, info)
+
+    def _register_record(self, cursor) -> None:
+        cx = self.cx
+        K = cx.CursorKind
+        key = (self._rel(cursor.location.file.name), cursor.spelling)
+        rec = self.records.setdefault(
+            key, {"move_ctor": None, "move_assign": None, "nodiscard": False})
+        esk = getattr(self.cx, "ExceptionSpecificationKind", None)
+
+        def noexcept_of(c) -> Optional[bool]:
+            if esk is None:
+                return None
+            try:
+                k = c.exception_specification_kind
+            except Exception:
+                return None
+            return k in (esk.BASIC_NOEXCEPT, esk.COMPUTED_NOEXCEPT)
+
+        warn_attr = getattr(K, "WARN_UNUSED_RESULT_ATTR", None)
+        for ch in cursor.get_children():
+            if ch.kind == K.CONSTRUCTOR:
+                try:
+                    is_move = ch.is_move_constructor()
+                except Exception:
+                    is_move = False
+                if is_move:
+                    rec["move_ctor"] = noexcept_of(ch)
+            elif ch.kind == K.CXX_METHOD and ch.spelling == "operator=":
+                args = list(ch.get_arguments())
+                if args and args[0].type.kind == \
+                        self.cx.TypeKind.RVALUEREFERENCE:
+                    rec["move_assign"] = noexcept_of(ch)
+            elif warn_attr is not None and ch.kind == warn_attr:
+                rec["nodiscard"] = True
+
+    # -- rule evaluation -----------------------------------------------------
+
+    def hot_alloc_findings(self) -> List[Finding]:
+        roots = [u for u, f in self.funcs.items()
+                 if f["hot"] or f["requires"]]
+        findings: List[Finding] = []
+        seen_sites: Set[Tuple[str, int, str]] = set()
+        visited: Set[str] = set()
+        stack = [(u, self.funcs[u]["qual"]) for u in roots]
+        while stack:
+            usr, root = stack.pop()
+            if usr in visited:
+                continue
+            visited.add(usr)
+            f = self.funcs[usr]
+            for fname, line, what in f["allocs"]:
+                if ALLOC_OK_MARKER in self._source_line(fname, line):
+                    continue
+                rel = self._rel(fname)
+                key = (rel, line, what)
+                if key in seen_sites:
+                    continue
+                seen_sites.add(key)
+                via = (f"hot function `{f['qual']}`" if f["qual"] == root
+                       else f"`{f['qual']}` (reachable from CSFC_HOT "
+                            f"`{root}`)")
+                findings.append(Finding(
+                    "hot-alloc", rel, line, f"{what} in {via} — "
+                    f"{HOT_MESSAGE}"))
+            for callee in f["calls"]:
+                if callee in self.funcs and callee not in visited:
+                    stack.append((callee, root))
+        return findings
+
+    def exc_safety_findings(self, contracts: Contracts,
+                            tree: Tree) -> List[Finding]:
+        findings: List[Finding] = []
+        textual = check_exc_safety(tree, contracts)
+        for path, tname in contracts.nothrow_move:
+            rec = self.records.get((path, tname))
+            if rec is None or rec["move_ctor"] is None \
+                    or rec["move_assign"] is None and rec["move_ctor"]:
+                # Record or exception-spec API unavailable: keep the
+                # textual verdict for this type.
+                findings.extend(f for f in textual
+                                if f.path == path and tname in f.message
+                                and f.rule == "noexcept-move")
+                continue
+            if not rec["move_ctor"]:
+                findings.append(Finding(
+                    "noexcept-move", path, 0,
+                    f"{tname}: move constructor is missing or not noexcept "
+                    f"(AST exception specification)"))
+            if not rec["move_assign"]:
+                findings.append(Finding(
+                    "noexcept-move", path, 0,
+                    f"{tname}: move assignment is missing or not noexcept "
+                    f"(AST exception specification)"))
+        for path, tname in contracts.nodiscard:
+            rec = self.records.get((path, tname))
+            if rec is None:
+                findings.extend(f for f in textual
+                                if f.path == path and tname in f.message
+                                and f.rule == "nodiscard")
+                continue
+            if not rec["nodiscard"]:
+                # The attribute cursor is version-sensitive; fall back to
+                # the textual check before declaring a violation.
+                findings.extend(f for f in textual
+                                if f.path == path and tname in f.message
+                                and f.rule == "nodiscard")
+        return findings
+
+    def analyze(self, manifest: Manifest, contracts: Contracts,
+                tree: Tree) -> Tuple[List[Finding], List[str]]:
+        warnings = self.parse_all()
+        findings = check_layering(tree, manifest)
+        findings += self.hot_alloc_findings()
+        findings += self.exc_safety_findings(contracts, tree)
+        return findings, warnings
+
+
+# --- self-test --------------------------------------------------------------
+
+SELFTEST_MANIFEST = """
+[layers]
+common = []
+sfc = ["common"]
+obs = ["common"]
+core = ["common", "sfc"]
+sched = ["common", "sfc"]
+
+[seam]
+headers = ["obs/tracer.h"]
+layers = ["core", "sched"]
+
+[[exception]]
+file = "src/sched/registry.h"
+allow = ["core/x.h"]
+"""
+
+SELFTEST_CONTRACTS = Contracts(
+    nothrow_move=[("src/common/request.h", "Request")],
+    nodiscard=[("src/common/status.h", "Status")])
+
+
+def _clean_tree() -> Tree:
+    return {
+        "src/common/annotations.h": "#define CSFC_HOT\n",
+        "src/common/request.h":
+            "class Request {\n"
+            " public:\n"
+            "  Request(Request&&) noexcept = default;\n"
+            "  Request& operator=(Request&&) noexcept = default;\n"
+            "};\n",
+        "src/common/status.h": "class [[nodiscard]] Status {};\n",
+        "src/common/mutex.h":
+            "struct Mu {};\n"
+            "class Cv {\n"
+            " public:\n"
+            "  void Wait(Mu& mu) REQUIRES(mu) { counter_ += 1; }\n"
+            "};\n",
+        "src/sfc/curve.h": "#include \"common/annotations.h\"\n",
+        "src/obs/tracer.h": "namespace obs {}\n",
+        "src/core/x.h": "namespace core {}\n",
+        "src/core/hot.h":
+            "#include \"common/annotations.h\"\n"
+            "#include \"obs/tracer.h\"\n"
+            "class Hot {\n"
+            " public:\n"
+            "  CSFC_HOT void Push(int v) {\n"
+            "    heap_.push_back(v);  // csfc:alloc-ok(amortized growth)\n"
+            "    // new std::function push_back in a comment is fine\n"
+            "  }\n"
+            "  CSFC_HOT int Pop();\n"
+            "};\n",
+        "src/core/hot.cc":
+            "#include \"core/hot.h\"\n"
+            "int Hot::Pop() {\n"
+            "#ifndef NDEBUG\n"
+            "  auto* shadow = new int(0);\n"
+            "  delete shadow;\n"
+            "#endif\n"
+            "  std::map<int, int>::iterator it;\n"
+            "  return 0;\n"
+            "}\n",
+        "src/sched/registry.h": "#include \"core/x.h\"\n",
+        "src/sched/sched.h":
+            "#include \"common/annotations.h\"\n"
+            "class FooSched {\n"
+            " public:\n"
+            "  CSFC_HOT int Dispatch(long now);\n"
+            "};\n",
+        "src/sched/sched.cc":
+            "#include \"sched/sched.h\"\n"
+            "int FooSched::Dispatch(long now) { return head_; }\n",
+    }
+
+
+def self_test() -> int:
+    manifest = parse_manifest(SELFTEST_MANIFEST)
+    contracts = SELFTEST_CONTRACTS
+    failures: List[str] = []
+
+    def run(tree: Tree, c: Contracts = contracts) -> List[Finding]:
+        return run_regex_engine(tree, manifest, c)
+
+    def expect(name: str, findings: List[Finding], rule: str,
+               fragment: str) -> None:
+        if not any(f.rule == rule and fragment in f.message
+                   for f in findings):
+            failures.append(
+                f"{name}: expected a [{rule}] finding mentioning "
+                f"{fragment!r}, got {[f.render() for f in findings]}")
+
+    residue = run(_clean_tree())
+    if residue:
+        failures.append("clean tree not clean: "
+                        + "; ".join(f.render() for f in residue))
+
+    # 1. Layering: sfc may only see common.
+    t = _clean_tree()
+    t["src/sfc/curve.h"] += "#include \"sched/sched.h\"\n"
+    expect("layer-dag", run(t), "layering", "may not depend on `sched`")
+
+    # 1b. Seam: core may see obs/tracer.h but nothing else in obs.
+    t = _clean_tree()
+    t["src/core/hot.h"] += "#include \"obs/recorder.h\"\n"
+    expect("seam", run(t), "layering", "obs/recorder.h")
+
+    # 2. Hot-alloc, inline body: unmarked growth call.
+    t = _clean_tree()
+    t["src/core/hot.h"] = t["src/core/hot.h"].replace(
+        "    // new std::function push_back in a comment is fine\n",
+        "    names_.push_back(v);\n")
+    expect("hot-growth", run(t), "hot-alloc", "container growth call")
+
+    # 2b. Hot-alloc through a declaration: definition lives in the .cc.
+    t = _clean_tree()
+    t["src/sched/sched.cc"] = (
+        "#include \"sched/sched.h\"\n"
+        "int FooSched::Dispatch(long now) { return *(new int(7)); }\n")
+    expect("hot-decl-def", run(t), "hot-alloc", "operator new")
+
+    # 2c. Lock-holding function allocating under the capability.
+    t = _clean_tree()
+    t["src/common/mutex.h"] = t["src/common/mutex.h"].replace(
+        "counter_ += 1;", "slot_ = std::make_unique<int>(1);")
+    expect("lock-alloc", run(t), "hot-alloc", "make_unique")
+
+    # 3. Exception safety: move ctor loses noexcept.
+    t = _clean_tree()
+    t["src/common/request.h"] = t["src/common/request.h"].replace(
+        "Request(Request&&) noexcept = default;", "Request(Request&&);")
+    expect("move-noexcept", run(t), "noexcept-move", "move\nconstructor"
+           .replace("\n", " "))
+
+    # 3b. Status without [[nodiscard]].
+    t = _clean_tree()
+    t["src/common/status.h"] = "class Status {};\n"
+    expect("nodiscard", run(t), "nodiscard", "[[nodiscard]]")
+
+    # Controls: alloc-ok marker, NDEBUG block, comment tokens and
+    # iterator typedefs must all stay silent (checked by the clean run
+    # above — reassert to make the intent explicit).
+    residue = [f for f in run(_clean_tree()) if f.rule == "hot-alloc"]
+    if residue:
+        failures.append("hot-alloc controls tripped: "
+                        + "; ".join(f.render() for f in residue))
+
+    if failures:
+        print("csfc_analyze self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("csfc_analyze self-test OK (3 rule families, "
+          "seeded violations all caught)")
+    return 0
+
+
+# --- seeded violations on the real tree -------------------------------------
+
+SEEDS: Dict[str, Dict[str, str]] = {
+    "layering": {
+        "src/sfc/_seeded_layering.h": "#include \"sched/scheduler.h\"\n",
+    },
+    "hot-alloc": {
+        "src/core/_seeded_hot.h":
+            "#include \"common/annotations.h\"\n"
+            "CSFC_HOT inline int* SeededLeak() { return new int(7); }\n",
+    },
+    "exc-safety": {
+        "src/workload/_seeded_mover.h":
+            "class SeededMover {\n"
+            " public:\n"
+            "  SeededMover(SeededMover&& o);\n"
+            "  SeededMover& operator=(SeededMover&& o);\n"
+            "};\n",
+    },
+}
+
+
+def apply_seed(rule: str, tree: Tree,
+               contracts: Contracts) -> Contracts:
+    tree.update(SEEDS[rule])
+    if rule == "exc-safety":
+        return Contracts(
+            nothrow_move=contracts.nothrow_move
+            + [("src/workload/_seeded_mover.h", "SeededMover")],
+            nodiscard=contracts.nodiscard)
+    return contracts
+
+
+# --- CLI --------------------------------------------------------------------
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--repo", type=Path,
+                        default=Path(__file__).resolve().parents[2],
+                        help="repository root (default: two levels up)")
+    parser.add_argument("--compdb", type=Path, default=None,
+                        help="compile_commands.json or its directory "
+                             "(default: <repo>/build/compile_commands.json)")
+    parser.add_argument("--layers", type=Path, default=None,
+                        help="layer manifest (default: layers.toml next to "
+                             "this script)")
+    parser.add_argument("--engine", choices=("auto", "libclang", "regex"),
+                        default="auto",
+                        help="auto prefers libclang and falls back to the "
+                             "regex engine with a notice")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule catches a seeded violation")
+    parser.add_argument("--seed-violation", choices=sorted(SEEDS),
+                        default=None,
+                        help="inject one in-memory violation of the given "
+                             "rule into the real tree (forces the regex "
+                             "engine); the run must then exit 1")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    repo = args.repo.resolve()
+    if not (repo / "src").is_dir():
+        print(f"csfc_analyze: {repo} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+    layers_path = args.layers or Path(__file__).resolve().parent / \
+        "layers.toml"
+    if not layers_path.is_file():
+        print(f"csfc_analyze: layer manifest {layers_path} not found",
+              file=sys.stderr)
+        return 2
+    try:
+        manifest = parse_manifest(layers_path.read_text(encoding="utf-8"))
+    except Exception as e:  # noqa: BLE001 - toml errors are user errors
+        print(f"csfc_analyze: bad manifest {layers_path}: {e}",
+              file=sys.stderr)
+        return 2
+
+    tree = load_tree(repo)
+    contracts = DEFAULT_CONTRACTS
+    if args.seed_violation:
+        if args.engine == "libclang":
+            print("csfc_analyze: --seed-violation injects in-memory files "
+                  "the libclang engine cannot see; use --engine=auto or "
+                  "regex", file=sys.stderr)
+            return 2
+        contracts = apply_seed(args.seed_violation, tree, contracts)
+
+    compdb = args.compdb or repo / "build" / "compile_commands.json"
+    use_libclang = False
+    if args.engine in ("auto", "libclang") and not args.seed_violation:
+        cx = load_libclang()
+        if cx is not None and compdb.exists():
+            use_libclang = True
+        elif args.engine == "libclang":
+            reason = ("python clang bindings / libclang not available"
+                      if cx is None else f"{compdb} not found")
+            print(f"csfc_analyze: libclang engine forced but {reason}",
+                  file=sys.stderr)
+            return 2
+        else:
+            reason = ("libclang unavailable" if cx is None
+                      else f"no compilation database at {compdb}")
+            print(f"csfc_analyze: {reason}; falling back to regex engine "
+                  f"(hot-path scan covers annotated bodies only, no "
+                  f"transitive call graph)", file=sys.stderr)
+
+    if use_libclang:
+        try:
+            engine = LibclangEngine(cx, repo, compdb)
+            findings, warnings = engine.analyze(manifest, contracts, tree)
+            for w in warnings:
+                print(f"csfc_analyze: warning: {w}", file=sys.stderr)
+            label = "libclang"
+        except Exception as e:  # noqa: BLE001
+            if args.engine == "libclang":
+                print(f"csfc_analyze: libclang engine failed: {e}",
+                      file=sys.stderr)
+                return 2
+            print(f"csfc_analyze: libclang engine failed ({e}); falling "
+                  f"back to regex engine", file=sys.stderr)
+            findings = run_regex_engine(tree, manifest, contracts)
+            label = "regex"
+    else:
+        findings = run_regex_engine(tree, manifest, contracts)
+        label = "regex"
+
+    for f in findings:
+        print(f.render(), file=sys.stderr)
+    if findings:
+        print(f"csfc_analyze[{label}]: {len(findings)} finding(s) in "
+              f"{len(tree)} files", file=sys.stderr)
+        return 1
+    print(f"csfc_analyze[{label}]: OK ({len(tree)} files, 3 rule families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

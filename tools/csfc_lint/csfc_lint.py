@@ -18,9 +18,11 @@ Rules (all scoped to src/, tools/, DESIGN.md — tests may break them):
                     wall-clock types in src/ outside common/random: every
                     run must be reproducible from its seed.
   include-hygiene   src/core and src/sched may include from obs/ only the
-                    tracer seam (obs/tracer.h, obs/trace_event.h); the
-                    scheduler core must not grow a dependency on sinks,
-                    recorders or exporters.
+                    tracer seam; the scheduler core must not grow a
+                    dependency on sinks, recorders or exporters. The seam
+                    set is read from tools/csfc_analyze/layers.toml (the
+                    layering manifest csfc_analyze enforces in full), with
+                    a builtin fallback when the manifest is absent.
 
 Run `csfc_lint.py --repo <root>` (CI, and `cmake --build build --target
 lint`); `--self-test` checks each rule catches a seeded violation.
@@ -35,7 +37,13 @@ import sys
 from pathlib import Path
 from typing import Dict, List, NamedTuple
 
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - python < 3.11
+    tomllib = None
+
 CXX_SUFFIXES = (".h", ".cc")
+LAYERS_MANIFEST = "tools/csfc_analyze/layers.toml"
 
 
 class Finding(NamedTuple):
@@ -68,40 +76,82 @@ def load_tree(repo: Path) -> Tree:
     design = repo / "DESIGN.md"
     if design.is_file():
         tree["DESIGN.md"] = design.read_text(encoding="utf-8")
+    manifest = repo / LAYERS_MANIFEST
+    if manifest.is_file():
+        tree[LAYERS_MANIFEST] = manifest.read_text(encoding="utf-8")
     return tree
+
+
+RAW_STRING_RE = re.compile(r'(?:u8|[uUL])?R"([^()\\ \t\n]{0,16})\(')
 
 
 def strip_comments(text: str) -> str:
     """Blanks // and /* */ comments, preserving line numbers.
 
-    String literals are not parsed; a comment marker inside a string would
-    be over-stripped, which is acceptable for contract greps.
+    String-literal aware: comment markers inside "...", '...' and raw
+    string literals R"tag(...)tag" do not start comments (an over-strip
+    there would hide real code from the contract greps). A backslash-
+    newline at the end of a // comment continues it onto the next line,
+    matching the preprocessor's line splicing. Literal contents are kept
+    verbatim — only comments are blanked.
     """
     out: List[str] = []
     i, n = 0, len(text)
-    in_block = False
     while i < n:
-        if in_block:
-            end = text.find("*/", i)
-            if end < 0:
-                out.append(re.sub(r"[^\n]", " ", text[i:]))
+        c = text[i]
+        if text.startswith("//", i):
+            # Line comment; an odd run of trailing backslashes before the
+            # newline splices the next line into the comment.
+            j = i
+            while j < n:
+                nl = text.find("\n", j)
+                if nl < 0:
+                    j = n
+                    break
+                k = nl - 1
+                backslashes = 0
+                while k >= i and text[k] == "\\":
+                    backslashes += 1
+                    k -= 1
+                if backslashes % 2 == 1:
+                    j = nl + 1
+                    continue
+                j = nl
                 break
-            out.append(re.sub(r"[^\n]", " ", text[i:end]))
-            out.append("  ")
-            i = end + 2
-            in_block = False
-        elif text.startswith("//", i):
-            end = text.find("\n", i)
-            if end < 0:
-                break
-            out.append(" " * (end - i))
-            i = end
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
         elif text.startswith("/*", i):
-            in_block = True
-            out.append("  ")
-            i += 2
+            end = text.find("*/", i + 2)
+            stop = n if end < 0 else end + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:stop]))
+            i = stop
+        elif c == '"' or (c in "uULR" and RAW_STRING_RE.match(text, i)):
+            m = RAW_STRING_RE.match(text, i)
+            if m:
+                # Raw string: closes only at )tag" — quotes, // and */
+                # inside are all literal.
+                end = text.find(")" + m.group(1) + '"', m.end())
+                stop = n if end < 0 else end + len(m.group(1)) + 2
+                out.append(text[i:stop])
+                i = stop
+            else:
+                j = i + 1
+                while j < n and text[j] not in '"\n':
+                    j += 2 if text[j] == "\\" else 1
+                j = min(j + 1, n)
+                out.append(text[i:j])
+                i = j
+        elif c == "'":
+            # Char literal (or a digit separator pair, which is harmless
+            # to copy verbatim the same way).
+            j = i + 1
+            while j < n and text[j] not in "'\n":
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(text[i:j])
+            i = j
         else:
-            out.append(text[i])
+            out.append(c)
             i += 1
     return "".join(out)
 
@@ -254,7 +304,26 @@ TRACER_SEAM = {"obs/tracer.h", "obs/trace_event.h"}
 INCLUDE_RE = re.compile(r"#\s*include\s+\"(obs/[^\"]+)\"")
 
 
+def tracer_seam(tree: Tree) -> set:
+    """The obs/ headers the scheduler core may include.
+
+    Single source of truth is the [seam] table in the layering manifest
+    (tools/csfc_analyze/layers.toml, enforced in full by csfc_analyze);
+    the builtin set is a fallback for trees without the manifest.
+    """
+    text = tree.get(LAYERS_MANIFEST)
+    if text is None or tomllib is None:
+        return TRACER_SEAM
+    try:
+        headers = tomllib.loads(text).get("seam", {}).get("headers", [])
+    except Exception:
+        return TRACER_SEAM
+    seam = {h for h in headers if h.startswith("obs/")}
+    return seam or TRACER_SEAM
+
+
 def check_include_hygiene(tree: Tree) -> List[Finding]:
+    seam = tracer_seam(tree)
     findings: List[Finding] = []
     for path, text in sorted(tree.items()):
         if not (path.startswith("src/core/") or path.startswith("src/sched/")):
@@ -262,13 +331,14 @@ def check_include_hygiene(tree: Tree) -> List[Finding]:
         code = strip_comments(text)
         for m in INCLUDE_RE.finditer(code):
             inc = m.group(1)
-            if inc in TRACER_SEAM:
+            if inc in seam:
                 continue
             findings.append(Finding(
                 "include-hygiene", path, line_of(code, m.start()),
                 f"#include \"{inc}\": the scheduler core may only see the "
-                f"tracer seam ({', '.join(sorted(TRACER_SEAM))}) — sinks "
-                f"and exporters stay outside the hot path"))
+                f"tracer seam ({', '.join(sorted(seam))}, from "
+                f"{LAYERS_MANIFEST}) — sinks and exporters stay outside "
+                f"the hot path"))
     return findings
 
 
@@ -390,6 +460,52 @@ def self_test() -> int:
     if residue:
         failures.append("commented-out violations were flagged: "
                         + "; ".join(f.render() for f in residue))
+
+    # 6. Stripper hardening: a // inside a string literal must not blank
+    # the rest of the line (over-stripping hides real violations).
+    t = _clean_tree()
+    t["src/core/dispatcher.h"] += (
+        "const char* url = \"http://x\"; std::function<void()> f;\n")
+    expect("slash-slash-in-string", run_checks(t), "no-std-function",
+           "std::function")
+
+    # 6b. Raw strings: unbalanced quotes and comment markers inside
+    # R"(...)" must not derail parsing of the code that follows.
+    t = _clean_tree()
+    t["src/core/dispatcher.h"] += (
+        "const char* raw = R\"(quote \" and // and /* inside)\";\n"
+        "std::function<void()> g;\n")
+    expect("raw-string", run_checks(t), "no-std-function", "std::function")
+
+    # 6c. A backslash-continued // comment splices the next line into the
+    # comment — code there is not live and must not be flagged.
+    t = _clean_tree()
+    t["src/core/dispatcher.h"] += (
+        "// disabled hook: \\\n"
+        "std::function<void()> h;\n")
+    residue = [f for f in run_checks(t) if f.rule == "no-std-function"]
+    if residue:
+        failures.append("line-spliced comment was flagged as live code: "
+                        + "; ".join(f.render() for f in residue))
+
+    # 7. The tracer seam is read from layers.toml when the tree has one:
+    # a widened manifest admits the extra header, everything else still
+    # gets flagged.
+    t = _clean_tree()
+    t[LAYERS_MANIFEST] = (
+        "[seam]\n"
+        "headers = [\"obs/tracer.h\", \"obs/trace_event.h\", "
+        "\"obs/probe.h\"]\n"
+        "layers = [\"core\", \"sched\"]\n")
+    t["src/core/dispatcher.h"] += (
+        "#include \"obs/probe.h\"\n#include \"obs/recorder.h\"\n")
+    found = run_checks(t)
+    if any(f.rule == "include-hygiene"
+           and f.message.startswith("#include \"obs/probe.h\"")
+           for f in found):
+        failures.append("manifest-sanctioned seam header was flagged")
+    expect("manifest-seam-still-fences", found, "include-hygiene",
+           "obs/recorder.h")
 
     if failures:
         print("csfc_lint self-test FAILED:", file=sys.stderr)
