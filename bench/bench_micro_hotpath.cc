@@ -6,12 +6,17 @@
 //    vs. the precomputed lookup-table path (enable_lut=true), in
 //    requests/sec. Values are verified identical before timing.
 //  * Dispatcher: steady-state insert+pop pairs against the std::map
-//    ReferenceDispatcher vs. the flat-queue Dispatcher at queue depths
-//    10^2, 10^3 and 10^4, in ops/sec (one op = one insert + one pop).
+//    ReferenceDispatcher vs. the flat-heap and calendar-queue Dispatcher
+//    backends at queue depths 10^2 through 10^6, in ops/sec (one op = one
+//    insert + one pop).
 //
 // Results go to stdout and to BENCH_hotpath.json (in CSFC_BENCH_JSON_DIR
 // or the working directory) — the perf baseline future PRs compare
 // against.
+//
+// Flags: --depths=CSV overrides the dispatcher depth sweep, --quick cuts
+// op counts and reps for CI smoke runs (the JSON keeps its full schema
+// either way; quick numbers are not baselines).
 
 #include <algorithm>
 #include <chrono>
@@ -89,6 +94,12 @@ double TimeCharacterize(const Encapsulator& e,
   return static_cast<double>(reqs.size()) * rounds / secs;
 }
 
+/// Run shape (see the flag comments at the top of the file).
+struct BenchOptions {
+  std::vector<size_t> depths = {100, 1000, 10000, 100000, 1000000};
+  bool quick = false;
+};
+
 struct CharacterizeResult {
   std::string config;
   double direct_rps;
@@ -96,7 +107,8 @@ struct CharacterizeResult {
 };
 
 CharacterizeResult BenchCharacterize(const std::string& label,
-                                     const EncapsulatorConfig& cfg) {
+                                     const EncapsulatorConfig& cfg,
+                                     int rounds) {
   const auto direct = MustCreate(cfg, /*enable_lut=*/false);
   const auto lut = MustCreate(cfg, /*enable_lut=*/true);
   const uint32_t levels = uint32_t{1} << cfg.priority_bits;
@@ -115,8 +127,8 @@ CharacterizeResult BenchCharacterize(const std::string& label,
   // Warmup, then measure.
   TimeCharacterize(*direct, reqs, 2);
   TimeCharacterize(*lut, reqs, 2);
-  return CharacterizeResult{label, TimeCharacterize(*direct, reqs, 32),
-                            TimeCharacterize(*lut, reqs, 32)};
+  return CharacterizeResult{label, TimeCharacterize(*direct, reqs, rounds),
+                            TimeCharacterize(*lut, reqs, rounds)};
 }
 
 template <typename D>
@@ -145,6 +157,7 @@ struct DispatcherResult {
   size_t depth;
   double map_ops;
   double flat_ops;
+  double calendar_ops;
 };
 
 struct RekeyResult {
@@ -231,24 +244,34 @@ RekeyResult BenchRekeyBatch(size_t depth) {
   return RekeyResult{depth, scalar_rps, batch_rps};
 }
 
-DispatcherResult BenchDispatcher(size_t depth) {
+DispatcherResult BenchDispatcher(size_t depth, bool quick) {
   DispatcherConfig cfg;  // conditionally-preemptive, w = 0.05, SP on
+  DispatcherConfig calendar_cfg = cfg;
+  calendar_cfg.queue_backend = QueueBackend::kCalendar;
   const auto reqs = MakeRequests(1 << 12, 16, 3832);
-  const size_t ops = depth >= 10000 ? 200000 : 1000000;
+  size_t ops = depth >= 10000 ? 200000 : 1000000;
+  if (quick) ops = std::min<size_t>(ops, 50000);
+  // Prefill+drain dominate past 10^5 (each timing call pays 2*depth
+  // untimed queue ops); two reps keep the full sweep in budget.
+  const int reps = (quick || depth >= 100000) ? 2 : 3;
 
   ReferenceDispatcher ref(cfg);
   auto flat = Dispatcher::Create(cfg);
-  if (!flat.ok()) std::abort();
+  auto calendar = Dispatcher::Create(calendar_cfg);
+  if (!flat.ok() || !calendar.ok()) std::abort();
 
   TimeInsertPop(ref, reqs, depth, ops / 4);  // warmup
   TimeInsertPop(*flat, reqs, depth, ops / 4);
+  TimeInsertPop(*calendar, reqs, depth, ops / 4);
   // Best of several interleaved reps (same rationale as BenchRekeyBatch).
-  double map_rps = 0.0, flat_rps = 0.0;
-  for (int rep = 0; rep < 3; ++rep) {
+  double map_rps = 0.0, flat_rps = 0.0, calendar_rps = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
     map_rps = std::max(map_rps, TimeInsertPop(ref, reqs, depth, ops));
     flat_rps = std::max(flat_rps, TimeInsertPop(*flat, reqs, depth, ops));
+    calendar_rps =
+        std::max(calendar_rps, TimeInsertPop(*calendar, reqs, depth, ops));
   }
-  return DispatcherResult{depth, map_rps, flat_rps};
+  return DispatcherResult{depth, map_rps, flat_rps, calendar_rps};
 }
 
 void WriteJson(const std::vector<CharacterizeResult>& chars,
@@ -282,6 +305,22 @@ void WriteJson(const std::vector<CharacterizeResult>& chars,
     json.EndObject();
   }
   json.EndArray();
+  // The calendar backend gets its own section (rather than widening the
+  // dispatcher_insert_pop rows) so the flat-vs-map baseline series stays
+  // comparable across PRs.
+  json.Key("dispatcher_calendar");
+  json.BeginArray();
+  for (const DispatcherResult& d : disps) {
+    json.BeginObject();
+    json.Field("depth", static_cast<uint64_t>(d.depth));
+    json.Field("map_ops_per_sec", d.map_ops);
+    json.Field("flat_ops_per_sec", d.flat_ops);
+    json.Field("calendar_ops_per_sec", d.calendar_ops);
+    json.Field("speedup_vs_map", d.calendar_ops / d.map_ops);
+    json.Field("speedup_vs_flat", d.calendar_ops / d.flat_ops);
+    json.EndObject();
+  }
+  json.EndArray();
   json.Key("rekey_batch");
   json.BeginArray();
   for (const RekeyResult& r : rekeys) {
@@ -307,14 +346,16 @@ void WriteJson(const std::vector<CharacterizeResult>& chars,
   std::printf("(json: %s)\n", path.c_str());
 }
 
-void Run() {
+void Run(const BenchOptions& opts) {
+  const int char_rounds = opts.quick ? 8 : 32;
   std::vector<CharacterizeResult> chars;
   {
     // The default full cascade: hilbert SFC1, stage-2 formula, R-partition
     // stage 3 — only stage 1 runs curve math.
     CascadedConfig cfg =
         PresetFull("hilbert", 3, 4, 1.0, 3, 3832, 0.05, 700.0);
-    chars.push_back(BenchCharacterize("full-formula-R3", cfg.encapsulator));
+    chars.push_back(
+        BenchCharacterize("full-formula-R3", cfg.encapsulator, char_rounds));
   }
   {
     // All-curve cascade: hilbert at every stage (the Figure 9/11 variants)
@@ -327,7 +368,8 @@ void Run() {
     cfg.encapsulator.stage3_mode = Stage3Mode::kCurve;
     cfg.encapsulator.sfc3 = "hilbert";
     cfg.encapsulator.stage3_bits = 8;
-    chars.push_back(BenchCharacterize("all-hilbert-curves", cfg.encapsulator));
+    chars.push_back(BenchCharacterize("all-hilbert-curves", cfg.encapsulator,
+                                      char_rounds));
   }
 
   std::printf("== Characterize throughput (requests/sec) ==\n\n");
@@ -340,15 +382,20 @@ void Run() {
   ct.Print();
 
   std::vector<DispatcherResult> disps;
-  for (size_t depth : {100, 1000, 10000}) {
-    disps.push_back(BenchDispatcher(depth));
+  for (size_t depth : opts.depths) {
+    disps.push_back(BenchDispatcher(depth, opts.quick));
   }
-  std::printf("\n== Dispatcher insert+pop throughput (pairs/sec) ==\n\n");
-  TablePrinter dt({"depth", "std::map", "flat heap", "speedup"});
+  std::printf(
+      "\n== Dispatcher insert+pop throughput (pairs/sec) ==\n\n");
+  TablePrinter dt({"depth", "std::map", "flat heap", "calendar", "flat/map",
+                   "cal/map", "cal/flat"});
   for (const DispatcherResult& d : disps) {
     dt.AddRow({std::to_string(d.depth), FormatDouble(d.map_ops / 1e6, 2) + "M",
                FormatDouble(d.flat_ops / 1e6, 2) + "M",
-               FormatDouble(d.flat_ops / d.map_ops, 2) + "x"});
+               FormatDouble(d.calendar_ops / 1e6, 2) + "M",
+               FormatDouble(d.flat_ops / d.map_ops, 2) + "x",
+               FormatDouble(d.calendar_ops / d.map_ops, 2) + "x",
+               FormatDouble(d.calendar_ops / d.flat_ops, 2) + "x"});
   }
   dt.Print();
 
@@ -370,10 +417,40 @@ void Run() {
   WriteJson(chars, disps, rekeys);
 }
 
+bool ParseDepths(const std::string& csv, std::vector<size_t>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos <= csv.size()) {
+    const size_t comma = std::min(csv.find(',', pos), csv.size());
+    const std::string tok = csv.substr(pos, comma - pos);
+    if (tok.empty()) return false;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v == 0) return false;
+    out->push_back(static_cast<size_t>(v));
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
 }  // namespace
 }  // namespace csfc
 
-int main() {
-  csfc::Run();
+int main(int argc, char** argv) {
+  csfc::BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opts.quick = true;
+    } else if (arg.rfind("--depths=", 0) == 0 &&
+               csfc::ParseDepths(arg.substr(9), &opts.depths)) {
+      // parsed in the condition
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_micro_hotpath [--quick] [--depths=CSV]\n");
+      return 2;
+    }
+  }
+  csfc::Run(opts);
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/cascaded_scheduler.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace csfc {
@@ -9,7 +10,22 @@ Result<std::unique_ptr<CascadedSfcScheduler>> CascadedSfcScheduler::Create(
   Result<std::unique_ptr<Encapsulator>> e =
       Encapsulator::Create(config.encapsulator);
   if (!e.ok()) return e.status();
-  Result<Dispatcher> d = Dispatcher::Create(config.dispatcher);
+  DispatcherConfig dc = config.dispatcher;
+  if (dc.queue_backend == QueueBackend::kCalendar && dc.calendar_buckets == 0) {
+    // Derive the calendar geometry from the SFC3 partition parameters the
+    // encapsulator already carries: R sweep partitions of the v_c space,
+    // each sliced at cylinder granularity. Slices per sweep are capped so
+    // the total lands near kDefaultCalendarBuckets — the point where the
+    // calendar's metadata arrays stay L1-resident (finer slicing
+    // measurably loses at every queue depth).
+    const uint32_t sweeps = std::max(config.encapsulator.partitions_r, 1u);
+    const uint32_t max_slices = std::max(kDefaultCalendarBuckets / sweeps, 1u);
+    const uint32_t slices =
+        std::max(std::min(config.encapsulator.cylinders, max_slices), 1u);
+    dc.calendar_buckets =
+        std::min(sweeps * slices, BucketedSlotHeap::kMaxBuckets);
+  }
+  Result<Dispatcher> d = Dispatcher::Create(dc);
   if (!d.ok()) return d.status();
   // Re-characterization only matters when some stage depends on the
   // dispatch context (deadline urgency or cylinder distance).

@@ -42,6 +42,7 @@
 #ifndef CSFC_CORE_DISPATCHER_H_
 #define CSFC_CORE_DISPATCHER_H_
 
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
@@ -81,6 +82,15 @@ enum class QueueDiscipline {
   kConditionallyPreemptive,
 };
 
+/// Standalone-dispatcher default for DispatcherConfig::calendar_buckets
+/// == 0. ~1K ranges keeps the calendar's metadata arrays L1-resident
+/// while holding per-bucket occupancy to a few entries even at depth
+/// 10^4; measurably better at every depth than finer slicings whose
+/// metadata spills to L2. The cascaded scheduler derives its figure from
+/// its own SFC3 partition parameters instead, targeting the same total
+/// (core/cascaded_scheduler.cc).
+inline constexpr uint32_t kDefaultCalendarBuckets = 1024;
+
 /// Dispatcher configuration.
 struct DispatcherConfig {
   QueueDiscipline discipline = QueueDiscipline::kConditionallyPreemptive;
@@ -92,6 +102,16 @@ struct DispatcherConfig {
   bool expand_reset = false;
   /// ER expansion factor e (> 1).
   double expansion_factor = 2.0;
+  /// Queue backend for q / q'. kFlat is the monolithic heap; kCalendar
+  /// buckets v_c into sweep ranges (see BucketedSlotHeap) and is the
+  /// depth-scalable choice. Observable scheduling behavior is identical.
+  QueueBackend queue_backend = QueueBackend::kFlat;
+  /// Calendar bucket count (kCalendar only). 0 = derive: the cascaded
+  /// scheduler slices its R SFC3 sweep partitions at up-to-cylinder
+  /// granularity, targeting ~kDefaultCalendarBuckets ranges in total; a
+  /// standalone dispatcher uses kDefaultCalendarBuckets directly. Capped
+  /// at BucketedSlotHeap::kMaxBuckets.
+  uint32_t calendar_buckets = 0;
 
   Status Validate() const;
 };
@@ -208,17 +228,22 @@ class Dispatcher {
   const DispatcherConfig& config() const { return config_; }
 
  private:
+  /// "No request served yet" sentinel for current_ / preempt_bound_:
+  /// NaN compares false against every arrival.
+  static constexpr CValue kNoCurrent =
+      std::numeric_limits<double>::quiet_NaN();
+
   explicit Dispatcher(const DispatcherConfig& config);
 
   CSFC_HOT void Swap();
   /// Shared body of the Insert overloads; R is Request& or Request&&.
   template <typename R>
   CSFC_HOT void InsertImpl(CValue v, R&& r);
-  /// Parks `r` in the slot pool and returns its slot index.
+  /// Parks `r` in the slot pool and returns its slot index. Pop frees
+  /// slots inline (payloads move straight from the pool into the returned
+  /// optional, so there is no take-side counterpart).
   template <typename R>
   CSFC_HOT uint32_t AllocSlot(R&& r);
-  /// Moves the request out of `slot` and returns the slot to the free list.
-  CSFC_HOT Request TakeSlot(uint32_t slot);
   /// Debug-build cross-check: mirrors the op on shadow_ and asserts the
   /// two implementations agree (no-op in release builds).
   void CheckShadow() const;
@@ -229,10 +254,19 @@ class Dispatcher {
   /// request the disk is serving. Arrival comparisons use this, not the
   /// queue head (Figure 3 vs. Figure 4 narrative). It persists after the
   /// service completes; a stale value is harmless because the queues are
-  /// then empty and every path drains the newcomer immediately.
-  std::optional<CValue> current_;
-  SlotHeap active_;   // q
-  SlotHeap waiting_;  // q'
+  /// then empty and every path drains the newcomer immediately. NaN
+  /// until the first dispatch: every comparison against it is false,
+  /// which is exactly the "nothing served yet, no preemption" rule.
+  CValue current_ = kNoCurrent;
+  /// current_ - window_, maintained wherever either changes: the
+  /// conditional-preemption test in Insert is then one compare, with the
+  /// NaN start meaning "never preempt" for free.
+  CValue preempt_bound_ = kNoCurrent;
+  /// Pop runs the SP scan (conditional discipline with serve_promote);
+  /// folded to one flag at construction for the per-pop gate.
+  bool sp_scan_ = false;
+  DispatchQueue active_;   // q
+  DispatchQueue waiting_;  // q'
   /// Request payloads, indexed by the slot in each heap entry. Heaps only
   /// ever shuffle 24-byte (key, slot) entries; payloads stay put between
   /// Insert and Pop, including across SP promotions and queue swaps.

@@ -21,13 +21,21 @@
 // the callable type: the callable is invoked once per entry, so routing
 // it through std::function would put an indirect call (and a potential
 // allocation at the call site) inside the tightest dispatcher loops.
+//
+// Past depth ~1000 the monolithic heap stops paying off (see
+// BucketedSlotHeap below for the depth-scalable calendar-queue backend);
+// DispatchQueue at the bottom is the backend-selecting facade the
+// dispatcher actually holds.
 
 #ifndef CSFC_CORE_FLAT_QUEUE_H_
 #define CSFC_CORE_FLAT_QUEUE_H_
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <span>
 #include <type_traits>
 #include <utility>
@@ -67,6 +75,13 @@ class SlotHeap {
   /// batch rekey can gather payload slots without a per-entry callback;
   /// pair with AssignKeys, which consumes values in this same order.
   std::span<const Entry> entries() const { return {heap_.data(), heap_.size()}; }
+
+  /// Starts pulling in the line Push is about to append to. Callers issue
+  /// it a few dozen cycles before Push (the dispatcher does, under the
+  /// payload copy into the slot pool).
+  CSFC_HOT void PrefetchFor(CValue /*v*/) const {
+    if (!heap_.empty()) __builtin_prefetch(&heap_[heap_.size() - 1]);
+  }
 
   CSFC_HOT void Push(QueueKey key, uint32_t slot) {
     heap_.push_back(Entry{key, slot});  // csfc:alloc-ok(amortized heap storage growth)
@@ -187,6 +202,739 @@ static_assert(std::is_trivially_copyable_v<QueueKey>,
               "QueueKey must stay trivially copyable");
 static_assert(std::is_trivially_copyable_v<SlotHeap::Entry>,
               "SlotHeap::Entry must stay trivially copyable");
+
+/// Dispatcher queue backend (DispatcherConfig::queue_backend).
+enum class QueueBackend {
+  kFlat,      ///< one monolithic 4-ary SlotHeap per queue (PR 1)
+  kCalendar,  ///< calendar of v_c-range buckets, each a short sorted run
+};
+
+/// Two-level calendar queue over v_c sweep ranges.
+///
+/// The monolithic SlotHeap stops beating std::map past depth ~1000: every
+/// sift walks log_4(n) levels of a 240KB+ array the prefetcher cannot
+/// follow. This queue instead slices the characterization space [0, 1)
+/// into `num_buckets` equal v_c ranges — the same structure SFC3's
+/// R-partitioned C-SCAN already imposes on v_c, where each partition is
+/// one cylinder sweep — and keeps one short descending sorted run per
+/// range. Under SCAN-like tours occupancy per range stays near uniform
+/// (Bachmat's space-time analysis), so the common case is O(1): Push
+/// lands in one hot bucket found with an exact multiply-shift (the
+/// magic-divide trick from the batch characterization kernel) and seats
+/// via a branchless binary search over a handful of entries, PopMin
+/// truncates the tail of the bucket under a cursor that follows the
+/// sweep direction — zero compares — and a two-level occupancy bitmap
+/// skips empty ranges in a couple of ctz instructions. (Small per-bucket
+/// heaps were the first cut; the sorted runs replaced them because the
+/// pop-side min-of-children scan dominated the compare budget, while a
+/// run's insert memmove stays inside one or two L1 lines.)
+///
+/// The layout is struct-of-arrays: an 8-byte {len, cap} record per bucket
+/// and a bare data pointer per bucket live in two dense arrays (a few KB
+/// at the default geometry — L1-resident), while the entry arrays they
+/// describe are reserved per bucket at Configure. A queue op therefore
+/// touches L1 metadata plus exactly one entry line in the common case,
+/// instead of chasing a 24-byte std::vector header per bucket.
+///
+/// Ordering is bit-identical to SlotHeap / the std::map reference: the
+/// bucket index is a monotone non-decreasing function of v (equal v maps
+/// to equal buckets), so the global (v, seq) minimum is always the run
+/// tail of the lowest non-empty bucket, and exact-v FIFO ties resolve
+/// inside one bucket's run exactly as they would in the monolithic heap.
+///
+/// Rekey exploits the same structure: re-characterization against a new
+/// head position moves a request's v_c by little in calendar terms, so
+/// most entries stay in their bucket — an intra-bucket key rewrite plus
+/// one short re-sort — and the few that cross a range boundary go
+/// through a migration scratch list, preserving assignment order.
+///
+/// All bucket storage is pre-sized at Configure (cold); steady-state ops
+/// allocate nothing. Growth past a bucket's reserve happens only on
+/// adversarial single-range workloads and is marked csfc:alloc-ok.
+class BucketedSlotHeap {
+ public:
+  /// Internal node: 16 bytes, four per 64-byte line, so a typical run
+  /// insert moves entries within a line or two and the queue's entry
+  /// working set is half what (QueueKey, slot) would occupy — the entry
+  /// lines are what misses at depth >= 10^4.
+  ///
+  /// The sequence number is truncated to 32 bits and compared with
+  /// wrap-aware (serial-number) arithmetic: the FIFO tie-break is exact
+  /// as long as entries coexisting in the queue were issued within 2^31
+  /// inserts of each other, which bounds every realistic workload by
+  /// orders of magnitude (the equivalence suites cross-check against the
+  /// full-width reference).
+  struct alignas(16) Entry {
+    CValue v = 0.0;
+    uint32_t seq = 0;
+    uint32_t slot = 0;
+  };
+
+  /// (v, seq) order with the wrap-aware FIFO tie-break. Bitwise, not
+  /// short-circuit: random v makes the first compare unpredictable, and
+  /// the sift loops want a flag the compiler can turn into a select
+  /// instead of a mispredicting branch pair.
+  static bool Less(const Entry& a, const Entry& b) {
+    return (a.v < b.v) |
+           ((a.v == b.v) & (static_cast<int32_t>(a.seq - b.seq) < 0));
+  }
+
+  /// Bucket counts are capped at the index grid resolution (2^kGridBits):
+  /// finer slicing cannot separate values the quantizer maps to one cell.
+  static constexpr uint32_t kMaxBuckets = 1u << 16;
+
+  BucketedSlotHeap() = default;
+  // Entry storage is uniquely owned, so copies (the debug-build shadow
+  // dispatcher deep-copy) rebuild it; moves and swaps stay pointer-level.
+  BucketedSlotHeap(const BucketedSlotHeap& other) { CopyFrom(other); }
+  BucketedSlotHeap& operator=(const BucketedSlotHeap& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  BucketedSlotHeap(BucketedSlotHeap&&) = default;
+  BucketedSlotHeap& operator=(BucketedSlotHeap&&) = default;
+
+  /// Builds the calendar: `num_buckets` equal v_c ranges (clamped to
+  /// [1, kMaxBuckets]), each bucket's run storage reserved up front so
+  /// the steady state never allocates. Cold path; call once while empty.
+  void Configure(uint32_t num_buckets) {
+    assert(size_ == 0);
+    num_buckets_ = std::clamp<uint32_t>(num_buckets, 1, kMaxBuckets);
+    per_bucket_ = (kGridCells + num_buckets_ - 1) / num_buckets_;
+    magic_ = ((uint64_t{1} << 32) + per_bucket_ - 1) / per_bucket_;
+#ifndef NDEBUG
+    // The multiply-shift must reproduce cell / per_bucket_ exactly for
+    // every grid cell (it does for divisors <= 2^16; see the batch
+    // characterization kernel for the derivation).
+    for (uint32_t cell = 0; cell < kGridCells; ++cell) {
+      assert(((uint64_t{cell} * magic_) >> 32) == cell / per_bucket_);
+    }
+#endif
+    // All buckets start in one contiguous slab, in bucket order: the pop
+    // cursor drains buckets in exactly that order, so the drain sweep
+    // walks memory sequentially and the hardware prefetcher tracks it.
+    // Only buckets that outgrow the reserve move to their own array.
+    slab_ = std::make_unique<Entry[]>(size_t{num_buckets_} * kBucketReserve);
+    storage_.clear();
+    storage_.resize(num_buckets_);
+    buckets_.assign(num_buckets_, Bucket{});
+    for (uint32_t b = 0; b < num_buckets_; ++b) {
+      buckets_[b].data = slab_.get() + size_t{b} * kBucketReserve;
+      buckets_[b].cap = kBucketReserve;
+    }
+    live_.assign((num_buckets_ + 63u) / 64u, 0);
+    summary_.assign((live_.size() + 63u) / 64u, 0);
+    size_ = 0;
+    cur_ = 0;
+    pf_v_ = std::numeric_limits<double>::quiet_NaN();
+    pf_b_ = 0;
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  void clear() {
+    for (Bucket& m : buckets_) m.len = 0;
+    std::fill(live_.begin(), live_.end(), uint64_t{0});
+    std::fill(summary_.begin(), summary_.end(), uint64_t{0});
+    size_ = 0;
+    cur_ = 0;
+  }
+
+  /// v_c of the smallest (v, seq) entry; queue must be non-empty. Served
+  /// from a header-resident cache: the dispatcher's SP scan reads both
+  /// queues' minima on every pop, and the waiting queue's bucket lines
+  /// are usually cold between swaps.
+  CValue MinValue() const { return min_.v; }
+
+  /// Payload slot of the smallest (v, seq) entry; queue must be non-empty.
+  uint32_t MinSlot() const { return min_.slot; }
+
+  /// Starts pulling in the bucket Push(v, ...) will land in. Callers
+  /// issue it a few dozen cycles before Push (the dispatcher does, under
+  /// the payload copy into the slot pool): the metadata reads hit L1, and
+  /// the entry line — the one likely miss — overlaps the copy.
+  CSFC_HOT void PrefetchFor(CValue v) const {
+    const uint32_t b = BucketOf(v);
+    // No dependent loads: the reserve's slab position is pure arithmetic,
+    // so the bucket record's line and the full reserve (4 lines) all
+    // start pulling immediately — a record load here would serialize the
+    // entry prefetches behind its own possible miss. Buckets grown past
+    // the reserve prefetch a stale region (harmless); their Push still
+    // gets the record line early.
+    __builtin_prefetch(&buckets_[b]);
+    const Entry* h = slab_.get() + size_t{b} * kBucketReserve;
+    __builtin_prefetch(h + 0, 1);
+    __builtin_prefetch(h + 4, 1);
+    __builtin_prefetch(h + 8, 1);
+    __builtin_prefetch(h + 12, 1);
+    // Remember the mapping: the Push this call fronts skips its own
+    // quantize + divide (the hint is invalidated by Configure and only
+    // ever used on an exact v match, so it can never be wrong).
+    pf_v_ = v;
+    pf_b_ = b;
+  }
+
+  CSFC_HOT void Push(QueueKey key, uint32_t slot) {
+    const uint32_t b = key.v == pf_v_ ? pf_b_ : BucketOf(key.v);
+    const Entry e{key.v, static_cast<uint32_t>(key.seq), slot};
+    PlaceEntry(e, b);
+    // A new arrival ties on v only with older entries (its seq is larger),
+    // so strict key comparison is the right min-cache update.
+    if (size_ == 0 || b < cur_) cur_ = b;
+    if (size_ == 0 || Less(e, min_)) min_ = e;
+    ++size_;
+  }
+
+  /// Removes and returns the minimum entry; queue must be non-empty. The
+  /// cursor only ever advances (the sweep direction): entries below it
+  /// are gone by the calendar invariant, so the next minimum is found by
+  /// a forward bitmap scan from the current range, never a restart.
+  CSFC_HOT Entry PopMin() {
+    Bucket& m = buckets_[cur_];
+    // min_ == the run tail m.data[m.len - 1] by invariant; serving from
+    // the header-resident cache keeps the dependent tail load off the
+    // return path. Popping a descending run is a truncation: no
+    // compares, no entry movement.
+    const Entry top = min_;
+    --m.len;
+    --size_;
+    if (m.len != 0) {
+      min_ = m.data[m.len - 1];
+    } else {
+      MarkDead(cur_);
+      if (size_ != 0) {
+        cur_ = FindNonEmptyFrom(cur_ + 1);
+        const Bucket& c = buckets_[cur_];
+        min_ = c.data[c.len - 1];
+        // The bucket after this one becomes cur_ in ~occupancy pops —
+        // start pulling its tail line now, while this bucket drains.
+        const uint32_t nxt = FindNonEmptyFrom(cur_ + 1);
+        if (nxt != kNoBucket) {
+          const Bucket& nx = buckets_[nxt];
+          __builtin_prefetch(nx.data + (nx.len - 1));
+        }
+      }
+    }
+    return top;
+  }
+
+  /// Moves every entry with v < threshold into `dst` (same Configure
+  /// geometry), preserving (v, seq) identity; returns the count moved.
+  /// This is the dispatcher's SP promotion in calendar terms: the
+  /// destination (the active queue) holds nothing below its served
+  /// minimum, so every source bucket strictly below the threshold's
+  /// range lands in an empty destination bucket and moves as an O(1)
+  /// run-record exchange — only the boundary range pays a binary search
+  /// and one block copy of its promoted suffix, which appends cleanly
+  /// because everything already in that destination bucket is >= the
+  /// served minimum > threshold > every promoted entry.
+  CSFC_HOT size_t DrainBelowInto(CValue threshold, BucketedSlotHeap& dst) {
+    assert(dst.num_buckets_ == num_buckets_);
+    const uint32_t bt = BucketOf(threshold);
+    size_t moved = 0;
+    uint32_t first_dst = kNoBucket;
+    // cur_ is the lowest non-empty bucket whenever the queue is
+    // non-empty, so the walk starts there, not at the bitmap's origin.
+    uint32_t b = size_ != 0 ? cur_ : kNoBucket;
+    for (; b != kNoBucket && b < bt; b = FindNonEmptyFrom(b + 1)) {
+      // bucket(v) < bucket(threshold) implies v < threshold (monotone
+      // mapping): the whole run moves. Runs that fit the destination's
+      // array are block-copied into it (a line or two; keeps each
+      // queue's reserves in its own slab, which PrefetchFor's arithmetic
+      // relies on); oversized runs exchange records and ownership.
+      Bucket& src = buckets_[b];
+      Bucket& d = dst.buckets_[b];
+      assert(d.len == 0);
+      moved += src.len;
+      if (src.len <= d.cap) {
+        std::memcpy(d.data, src.data, size_t{src.len} * sizeof(Entry));
+        d.len = src.len;
+        src.len = 0;
+      } else {
+        std::swap(src, d);
+        storage_[b].swap(dst.storage_[b]);
+      }
+      dst.MarkLive(b);
+      MarkDead(b);
+      if (first_dst == kNoBucket) first_dst = b;
+    }
+    if (b == bt && buckets_[bt].len != 0) {
+      // Boundary range: the promoted entries (v < threshold) are a
+      // suffix of the descending run. k = first index with v <
+      // threshold.
+      Bucket& src = buckets_[bt];
+      const Entry* base = src.data;
+      uint32_t n = src.len;
+      while (n > 1) {
+        const uint32_t half = n / 2;
+        base = (base[half - 1].v < threshold) ? base : base + half;
+        n -= half;
+      }
+      const uint32_t k = static_cast<uint32_t>(base - src.data) +
+                         ((base->v < threshold) ? 0u : 1u);
+      const uint32_t cnt = src.len - k;
+      if (cnt != 0) {
+        while (dst.buckets_[bt].len + cnt > dst.buckets_[bt].cap) {
+          dst.GrowBucket(bt);
+        }
+        Bucket& d = dst.buckets_[bt];
+        std::memcpy(d.data + d.len, src.data + k,
+                    size_t{cnt} * sizeof(Entry));
+        if (d.len == 0) dst.MarkLive(bt);
+        d.len += cnt;
+        src.len = k;
+        if (k == 0) MarkDead(bt);
+        moved += cnt;
+        if (first_dst == kNoBucket) first_dst = bt;
+      }
+    }
+    if (moved != 0) {
+      size_ -= moved;
+      dst.size_ += moved;
+      if (size_ != 0) {
+        // Everything below the boundary range left; bucket bt itself may
+        // retain a prefix.
+        cur_ = FindNonEmptyFrom(bt);
+        const Bucket& c = buckets_[cur_];
+        min_ = c.data[c.len - 1];
+      }
+      // Everything moved sits below the destination's old minimum (if it
+      // had one), so its new cursor is the lowest bucket that received.
+      dst.cur_ = first_dst;
+      const Bucket& dc = dst.buckets_[first_dst];
+      dst.min_ = dc.data[dc.len - 1];
+    }
+    return moved;
+  }
+
+  /// Recomputes every entry's v_c from its slot (sequence numbers are
+  /// preserved); callable invoked exactly once per entry, in unspecified
+  /// order. Per-bucket sweep, not a global rebuild: see RekeyImpl.
+  template <typename ValueOfSlot>
+  CSFC_HOT void Rekey(ValueOfSlot&& value_of_slot) {
+    RekeyImpl([&](const Entry& e) { return value_of_slot(e.slot); });
+  }
+
+  /// Batch form of Rekey: values[i] becomes the v_c of the i-th entry in
+  /// ForEachEntrySlot order (sequence numbers are preserved).
+  CSFC_HOT void AssignKeys(std::span<const CValue> values) {
+    assert(values.size() == size_);
+    size_t i = 0;
+    RekeyImpl([&](const Entry&) { return values[i++]; });
+  }
+
+  /// Visits every entry's slot in a fixed traversal order (non-empty
+  /// buckets ascending, run-array order within a bucket) — the order
+  /// AssignKeys consumes values in. Pairs with AssignKeys the way
+  /// SlotHeap::entries() pairs with its AssignKeys.
+  template <typename Fn>
+  void ForEachEntrySlot(Fn&& fn) const {
+    for (uint32_t b = FindNonEmptyFrom(0); b != kNoBucket;
+         b = FindNonEmptyFrom(b + 1)) {
+      const Bucket& m = buckets_[b];
+      for (uint32_t i = 0; i < m.len; ++i) fn(m.data[i].slot);
+    }
+  }
+
+  /// Visits all slots in ascending (v_c, seq) order (metric walks; cold).
+  template <typename Fn>
+  void ForEachOrdered(Fn&& fn) const {
+    scratch_.clear();
+    for (uint32_t b = FindNonEmptyFrom(0); b != kNoBucket;
+         b = FindNonEmptyFrom(b + 1)) {
+      const Bucket& m = buckets_[b];
+      scratch_.insert(scratch_.end(), m.data, m.data + m.len);  // csfc:alloc-ok(sort scratch reused across walks)
+    }
+    std::sort(scratch_.begin(), scratch_.end(), Less);
+    for (const Entry& e : scratch_) fn(e.slot);
+  }
+
+  friend void swap(BucketedSlotHeap& a, BucketedSlotHeap& b) {
+    a.buckets_.swap(b.buckets_);
+    a.slab_.swap(b.slab_);
+    a.storage_.swap(b.storage_);
+    a.live_.swap(b.live_);
+    a.summary_.swap(b.summary_);
+    a.scratch_.swap(b.scratch_);
+    a.migrate_.swap(b.migrate_);
+    std::swap(a.min_, b.min_);
+    std::swap(a.size_, b.size_);
+    std::swap(a.cur_, b.cur_);
+    std::swap(a.num_buckets_, b.num_buckets_);
+    std::swap(a.per_bucket_, b.per_bucket_);
+    std::swap(a.magic_, b.magic_);
+  }
+
+ private:
+  static constexpr uint32_t kGridBits = 16;
+  static constexpr uint32_t kGridCells = 1u << kGridBits;
+  static constexpr uint32_t kBucketReserve = 16;
+  /// Longest run the insert seats by scan-and-shift; beyond this, binary
+  /// search + bulk memmove wins.
+  static constexpr uint32_t kScanInsertMax = 32;
+  static constexpr uint32_t kNoBucket = ~uint32_t{0};
+
+  /// One calendar range: the run pointer and its occupancy, packed in 16
+  /// bytes so a queue op touches exactly one random metadata line (a
+  /// split len-array / pointer-array layout pays two; the pair outgrows
+  /// L1 at the default geometry). (An unordered scan-bucket mode for low
+  /// occupancy was tried here and lost to ordered buckets at every
+  /// depth: a min scan pays ~2 data-dependent, poorly-predicted double
+  /// compares per resident entry, while ordered buckets pop with none.)
+  struct Bucket {
+    Entry* data = nullptr;
+    uint32_t len = 0;
+    uint32_t cap = 0;
+  };
+
+  struct Migrant {
+    Entry entry;
+    uint32_t bucket = 0;
+  };
+
+  /// Bucket index of v: quantize onto the 2^16 grid (monotone, clamped to
+  /// [0, 1)), then divide by the cells-per-bucket width with the exact
+  /// multiply-shift. Monotone non-decreasing in v and equal-v stable, so
+  /// cross-bucket order agrees with QueueKey order.
+  CSFC_HOT uint32_t BucketOf(CValue v) const {
+    const uint32_t cell = QuantizeUnit(v, kGridCells);
+    return static_cast<uint32_t>((uint64_t{cell} * magic_) >> 32);
+  }
+
+  void MarkLive(uint32_t b) {
+    live_[b >> 6] |= uint64_t{1} << (b & 63u);
+    summary_[b >> 12] |= uint64_t{1} << ((b >> 6) & 63u);
+  }
+
+  void MarkDead(uint32_t b) {
+    const uint32_t w = b >> 6;
+    live_[w] &= ~(uint64_t{1} << (b & 63u));
+    if (live_[w] == 0) summary_[b >> 12] &= ~(uint64_t{1} << (w & 63u));
+  }
+
+  /// Lowest non-empty bucket index >= from, or kNoBucket. Masked word
+  /// probe first (the common case: the next occupied range is near), then
+  /// a summary-guided scan — worst case a handful of word tests even at
+  /// kMaxBuckets.
+  uint32_t FindNonEmptyFrom(uint32_t from) const {
+    const uint32_t num_words = static_cast<uint32_t>(live_.size());
+    uint32_t w = from >> 6;
+    if (w >= num_words) return kNoBucket;
+    const uint64_t first = live_[w] & (~uint64_t{0} << (from & 63u));
+    if (first != 0) {
+      return (w << 6) | static_cast<uint32_t>(__builtin_ctzll(first));
+    }
+    ++w;
+    const uint32_t num_summary = static_cast<uint32_t>(summary_.size());
+    for (uint32_t s = w >> 6; s < num_summary; ++s) {
+      uint64_t mask = summary_[s];
+      if (s == (w >> 6)) mask &= ~uint64_t{0} << (w & 63u);
+      if (mask == 0) continue;
+      const uint32_t word =
+          (s << 6) | static_cast<uint32_t>(__builtin_ctzll(mask));
+      return (word << 6) |
+             static_cast<uint32_t>(__builtin_ctzll(live_[word]));
+    }
+    return kNoBucket;
+  }
+
+  /// Doubles one bucket's entry array. Cold: only adversarial single-range
+  /// workloads outgrow the Configure-time reserve, and capacity is sticky
+  /// afterwards.
+  void GrowBucket(uint32_t b) {
+    Bucket& m = buckets_[b];
+    const uint32_t new_cap = m.cap * 2;
+    auto grown = std::make_unique<Entry[]>(new_cap);  // csfc:alloc-ok(cold bucket growth on skewed workloads; the reserve covers the steady state)
+    std::copy_n(m.data, m.len, grown.get());
+    m.data = grown.get();
+    storage_[b] = std::move(grown);
+    m.cap = new_cap;
+  }
+
+  /// Seats an entry in bucket b (Push and rekey pass 2); the caller owns
+  /// the size_/cursor/min-cache bookkeeping, this owns MarkLive. The run
+  /// is kept descending. At steady-state occupancy (a few entries to a
+  /// few dozen) the insert is a fused scan-and-shift from the tail —
+  /// line-local, fully pipelined, one mispredict at the stop point —
+  /// which beats a binary search (a serialized load+select chain) plus a
+  /// small memmove (libc dispatch overhead dominates at these sizes).
+  /// Long runs (deep queues pooled in few ranges) switch to exactly
+  /// that: the search is O(log n) and the bulk memmove runs at full
+  /// width.
+  CSFC_HOT void PlaceEntry(const Entry& e, uint32_t b) {
+    if (buckets_[b].len == buckets_[b].cap) GrowBucket(b);
+    Bucket& m = buckets_[b];
+    Entry* h = m.data;
+    if (m.len == 0) MarkLive(b);
+    uint32_t lo = m.len;
+    if (m.len > kScanInsertMax) {
+      // Partition point: keys above it are > e, below it < e (keys are
+      // unique (v, seq) pairs, so never equal).
+      const Entry* base = h;
+      uint32_t n = m.len;
+      while (n > 1) {
+        const uint32_t half = n / 2;
+        base = Less(base[half - 1], e) ? base : base + half;
+        n -= half;
+      }
+      lo = static_cast<uint32_t>(base - h) + (Less(*base, e) ? 0u : 1u);
+      std::memmove(h + lo + 1, h + lo, (m.len - lo) * sizeof(Entry));
+    } else {
+      while (lo > 0 && Less(h[lo - 1], e)) {
+        h[lo] = h[lo - 1];
+        --lo;
+      }
+    }
+    h[lo] = e;
+    ++m.len;
+  }
+
+  /// Rewrites every key (key_of_entry maps an entry, read pre-rekey and
+  /// in ForEachEntrySlot traversal order, to its new v_c) and restores
+  /// calendar order in a per-bucket sweep. A rekey against a new head
+  /// position moves most entries within their own v_c range, so pass 1
+  /// rewrites and compacts stayers in place and re-sorts each short run
+  /// — the few boundary-crossers land on a migration scratch list that
+  /// pass 2 reseats. Entries are read strictly in traversal order before
+  /// any write lands at or below their index, so the fused
+  /// rewrite/compact pass is sound the same way SlotHeap's backward
+  /// Floyd fusion is.
+  template <typename KeyOfEntry>
+  CSFC_HOT void RekeyImpl(KeyOfEntry&& key_of_entry) {
+    migrate_.clear();
+    for (uint32_t b = FindNonEmptyFrom(0); b != kNoBucket;
+         b = FindNonEmptyFrom(b + 1)) {
+      Bucket& m = buckets_[b];
+      Entry* h = m.data;
+      const uint32_t n = m.len;
+      uint32_t keep = 0;
+      for (uint32_t i = 0; i < n; ++i) {
+        Entry e = h[i];
+        e.v = key_of_entry(h[i]);
+        const uint32_t nb = BucketOf(e.v);
+        if (nb == b) {
+          h[keep++] = e;
+        } else {
+          migrate_.push_back(Migrant{e, nb});  // csfc:alloc-ok(migration scratch reused across rekeys)
+        }
+      }
+      m.len = keep;
+      if (keep == 0) {
+        MarkDead(b);
+        continue;
+      }
+      std::sort(h, h + keep,
+                [](const Entry& a, const Entry& b2) { return Less(b2, a); });
+    }
+    for (const Migrant& m : migrate_) PlaceEntry(m.entry, m.bucket);
+    if (size_ != 0) {
+      cur_ = FindNonEmptyFrom(0);
+      const Bucket& c = buckets_[cur_];
+      min_ = c.data[c.len - 1];
+    }
+  }
+
+  /// Deep copy for the debug-build shadow-dispatcher clone (cold).
+  void CopyFrom(const BucketedSlotHeap& o) {
+    buckets_ = o.buckets_;
+    live_ = o.live_;
+    summary_ = o.summary_;
+    migrate_ = o.migrate_;
+    min_ = o.min_;
+    size_ = o.size_;
+    cur_ = o.cur_;
+    num_buckets_ = o.num_buckets_;
+    per_bucket_ = o.per_bucket_;
+    magic_ = o.magic_;
+    slab_ = std::make_unique<Entry[]>(size_t{num_buckets_} * kBucketReserve);
+    storage_.clear();
+    storage_.resize(buckets_.size());
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      Bucket& m = buckets_[b];
+      if (o.storage_[b] != nullptr) {
+        storage_[b] = std::make_unique<Entry[]>(m.cap);
+        m.data = storage_[b].get();
+      } else {
+        m.data = slab_.get() + b * kBucketReserve;
+      }
+      std::copy_n(o.buckets_[b].data, m.len, m.data);
+    }
+    // scratch_ is meaningless between calls; leave the copy's empty.
+  }
+
+  /// One 16-byte Bucket record per range, in one dense array (16KB at
+  /// the default geometry). buckets_[b].data points into slab_
+  /// (bucket-ordered reserves, sequential for the drain sweep) until
+  /// bucket b outgrows its reserve, after which it points at
+  /// storage_[b].
+  std::vector<Bucket> buckets_;
+  std::unique_ptr<Entry[]> slab_;
+  std::vector<std::unique_ptr<Entry[]>> storage_;
+  /// Two-level occupancy bitmap: bit b of live_ set iff bucket b is
+  /// non-empty; bit w of summary_ set iff live_[w] != 0.
+  std::vector<uint64_t> live_;
+  std::vector<uint64_t> summary_;
+  /// ForEachOrdered's sort buffer (scratch only, like SlotHeap's).
+  mutable std::vector<Entry> scratch_;
+  /// Rekey pass-2 list of entries that crossed a range boundary.
+  std::vector<Migrant> migrate_;
+  /// PrefetchFor's (v -> bucket) hint for the Push it fronts; NaN until
+  /// the first prefetch and after Configure, so a miss just recomputes.
+  mutable CValue pf_v_ = std::numeric_limits<double>::quiet_NaN();
+  mutable uint32_t pf_b_ = 0;
+  /// Cached copy of the minimum entry (meaningful iff size_ > 0); always
+  /// equal to the current bucket's run tail,
+  /// buckets_[cur_].data[buckets_[cur_].len - 1].
+  Entry min_{};
+  size_t size_ = 0;
+  /// Index of the lowest non-empty bucket (meaningful iff size_ > 0).
+  uint32_t cur_ = 0;
+  uint32_t num_buckets_ = 0;
+  uint32_t per_bucket_ = 0;
+  uint64_t magic_ = 0;
+};
+
+static_assert(sizeof(BucketedSlotHeap::Entry) == 16,
+              "calendar Entry must pack four nodes per 64-byte line");
+static_assert(std::is_trivially_copyable_v<BucketedSlotHeap::Entry>,
+              "BucketedSlotHeap::Entry must stay trivially copyable");
+
+/// Backend-selecting facade the dispatcher's q / q' queues go through:
+/// one monolithic SlotHeap (kFlat, the default) or a BucketedSlotHeap
+/// calendar (kCalendar). One predictable branch per op; both members are
+/// empty-cheap, so the unused backend costs a few idle vectors.
+class DispatchQueue {
+ public:
+  /// (key, slot) currency of the dispatcher, regardless of backend.
+  using Entry = SlotHeap::Entry;
+
+  /// Switches this queue to the calendar backend (call once, while
+  /// empty, before any queue op — the Dispatcher constructor does).
+  void ConfigureCalendar(uint32_t num_buckets) {
+    backend_ = QueueBackend::kCalendar;
+    calendar_.Configure(num_buckets);
+  }
+
+  QueueBackend backend() const { return backend_; }
+
+  bool empty() const { return size() == 0; }
+  size_t size() const {
+    return backend_ == QueueBackend::kFlat ? flat_.size() : calendar_.size();
+  }
+  void clear() {
+    flat_.clear();
+    calendar_.clear();
+  }
+
+  /// v_c of the smallest (v, seq) entry; queue must be non-empty. (Only
+  /// the value is exposed: the calendar backend caches it header-resident,
+  /// and no caller needs the tie-break sequence of a peeked minimum.)
+  CValue MinValue() const {
+    return backend_ == QueueBackend::kFlat ? flat_.Min().key.v
+                                           : calendar_.MinValue();
+  }
+
+  /// Payload slot of the smallest (v, seq) entry; queue must be
+  /// non-empty. The dispatcher prefetches this slot's payload one
+  /// insert+pop cycle before the pop that moves it out.
+  uint32_t MinSlot() const {
+    return backend_ == QueueBackend::kFlat ? flat_.Min().slot
+                                           : calendar_.MinSlot();
+  }
+
+  /// Starts pulling in the queue lines Push(v, ...) will touch; issued by
+  /// the dispatcher under the payload copy into the slot pool.
+  CSFC_HOT void PrefetchFor(CValue v) const {
+    if (backend_ == QueueBackend::kFlat) {
+      flat_.PrefetchFor(v);
+    } else {
+      calendar_.PrefetchFor(v);
+    }
+  }
+
+  CSFC_HOT void Push(QueueKey key, uint32_t slot) {
+    if (backend_ == QueueBackend::kFlat) {
+      flat_.Push(key, slot);
+    } else {
+      calendar_.Push(key, slot);
+    }
+  }
+
+  CSFC_HOT Entry PopMin() {
+    if (backend_ == QueueBackend::kFlat) return flat_.PopMin();
+    const BucketedSlotHeap::Entry e = calendar_.PopMin();
+    // The zero-extended 32-bit sequence keeps FIFO ties exact on the SP
+    // re-push path: the promoted entry re-enters a queue of this same
+    // backend, where every compare is wrap-aware 32-bit anyway.
+    return Entry{QueueKey{e.v, e.seq}, e.slot};
+  }
+
+  /// Bulk SP promotion (calendar backends only; both queues share one
+  /// geometry): moves every entry with v < threshold into `dst` and
+  /// returns the count — state-identical to a PopMin/Push loop over
+  /// those entries, minus the per-entry cost (see
+  /// BucketedSlotHeap::DrainBelowInto).
+  CSFC_HOT size_t PromoteBelow(CValue threshold, DispatchQueue& dst) {
+    assert(backend_ == QueueBackend::kCalendar &&
+           dst.backend_ == QueueBackend::kCalendar);
+    return calendar_.DrainBelowInto(threshold, dst.calendar_);
+  }
+
+  template <typename ValueOfSlot>
+  CSFC_HOT void Rekey(ValueOfSlot&& value_of_slot) {
+    if (backend_ == QueueBackend::kFlat) {
+      flat_.Rekey(std::forward<ValueOfSlot>(value_of_slot));
+    } else {
+      calendar_.Rekey(std::forward<ValueOfSlot>(value_of_slot));
+    }
+  }
+
+  /// Batch rekey: values[i] is consumed in ForEachEntrySlot order for
+  /// either backend.
+  CSFC_HOT void AssignKeys(std::span<const CValue> values) {
+    if (backend_ == QueueBackend::kFlat) {
+      flat_.AssignKeys(values);
+    } else {
+      calendar_.AssignKeys(values);
+    }
+  }
+
+  /// Visits every entry's slot in the backend's AssignKeys consumption
+  /// order (flat: entries() array order; calendar: non-empty buckets
+  /// ascending, heap-array order within).
+  template <typename Fn>
+  void ForEachEntrySlot(Fn&& fn) const {
+    if (backend_ == QueueBackend::kFlat) {
+      for (const Entry& e : flat_.entries()) fn(e.slot);
+    } else {
+      calendar_.ForEachEntrySlot(std::forward<Fn>(fn));
+    }
+  }
+
+  /// Visits all slots in ascending (v_c, seq) order.
+  template <typename Fn>
+  void ForEachOrdered(Fn&& fn) const {
+    if (backend_ == QueueBackend::kFlat) {
+      flat_.ForEachOrdered(std::forward<Fn>(fn));
+    } else {
+      calendar_.ForEachOrdered(std::forward<Fn>(fn));
+    }
+  }
+
+  /// Queue-swap support: both queues of a dispatcher share one backend
+  /// and calendar geometry, so this is a pointer-level exchange.
+  friend void swap(DispatchQueue& a, DispatchQueue& b) {
+    std::swap(a.backend_, b.backend_);
+    swap(a.flat_, b.flat_);
+    swap(a.calendar_, b.calendar_);
+  }
+
+ private:
+  QueueBackend backend_ = QueueBackend::kFlat;
+  SlotHeap flat_;
+  BucketedSlotHeap calendar_;
+};
 
 }  // namespace csfc
 

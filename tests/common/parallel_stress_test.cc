@@ -322,6 +322,40 @@ TEST(ParallelStressTest, AbortNeverMasksAPointError) {
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
+// --- calendar-backend rekey under thread pressure ---------------------------
+
+TEST(ParallelStressTest, CalendarBackendRekeyBatchesAreRaceFreeAndDeterministic) {
+  // Every point runs the full cascaded pipeline on the calendar queue
+  // backend with swap-time re-characterization on, so RekeyWaitingBatch —
+  // the calendar's bucket-sweep + migration path — executes continuously
+  // on every worker thread. The dispatchers are per-point (no sharing by
+  // design); TSan must see no races in the slab/storage handling, and an
+  // 8-thread sweep must stay bit-identical to the serial reference.
+  const TracePtr trace = ShareTrace(StressTrace(109));
+  const SimulatorConfig sc = StressSimConfig();
+  const CascadedConfig cal = WithQueueBackend(
+      PresetFull("hilbert", 2, 3, 1.0, 3, 3832, 0.05, 700.0),
+      QueueBackend::kCalendar);
+  std::vector<RunPoint> points;
+  for (size_t c = 0; c < 12; ++c) {
+    points.push_back({sc, trace, [cal]() -> SchedulerPtr {
+                        auto s = CascadedSfcScheduler::Create(cal);
+                        EXPECT_TRUE(s.ok());
+                        return std::move(*s);
+                      }});
+  }
+
+  auto serial = RunParallel(points, 1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto parallel = RunParallel(points, 8);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  ASSERT_EQ(parallel->size(), serial->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    ExpectBitIdentical((*serial)[i], (*parallel)[i]);
+  }
+}
+
 // --- the parallel-determinism pin -------------------------------------------
 
 TEST(ParallelStressTest, ComparePoliciesTwiceIsBitIdentical) {

@@ -159,6 +159,31 @@ TEST(DispatcherEquivalenceTest, ManySeeds) {
   }
 }
 
+// The same replay harness with the calendar backend: every observable the
+// flat backend is held to, the calendar is held to as well. Bucket counts
+// span one-bucket-degenerate through finer-than-the-key-grid.
+TEST(DispatcherEquivalenceTest, CalendarBackendAllDisciplines) {
+  uint64_t seed = 200;
+  for (QueueDiscipline disc :
+       {QueueDiscipline::kNonPreemptive, QueueDiscipline::kFullyPreemptive,
+        QueueDiscipline::kConditionallyPreemptive}) {
+    DispatcherConfig c = Config(disc, 0.05, true, false);
+    c.queue_backend = QueueBackend::kCalendar;
+    c.calendar_buckets = 1024;
+    ReplayRandomTrace(c, seed++, 3000);
+  }
+}
+
+TEST(DispatcherEquivalenceTest, CalendarBackendBucketCounts) {
+  for (uint32_t buckets : {1u, 2u, 64u, 4096u, BucketedSlotHeap::kMaxBuckets}) {
+    DispatcherConfig c =
+        Config(QueueDiscipline::kConditionallyPreemptive, 0.05, true, true);
+    c.queue_backend = QueueBackend::kCalendar;
+    c.calendar_buckets = buckets;
+    ReplayRandomTrace(c, 300 + buckets, 1500);
+  }
+}
+
 // Zero-copy flow: requests inserted as rvalues (moved into the slot pool)
 // and popped (moved out) must round-trip every payload field intact and
 // still agree with the copying ReferenceDispatcher on service order. The

@@ -63,12 +63,15 @@ def main(argv: list) -> int:
     check("clean-tree-regex", run_cli(*base, "--engine=regex"), 0,
           "csfc_analyze[regex]: OK")
 
-    for rule, seeded_file in (
+    for rule, fragment in (
             ("layering", "_seeded_layering.h"),
             ("hot-alloc", "_seeded_hot.h"),
-            ("exc-safety", "_seeded_mover.h")):
+            ("exc-safety", "_seeded_mover.h"),
+            # hot-coverage findings point at the manifest entry, not the
+            # seeded file: the function exists but lost its annotation.
+            ("hot-coverage", "SeededCold::Push")):
         check(f"seed-{rule}",
-              run_cli(*base, f"--seed-violation={rule}"), 1, seeded_file)
+              run_cli(*base, f"--seed-violation={rule}"), 1, fragment)
 
     if csfc_analyze.load_libclang() is None:
         # gcc-only container: the fallback must be loud, and forcing the

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """csfc_analyze: AST-backed contract analyzer for the csfc codebase.
 
-Three rule families, one checked-in manifest (tools/csfc_analyze/layers.toml):
+Four rule families, one checked-in manifest (tools/csfc_analyze/layers.toml):
 
   layering       src/ include edges must follow the layer DAG declared in
                  layers.toml, plus the tracer seam and per-file exceptions
@@ -15,6 +15,11 @@ Three rule families, one checked-in manifest (tools/csfc_analyze/layers.toml):
                  calls. A sanctioned amortized allocation is marked on its
                  own line with `// csfc:alloc-ok(<reason>)`. Code compiled
                  out of release builds (#ifndef NDEBUG) is exempt.
+  hot-coverage   The manifest's [hot] entry_points list pins which
+                 functions MUST carry the CSFC_HOT annotation. hot-alloc
+                 only audits what is annotated; this closes the loop so a
+                 backend rewrite cannot silently drop the per-request path
+                 out of the audit.
   exc-safety     Types on the zero-copy queue path (Request, SmallVector)
                  must declare explicit noexcept move operations, and
                  Status / Result must be [[nodiscard]] at class level —
@@ -101,6 +106,7 @@ class Manifest(NamedTuple):
     seam_headers: List[str]
     seam_layers: List[str]
     exceptions: Dict[str, List[str]]  # src-relative file -> allowed includes
+    hot_entry_points: List[str]  # "Class::Name" that must be CSFC_HOT
 
 
 def parse_manifest(text: str) -> Manifest:
@@ -115,7 +121,8 @@ def parse_manifest(text: str) -> Manifest:
         layers={k: list(v) for k, v in data.get("layers", {}).items()},
         seam_headers=list(seam.get("headers", [])),
         seam_layers=list(seam.get("layers", [])),
-        exceptions=exceptions)
+        exceptions=exceptions,
+        hot_entry_points=list(data.get("hot", {}).get("entry_points", [])))
 
 
 # --- contract tables --------------------------------------------------------
@@ -457,7 +464,65 @@ def check_hot_alloc(tree: Tree) -> List[Finding]:
     return findings
 
 
-# --- rule 3: exception safety (textual form) --------------------------------
+# --- rule 3: hot-coverage (annotation pinning) ------------------------------
+
+
+def annotated_hot_names(tree: Tree) -> Set[str]:
+    """Every name the CSFC_HOT token is attached to, as both `Cls::Name`
+    (when resolvable) and bare `Name`. Works on declarations and
+    definitions alike; out-of-line `CSFC_HOT T Cls::Name(...)` forms
+    contribute their qualified name directly."""
+    covered: Set[str] = set()
+    for path, text in tree.items():
+        if not path.startswith("src/") or path == "src/common/annotations.h":
+            continue
+        code = scrub(text)
+        scopes = None
+        for m in re.finditer(rf"\b{HOT_TOKEN}\b", code):
+            line_start = code.rfind("\n", 0, m.start()) + 1
+            if code[line_start:m.start()].lstrip().startswith("#"):
+                continue
+            brace = code.find("{", m.end())
+            semi = code.find(";", m.end())
+            head_end = min(x for x in (brace, semi, len(code)) if x >= 0)
+            head = code[m.end():head_end]
+            paren = head.find("(")
+            if paren < 0:
+                continue
+            qual_m = re.search(r"(\w+)\s*::\s*(\w+)\s*$", head[:paren])
+            if qual_m:
+                covered.add(f"{qual_m.group(1)}::{qual_m.group(2)}")
+                covered.add(qual_m.group(2))
+                continue
+            name_m = re.search(r"(\w+)\s*$", head[:paren])
+            if not name_m:
+                continue
+            name = name_m.group(1)
+            covered.add(name)
+            if scopes is None:
+                scopes = class_scopes(code)
+            cls = enclosing_class(scopes, m.start())
+            if cls:
+                covered.add(f"{cls}::{name}")
+    return covered
+
+
+def check_hot_coverage(tree: Tree, manifest: Manifest) -> List[Finding]:
+    if not manifest.hot_entry_points:
+        return []
+    covered = annotated_hot_names(tree)
+    findings: List[Finding] = []
+    for entry in manifest.hot_entry_points:
+        if entry not in covered:
+            findings.append(Finding(
+                "hot-coverage", "tools/csfc_analyze/layers.toml", 0,
+                f"hot entry point `{entry}` carries no CSFC_HOT annotation "
+                f"(or no longer exists) — annotate it, or remove it from "
+                f"[hot] entry_points with a rationale"))
+    return findings
+
+
+# --- rule 4: exception safety (textual form) --------------------------------
 
 
 def check_exc_safety(tree: Tree, contracts: Contracts) -> List[Finding]:
@@ -506,6 +571,7 @@ def run_regex_engine(tree: Tree, manifest: Manifest,
                      contracts: Contracts) -> List[Finding]:
     return (check_layering(tree, manifest)
             + check_hot_alloc(tree)
+            + check_hot_coverage(tree, manifest)
             + check_exc_safety(tree, contracts))
 
 
@@ -826,6 +892,30 @@ class LibclangEngine:
                     stack.append((callee, root))
         return findings
 
+    def hot_coverage_findings(self, manifest: Manifest,
+                              tree: Tree) -> List[Finding]:
+        if not manifest.hot_entry_points:
+            return []
+        covered: Set[str] = set()
+        for f in self.funcs.values():
+            if f["hot"]:
+                covered.add(f["qual"])
+                covered.add(f["qual"].split("::")[-1])
+        # Union with the lexical scan: a header no TU in the compilation
+        # database happens to reach would otherwise read as uncovered.
+        # The rule asserts the annotation exists — a lexical fact — so the
+        # AST can only add evidence, never veto it.
+        covered |= annotated_hot_names(tree)
+        findings: List[Finding] = []
+        for entry in manifest.hot_entry_points:
+            if entry not in covered:
+                findings.append(Finding(
+                    "hot-coverage", "tools/csfc_analyze/layers.toml", 0,
+                    f"hot entry point `{entry}` carries no CSFC_HOT "
+                    f"annotation (or no longer exists) — annotate it, or "
+                    f"remove it from [hot] entry_points with a rationale"))
+        return findings
+
     def exc_safety_findings(self, contracts: Contracts,
                             tree: Tree) -> List[Finding]:
         findings: List[Finding] = []
@@ -870,6 +960,7 @@ class LibclangEngine:
         warnings = self.parse_all()
         findings = check_layering(tree, manifest)
         findings += self.hot_alloc_findings()
+        findings += self.hot_coverage_findings(manifest, tree)
         findings += self.exc_safety_findings(contracts, tree)
         return findings, warnings
 
@@ -883,6 +974,9 @@ sfc = ["common"]
 obs = ["common"]
 core = ["common", "sfc"]
 sched = ["common", "sfc"]
+
+[hot]
+entry_points = ["Hot::Push", "Hot::Pop", "FooSched::Dispatch"]
 
 [seam]
 headers = ["obs/tracer.h"]
@@ -1002,6 +1096,20 @@ def self_test() -> int:
         "counter_ += 1;", "slot_ = std::make_unique<int>(1);")
     expect("lock-alloc", run(t), "hot-alloc", "make_unique")
 
+    # 2d. Hot-coverage: a pinned entry point loses its annotation. The
+    # function still exists, so only the coverage rule (not hot-alloc)
+    # can notice.
+    t = _clean_tree()
+    t["src/sched/sched.h"] = t["src/sched/sched.h"].replace(
+        "CSFC_HOT int Dispatch(long now);", "int Dispatch(long now);")
+    expect("hot-coverage", run(t), "hot-coverage", "FooSched::Dispatch")
+
+    # 2e. Hot-coverage: a pinned entry point disappears entirely.
+    t = _clean_tree()
+    t["src/sched/sched.h"] = t["src/sched/sched.h"].replace(
+        "CSFC_HOT int Dispatch(long now);", "")
+    expect("hot-coverage-gone", run(t), "hot-coverage", "FooSched::Dispatch")
+
     # 3. Exception safety: move ctor loses noexcept.
     t = _clean_tree()
     t["src/common/request.h"] = t["src/common/request.h"].replace(
@@ -1027,7 +1135,7 @@ def self_test() -> int:
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print("csfc_analyze self-test OK (3 rule families, "
+    print("csfc_analyze self-test OK (4 rule families, "
           "seeded violations all caught)")
     return 0
 
@@ -1051,18 +1159,33 @@ SEEDS: Dict[str, Dict[str, str]] = {
             "  SeededMover& operator=(SeededMover&& o);\n"
             "};\n",
     },
+    "hot-coverage": {
+        # A hot-path-shaped class with no CSFC_HOT anywhere; apply_seed
+        # pins its Push as a required entry point.
+        "src/core/_seeded_cold.h":
+            "class SeededCold {\n"
+            " public:\n"
+            "  void Push(int v) { last_ = v; }\n"
+            " private:\n"
+            "  int last_ = 0;\n"
+            "};\n",
+    },
 }
 
 
-def apply_seed(rule: str, tree: Tree,
-               contracts: Contracts) -> Contracts:
+def apply_seed(rule: str, tree: Tree, contracts: Contracts,
+               manifest: Manifest) -> Tuple[Contracts, Manifest]:
     tree.update(SEEDS[rule])
     if rule == "exc-safety":
-        return Contracts(
+        contracts = Contracts(
             nothrow_move=contracts.nothrow_move
             + [("src/workload/_seeded_mover.h", "SeededMover")],
             nodiscard=contracts.nodiscard)
-    return contracts
+    elif rule == "hot-coverage":
+        manifest = manifest._replace(
+            hot_entry_points=manifest.hot_entry_points
+            + ["SeededCold::Push"])
+    return contracts, manifest
 
 
 # --- CLI --------------------------------------------------------------------
@@ -1123,7 +1246,8 @@ def main(argv: List[str]) -> int:
                   "the libclang engine cannot see; use --engine=auto or "
                   "regex", file=sys.stderr)
             return 2
-        contracts = apply_seed(args.seed_violation, tree, contracts)
+        contracts, manifest = apply_seed(args.seed_violation, tree,
+                                         contracts, manifest)
 
     compdb = args.compdb or repo / "build" / "compile_commands.json"
     use_libclang = False
@@ -1170,7 +1294,7 @@ def main(argv: List[str]) -> int:
         print(f"csfc_analyze[{label}]: {len(findings)} finding(s) in "
               f"{len(tree)} files", file=sys.stderr)
         return 1
-    print(f"csfc_analyze[{label}]: OK ({len(tree)} files, 3 rule families)")
+    print(f"csfc_analyze[{label}]: OK ({len(tree)} files, 4 rule families)")
     return 0
 
 

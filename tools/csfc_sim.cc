@@ -11,6 +11,7 @@
 //            [--trace-in=FILE] [--trace-out=FILE]
 //            [--trace-jsonl=FILE] [--json]
 //            [--sfc1=CURVE] [--f=F] [--r=R] [--window=W]
+//            [--queue=flat|calendar]
 //   csfc_sim --list
 //
 // --trace-jsonl streams every lifecycle event of the run to FILE in the
@@ -20,6 +21,7 @@
 // Examples:
 //   csfc_sim --sched=edf --count=5000 --interarrival=20
 //   csfc_sim --sched=csfc --sfc1=diagonal --f=1 --r=3 --window=0.05
+//   csfc_sim --sched=csfc --queue=calendar --count=200000
 //   csfc_sim --trace-in=load.trace --sched=scan-rt
 //   csfc_sim --sched=csfc --trace-jsonl=run.jsonl && trace_inspect run.jsonl
 
@@ -56,6 +58,7 @@ struct Args {
   double f = 1.0;
   uint32_t r = 3;
   double window = 0.05;
+  std::string queue = "flat";  // flat | calendar
   bool list = false;
 };
 
@@ -85,7 +88,7 @@ int Usage() {
                "                [--trace-in=F] [--trace-out=F] "
                "[--trace-jsonl=F] [--json]\n"
                "                [--sfc1=CURVE] [--f=F] [--r=R] [--window=W] "
-               "| --list\n");
+               "[--queue=flat|calendar] | --list\n");
   return 2;
 }
 
@@ -149,6 +152,9 @@ int main(int argc, char** argv) {
       args.r = static_cast<uint32_t>(std::atoi(v.c_str()));
     } else if (ParseKv(argv[i], "--window", &v)) {
       args.window = std::atof(v.c_str());
+    } else if (ParseKv(argv[i], "--queue", &v)) {
+      if (v != "flat" && v != "calendar") return Usage();
+      args.queue = v;
     } else {
       return Usage();
     }
@@ -241,10 +247,12 @@ int main(int argc, char** argv) {
   SchedulerRegistryContext ctx;
   ctx.disk = &*disk;
   ctx.priority_levels = args.workload_cfg.priority_levels;
-  ctx.cascaded = PresetFull(args.sfc1, args.workload_cfg.priority_dims,
-                            /*bits=*/4, args.f, args.r,
-                            sc.disk.cylinders, args.window,
-                            args.workload_cfg.deadline_hi_ms);
+  ctx.cascaded = WithQueueBackend(
+      PresetFull(args.sfc1, args.workload_cfg.priority_dims,
+                 /*bits=*/4, args.f, args.r, sc.disk.cylinders, args.window,
+                 args.workload_cfg.deadline_hi_ms),
+      args.queue == "calendar" ? QueueBackend::kCalendar
+                               : QueueBackend::kFlat);
   auto factory = MakeSchedulerFactory(args.sched, ctx);
   if (!factory.ok()) {
     std::fprintf(stderr, "%s\n", factory.status().ToString().c_str());
