@@ -9,6 +9,9 @@
 //    ReferenceDispatcher vs. the flat-heap and calendar-queue Dispatcher
 //    backends at queue depths 10^2 through 10^6, in ops/sec (one op = one
 //    insert + one pop).
+//  * Service front-end: closed-loop soak of the MPSC ingest ring +
+//    dispatcher pump (src/svc) with oversubscribed producers — offer and
+//    dispatch throughput plus the enqueue-to-dispatch wait tail.
 //
 // Results go to stdout and to BENCH_hotpath.json (in CSFC_BENCH_JSON_DIR
 // or the working directory) — the perf baseline future PRs compare
@@ -25,11 +28,13 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/cascaded_scheduler.h"
 #include "core/dispatcher.h"
 #include "core/presets.h"
+#include "exp/server_config.h"
 #include "exp/table.h"
 #include "obs/export.h"
 #include "obs/json.h"
@@ -175,6 +180,7 @@ RekeyResult BenchRekeyBatch(size_t depth) {
       PresetFull("hilbert", 3, 4, 1.0, 3, 3832, 0.05, 700.0);
   const auto enc = MustCreate(ccfg.encapsulator, /*enable_lut=*/true);
   DispatcherConfig cfg;
+  cfg.queue_backend = QueueBackend::kFlat;  // section baseline is the flat heap
   cfg.discipline = QueueDiscipline::kNonPreemptive;  // all inserts land in q'
   auto created = Dispatcher::Create(cfg);
   if (!created.ok()) std::abort();
@@ -246,6 +252,7 @@ RekeyResult BenchRekeyBatch(size_t depth) {
 
 DispatcherResult BenchDispatcher(size_t depth, bool quick) {
   DispatcherConfig cfg;  // conditionally-preemptive, w = 0.05, SP on
+  cfg.queue_backend = QueueBackend::kFlat;  // the flat-vs-calendar ablation
   DispatcherConfig calendar_cfg = cfg;
   calendar_cfg.queue_backend = QueueBackend::kCalendar;
   const auto reqs = MakeRequests(1 << 12, 16, 3832);
@@ -274,9 +281,75 @@ DispatcherResult BenchDispatcher(size_t depth, bool quick) {
   return DispatcherResult{depth, map_rps, flat_rps, calendar_rps};
 }
 
+struct ServiceResult {
+  size_t producers;
+  uint64_t offered;
+  uint64_t admitted;
+  double offers_per_sec;
+  double dispatch_per_sec;
+  double p50_wait_ms;
+  double p99_wait_ms;
+  double p999_wait_ms;
+  double max_wait_ms;
+};
+
+/// Closed-loop soak of the service front-end: `producers` threads blast
+/// the MPSC ring as fast as it accepts (ring-full backpressure closes the
+/// loop — a full ring parks the producer on a yield-retry instead of
+/// shedding), one pump drains into the cascaded scheduler and serves with
+/// no pacing. Oversubscribed by construction, so the enqueue-to-dispatch
+/// wait percentiles are real queueing delay, not zeros.
+ServiceResult BenchServiceFrontend(size_t producers, bool quick) {
+  ServerConfig cfg;
+  cfg.WithIngest(/*ring_capacity=*/4096, /*drain_batch=*/64);
+  // No admission gates: this section measures the pure front-end cost.
+  auto handle = MakeServer(cfg);
+  if (!handle.ok()) {
+    std::fprintf(stderr, "service frontend setup failed: %s\n",
+                 handle.status().ToString().c_str());
+    std::abort();
+  }
+  svc::ServiceServer& server = *handle->server;
+
+  const size_t per_producer = quick ? 20000 : 200000;
+  const auto reqs = MakeRequests(1 << 12, 16, 3832);
+  if (Status s = server.Start(); !s.ok()) std::abort();
+
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&server, &reqs, p, per_producer, producers] {
+      for (size_t i = 0; i < per_producer; ++i) {
+        Request r = reqs[(i * producers + p) % reqs.size()];
+        r.id = static_cast<RequestId>(p * per_producer + i);
+        r.stream = static_cast<uint32_t>(p);
+        while (!server.Offer(r)) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server.Stop();
+  const double secs = SecondsSince(start);
+
+  const svc::ServiceStats stats = server.Stats();
+  return ServiceResult{
+      producers,
+      stats.admission.offered,
+      stats.admission.admitted,
+      static_cast<double>(stats.admission.offered) / secs,
+      static_cast<double>(stats.dispatched) / secs,
+      stats.p50_wait_ms,
+      stats.p99_wait_ms,
+      stats.p999_wait_ms,
+      stats.max_wait_ms,
+  };
+}
+
 void WriteJson(const std::vector<CharacterizeResult>& chars,
                const std::vector<DispatcherResult>& disps,
-               const std::vector<RekeyResult>& rekeys) {
+               const std::vector<RekeyResult>& rekeys,
+               const std::vector<ServiceResult>& services) {
   std::string path = "BENCH_hotpath.json";
   if (const char* dir = std::getenv("CSFC_BENCH_JSON_DIR")) {
     path = std::string(dir) + "/" + path;
@@ -329,6 +402,22 @@ void WriteJson(const std::vector<CharacterizeResult>& chars,
     json.Field("scalar_rps", r.scalar_rps);
     json.Field("batch_rps", r.batch_rps);
     json.Field("speedup", r.batch_rps / r.scalar_rps);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("service_frontend");
+  json.BeginArray();
+  for (const ServiceResult& s : services) {
+    json.BeginObject();
+    json.Field("producers", static_cast<uint64_t>(s.producers));
+    json.Field("offered", s.offered);
+    json.Field("admitted", s.admitted);
+    json.Field("offers_per_sec", s.offers_per_sec);
+    json.Field("dispatch_per_sec", s.dispatch_per_sec);
+    json.Field("p50_wait_ms", s.p50_wait_ms);
+    json.Field("p99_wait_ms", s.p99_wait_ms);
+    json.Field("p999_wait_ms", s.p999_wait_ms);
+    json.Field("max_wait_ms", s.max_wait_ms);
     json.EndObject();
   }
   json.EndArray();
@@ -412,9 +501,28 @@ void Run(const BenchOptions& opts) {
                FormatDouble(r.batch_rps / r.scalar_rps, 2) + "x"});
   }
   rt.Print();
+
+  std::vector<ServiceResult> services;
+  for (size_t producers : std::vector<size_t>{4, 8}) {
+    services.push_back(BenchServiceFrontend(producers, opts.quick));
+    if (opts.quick) break;  // one soak point is enough for CI smoke
+  }
+  std::printf(
+      "\n== Service front-end soak (closed-loop, no pacing) ==\n\n");
+  TablePrinter st({"producers", "offers/s", "dispatch/s", "p50 ms", "p99 ms",
+                   "p999 ms", "max ms"});
+  for (const ServiceResult& s : services) {
+    st.AddRow({std::to_string(s.producers),
+               FormatDouble(s.offers_per_sec / 1e6, 2) + "M",
+               FormatDouble(s.dispatch_per_sec / 1e6, 2) + "M",
+               FormatDouble(s.p50_wait_ms, 3), FormatDouble(s.p99_wait_ms, 3),
+               FormatDouble(s.p999_wait_ms, 3),
+               FormatDouble(s.max_wait_ms, 3)});
+  }
+  st.Print();
   std::printf("\n");
 
-  WriteJson(chars, disps, rekeys);
+  WriteJson(chars, disps, rekeys, services);
 }
 
 bool ParseDepths(const std::string& csv, std::vector<size_t>* out) {

@@ -7,6 +7,7 @@
 
 #include "core/cascaded_scheduler.h"
 #include "core/presets.h"
+#include "sched/registry.h"
 #include "sfc/registry.h"
 
 namespace csfc {
@@ -69,12 +70,14 @@ void BM_Characterize(benchmark::State& state) {
 }
 
 void BM_EnqueueDispatch(benchmark::State& state) {
-  auto sched = CascadedSfcScheduler::Create(
-      PresetFull("hilbert", 3, 4, 1.0, 3, 3832, 0.05, 700.0));
-  if (!sched.ok()) {
+  SchedulerRegistryContext rctx;
+  rctx.cascaded = PresetFull("hilbert", 3, 4, 1.0, 3, 3832, 0.05, 700.0);
+  auto factory = MakeSchedulerFactory("csfc", rctx);
+  if (!factory.ok()) {
     state.SkipWithError("scheduler creation failed");
     return;
   }
+  SchedulerPtr sched = (*factory)();
   DispatchContext ctx{.now = 0, .head = 0};
   Request r;
   r.priorities = PriorityVec{1, 2, 3};
@@ -83,8 +86,8 @@ void BM_EnqueueDispatch(benchmark::State& state) {
   for (auto _ : state) {
     x = x * 6364136223846793005ULL + 1442695040888963407ULL;
     r.cylinder = static_cast<Cylinder>((x >> 33) % 3832);
-    (*sched)->Enqueue(r, ctx);
-    benchmark::DoNotOptimize((*sched)->Dispatch(ctx));
+    sched->Enqueue(r, ctx);
+    benchmark::DoNotOptimize(sched->Dispatch(ctx));
   }
 }
 

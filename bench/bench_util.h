@@ -18,27 +18,27 @@
 #include "exp/runner.h"
 #include "exp/table.h"
 #include "obs/export.h"
+#include "sched/registry.h"
 #include "workload/generator.h"
 #include "workload/trace.h"
 
 namespace csfc {
 namespace bench {
 
-/// Builds a SchedulerFactory from a CascadedConfig (validated eagerly:
-/// aborts the bench on a bad configuration rather than mid-sweep).
+/// Builds a SchedulerFactory from a CascadedConfig through the registry
+/// (the one construction path for every policy; the registry validates
+/// eagerly). Aborts the bench on a bad configuration rather than
+/// mid-sweep.
 inline SchedulerFactory CascadedFactory(const CascadedConfig& config) {
-  {
-    auto probe = CascadedSfcScheduler::Create(config);
-    if (!probe.ok()) {
-      std::fprintf(stderr, "bad cascaded config: %s\n",
-                   probe.status().ToString().c_str());
-      std::abort();
-    }
+  SchedulerRegistryContext ctx;
+  ctx.cascaded = config;
+  auto factory = MakeSchedulerFactory("csfc", ctx);
+  if (!factory.ok()) {
+    std::fprintf(stderr, "bad cascaded config: %s\n",
+                 factory.status().ToString().c_str());
+    std::abort();
   }
-  return [config] {
-    auto s = CascadedSfcScheduler::Create(config);
-    return std::move(*s);
-  };
+  return std::move(*factory);
 }
 
 /// Runs and unwraps, aborting with a message on error (benches have no

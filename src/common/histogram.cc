@@ -1,6 +1,7 @@
 #include "common/histogram.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -108,6 +109,83 @@ std::string Histogram::ToAscii(size_t max_width) const {
     out += '\n';
   }
   return out;
+}
+
+LogHistogram::LogHistogram()
+    : counts_(static_cast<size_t>(kRanges) * kSubBuckets, 0) {}
+
+size_t LogHistogram::BucketIndex(int64_t x) {
+  if (x < static_cast<int64_t>(kSubBuckets)) {
+    // The first two ranges are the linear head: values below kSubBuckets
+    // map 1:1 so small latencies are exact.
+    return static_cast<size_t>(x < 0 ? 0 : x);
+  }
+  const uint64_t v = static_cast<uint64_t>(x);
+  // Position of the leading bit relative to the sub-bucket resolution.
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - 5;  // 2^5 == kSubBuckets
+  const uint64_t sub = v >> shift;  // in [kSubBuckets, 2*kSubBuckets)
+  // `sub` carries the +kSubBuckets offset, so consecutive shifts tile the
+  // index space contiguously: shift 0 covers [32, 64), shift 1 [64, 96)...
+  const size_t index =
+      static_cast<size_t>(shift) * kSubBuckets + static_cast<size_t>(sub);
+  return std::min<size_t>(index,
+                          static_cast<size_t>(kRanges) * kSubBuckets - 1);
+}
+
+double LogHistogram::BucketLo(size_t i) {
+  const size_t range = i / kSubBuckets;
+  const size_t sub = i % kSubBuckets;
+  if (range == 0) return static_cast<double>(sub);
+  const double unit = std::ldexp(1.0, static_cast<int>(range) - 1);
+  return unit * static_cast<double>(kSubBuckets + sub);
+}
+
+double LogHistogram::BucketWidth(size_t i) {
+  const size_t range = i / kSubBuckets;
+  return range == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(range) - 1);
+}
+
+void LogHistogram::Add(int64_t x) {
+  if (x < 0) x = 0;
+  ++counts_[BucketIndex(x)];
+  ++total_;
+  sum_ += static_cast<double>(x);
+  max_ = std::max(max_, x);
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      const double v = BucketLo(i) + frac * BucketWidth(i);
+      // Never report beyond the observed maximum (the top landing bucket
+      // is usually only part-filled).
+      return std::min(v, static_cast<double>(max_));
+    }
+    cum = next;
+  }
+  return static_cast<double>(max_);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void LogHistogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
 }
 
 }  // namespace csfc

@@ -68,6 +68,56 @@ class Histogram {
   uint64_t total_ = 0;
 };
 
+/// Log-bucketed histogram for nonnegative integer samples spanning many
+/// decades (enqueue-to-dispatch latencies in microseconds: the interesting
+/// range runs 1us .. minutes). HDR-style layout: each power-of-two range
+/// is split into `kSubBuckets` equal sub-buckets, giving a bounded
+/// relative error of 1/kSubBuckets at every magnitude — accurate enough
+/// for p999 without the O(range) memory of a linear histogram. Add is
+/// branch-light O(1); Quantile interpolates within the landing bucket.
+class LogHistogram {
+ public:
+  /// Sub-buckets per power-of-two range: 1/32 ~ 3% worst-case relative
+  /// quantile error.
+  static constexpr uint32_t kSubBuckets = 32;
+  /// Powers of two covered (2^0 .. 2^kRanges us ~ 1.2 hours in us).
+  static constexpr uint32_t kRanges = 32;
+
+  LogHistogram();
+
+  /// Records one sample (negative samples clamp to 0, oversized samples
+  /// clamp to the top bucket).
+  void Add(int64_t x);
+
+  uint64_t total() const { return total_; }
+  int64_t max() const { return max_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+  }
+
+  /// Value below which a `q` (in [0,1]) fraction of the samples lies,
+  /// interpolated within the landing bucket. 0 when empty.
+  double Quantile(double q) const;
+
+  /// Merges another histogram into this one (same fixed geometry).
+  void Merge(const LogHistogram& other);
+
+  /// Resets to empty (window rollover in the SLO sinks).
+  void Reset();
+
+ private:
+  static size_t BucketIndex(int64_t x);
+  /// Inclusive lower edge and width of bucket i, in sample units.
+  static double BucketLo(size_t i);
+  static double BucketWidth(size_t i);
+
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
 }  // namespace csfc
 
 #endif  // CSFC_COMMON_HISTOGRAM_H_

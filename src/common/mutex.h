@@ -11,7 +11,9 @@
 #ifndef CSFC_COMMON_MUTEX_H_
 #define CSFC_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "common/thread_annotations.h"
@@ -68,6 +70,15 @@ class CondVar {
   /// loop (a loop, not a predicate lambda — lambda bodies are analyzed
   /// without the enclosing capability context).
   void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Timed wait: like Wait but returns after at most `timeout_us`
+  /// microseconds even without a notification. Same spurious-wakeup
+  /// contract — callers re-test in a loop. Used by the service pump to
+  /// sleep until the next modeled completion while staying responsive to
+  /// Offer/Stop notifications.
+  void WaitFor(Mutex& mu, int64_t timeout_us) REQUIRES(mu) {
+    cv_.wait_for(mu, std::chrono::microseconds(timeout_us));
+  }
 
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }

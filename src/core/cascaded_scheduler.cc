@@ -71,6 +71,24 @@ void CascadedSfcScheduler::Enqueue(Request r, const DispatchContext& ctx) {
   dispatcher_->Insert(last_cvalue_, std::move(r));
 }
 
+void CascadedSfcScheduler::EnqueueBatch(std::span<Request> batch,
+                                        const DispatchContext& ctx) {
+  if (batch.empty()) return;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    for (Request& r : batch) Enqueue(std::move(r), ctx);
+    return;
+  }
+  batch_ptr_scratch_.resize(batch.size());
+  batch_key_scratch_.resize(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) batch_ptr_scratch_[i] = &batch[i];
+  encapsulator_->CharacterizeBatch(batch_ptr_scratch_, ctx,
+                                   batch_key_scratch_);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    dispatcher_->Insert(batch_key_scratch_[i], std::move(batch[i]));
+  }
+  last_cvalue_ = batch_key_scratch_.back();
+}
+
 std::optional<Request> CascadedSfcScheduler::Dispatch(
     const DispatchContext& ctx) {
   const bool tracing = tracer_ != nullptr && tracer_->enabled();

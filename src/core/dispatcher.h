@@ -104,8 +104,10 @@ struct DispatcherConfig {
   double expansion_factor = 2.0;
   /// Queue backend for q / q'. kFlat is the monolithic heap; kCalendar
   /// buckets v_c into sweep ranges (see BucketedSlotHeap) and is the
-  /// depth-scalable choice. Observable scheduling behavior is identical.
-  QueueBackend queue_backend = QueueBackend::kFlat;
+  /// depth-scalable default (flat stays selectable for the shallow-queue
+  /// regime and the backend ablations). Observable scheduling behavior is
+  /// identical either way.
+  QueueBackend queue_backend = QueueBackend::kCalendar;
   /// Calendar bucket count (kCalendar only). 0 = derive: the cascaded
   /// scheduler slices its R SFC3 sweep partitions at up-to-cylinder
   /// granularity, targeting ~kDefaultCalendarBuckets ranges in total; a

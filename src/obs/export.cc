@@ -99,6 +99,19 @@ std::string TraceEventToJson(const TraceEvent& e) {
       break;
     case TraceEventKind::kDeadlineMiss:
       break;
+    case TraceEventKind::kIngest:
+      w.Field("stream", e.stream);
+      break;
+    case TraceEventKind::kAdmit:
+      w.Field("qd", e.queue_depth);
+      break;
+    case TraceEventKind::kReject:
+      w.Field("reason", RejectReasonName(e.reject));
+      break;
+    case TraceEventKind::kDrain:
+      w.Field("wait_ms", e.wait_ms);
+      w.Field("qd", e.queue_depth);
+      break;
   }
   w.EndObject();
   return w.Take();
@@ -137,7 +150,8 @@ Status ExportEventsCsv(std::span<const TraceEvent> events, Writer& writer) {
   if (Status s = AppendCsvRow(
           writer, {"ev", "t_ms", "id", "cyl", "level", "deadline_ms", "v1",
                    "v2", "vc", "rekey", "qd", "window", "seek_ms",
-                   "service_ms", "response_ms", "missed"});
+                   "service_ms", "response_ms", "missed", "stream", "wait_ms",
+                   "reason"});
       !s.ok()) {
     return s;
   }
@@ -159,6 +173,11 @@ Status ExportEventsCsv(std::span<const TraceEvent> events, Writer& writer) {
     row.push_back(Num(e.service_ms));
     row.push_back(Num(e.response_ms));
     row.push_back(e.missed ? "1" : "0");
+    row.push_back(std::to_string(e.stream));
+    row.push_back(Num(e.wait_ms));
+    row.emplace_back(e.kind == TraceEventKind::kReject
+                         ? RejectReasonName(e.reject)
+                         : std::string_view());
     if (Status s = AppendCsvRow(writer, row); !s.ok()) return s;
   }
   return Status::OK();
@@ -240,6 +259,63 @@ Status Export(const WindowedMetrics& windows, Writer& writer,
     w.Field("promotions", r.promotions);
     w.Field("preemptions", r.preemptions);
     w.Field("mean_seek_ms", r.mean_seek_ms());
+    w.EndObject();
+    if (jsonl) {
+      if (Status s = writer.Append(w.Take()); !s.ok()) return s;
+      if (Status s = writer.Append("\n"); !s.ok()) return s;
+      w = JsonWriter();
+    }
+  }
+  if (jsonl) return Status::OK();
+  w.EndArray();
+  if (Status s = writer.Append(w.Take()); !s.ok()) return s;
+  return writer.Append("\n");
+}
+
+Status Export(const SloMetrics& slo, Writer& writer, ExportFormat format) {
+  const std::vector<SloWindowRow> rows = slo.Rows();
+  if (format == ExportFormat::kCsv) {
+    if (Status s = AppendCsvRow(
+            writer, {"start_ms", "offered", "admitted", "rejected",
+                     "rejected_rate", "rejected_load", "rejected_ring_full",
+                     "shed_rate", "drains", "p50_ms", "p99_ms", "p999_ms",
+                     "max_ms"});
+        !s.ok()) {
+      return s;
+    }
+    for (const SloWindowRow& r : rows) {
+      if (Status s = AppendCsvRow(
+              writer, {Num(r.start_ms), std::to_string(r.offered),
+                       std::to_string(r.admitted), std::to_string(r.rejected),
+                       std::to_string(r.rejected_rate),
+                       std::to_string(r.rejected_load),
+                       std::to_string(r.rejected_ring_full), Num(r.shed_rate()),
+                       std::to_string(r.drains), Num(r.p50_ms), Num(r.p99_ms),
+                       Num(r.p999_ms), Num(r.max_ms)});
+          !s.ok()) {
+        return s;
+      }
+    }
+    return Status::OK();
+  }
+  const bool jsonl = format == ExportFormat::kJsonl;
+  JsonWriter w;
+  if (!jsonl) w.BeginArray();
+  for (const SloWindowRow& r : rows) {
+    w.BeginObject();
+    w.Field("start_ms", r.start_ms);
+    w.Field("offered", r.offered);
+    w.Field("admitted", r.admitted);
+    w.Field("rejected", r.rejected);
+    w.Field("rejected_rate", r.rejected_rate);
+    w.Field("rejected_load", r.rejected_load);
+    w.Field("rejected_ring_full", r.rejected_ring_full);
+    w.Field("shed_rate", r.shed_rate());
+    w.Field("drains", r.drains);
+    w.Field("p50_ms", r.p50_ms);
+    w.Field("p99_ms", r.p99_ms);
+    w.Field("p999_ms", r.p999_ms);
+    w.Field("max_ms", r.max_ms);
     w.EndObject();
     if (jsonl) {
       if (Status s = writer.Append(w.Take()); !s.ok()) return s;

@@ -27,6 +27,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "obs/recorder.h"
+#include "obs/slo.h"
 #include "obs/trace_event.h"
 #include "obs/windowed.h"
 
@@ -103,6 +104,11 @@ Status Export(const TraceRecorder& recorder, Writer& writer,
 
 /// Windowed time series -> JSONL/CSV, one row per window.
 Status Export(const WindowedMetrics& windows, Writer& writer,
+              ExportFormat format = ExportFormat::kCsv);
+
+/// Windowed SLO series (service front-end) -> JSONL/CSV, one row per
+/// window with the per-window wait-latency percentiles.
+Status Export(const SloMetrics& slo, Writer& writer,
               ExportFormat format = ExportFormat::kCsv);
 
 /// Bench table -> CSV (what the figure CSVs always were) or a JSON array

@@ -1,0 +1,89 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+namespace csfc {
+namespace obs {
+
+SloMetrics::SloMetrics(double window_ms)
+    : window_ms_(window_ms > 0.0 ? window_ms : 100.0),
+      window_span_(std::max<SimTime>(MsToSim(window_ms_), 1)) {}
+
+void SloMetrics::Close() {
+  current_.p50_ms = SimToMs(static_cast<SimTime>(window_hist_.Quantile(0.5)));
+  current_.p99_ms = SimToMs(static_cast<SimTime>(window_hist_.Quantile(0.99)));
+  current_.p999_ms =
+      SimToMs(static_cast<SimTime>(window_hist_.Quantile(0.999)));
+  current_.max_ms = SimToMs(window_hist_.max());
+  closed_.push_back(current_);
+}
+
+void SloMetrics::AdvanceTo(SimTime t) {
+  const int64_t index = t / window_span_;
+  if (!started_) {
+    started_ = true;
+    current_index_ = index;
+    current_.start_ms = SimToMs(current_index_ * window_span_);
+    return;
+  }
+  while (index > current_index_) {
+    Close();
+    ++current_index_;
+    current_ = SloWindowRow{};
+    current_.start_ms = SimToMs(current_index_ * window_span_);
+    window_hist_.Reset();
+  }
+}
+
+void SloMetrics::OnEvent(const TraceEvent& e) {
+  AdvanceTo(e.t);
+  switch (e.kind) {
+    case TraceEventKind::kIngest:
+      ++current_.offered;
+      break;
+    case TraceEventKind::kAdmit:
+      ++current_.admitted;
+      break;
+    case TraceEventKind::kReject:
+      ++current_.rejected;
+      switch (e.reject) {
+        case RejectReason::kRate:
+          ++current_.rejected_rate;
+          break;
+        case RejectReason::kLoad:
+          ++current_.rejected_load;
+          break;
+        case RejectReason::kRingFull:
+          ++current_.rejected_ring_full;
+          break;
+        case RejectReason::kNone:
+          break;
+      }
+      break;
+    case TraceEventKind::kDrain: {
+      ++current_.drains;
+      const SimTime wait_us = MsToSim(e.wait_ms);
+      window_hist_.Add(wait_us);
+      overall_.Add(wait_us);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::vector<SloWindowRow> SloMetrics::Rows() const {
+  std::vector<SloWindowRow> rows = closed_;
+  if (started_) {
+    SloWindowRow open = current_;
+    open.p50_ms = SimToMs(static_cast<SimTime>(window_hist_.Quantile(0.5)));
+    open.p99_ms = SimToMs(static_cast<SimTime>(window_hist_.Quantile(0.99)));
+    open.p999_ms = SimToMs(static_cast<SimTime>(window_hist_.Quantile(0.999)));
+    open.max_ms = SimToMs(window_hist_.max());
+    rows.push_back(open);
+  }
+  return rows;
+}
+
+}  // namespace obs
+}  // namespace csfc

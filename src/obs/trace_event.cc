@@ -19,6 +19,21 @@ constexpr KindName kKindNames[] = {
     {TraceEventKind::kDispatch, "dispatch"},
     {TraceEventKind::kCompletion, "completion"},
     {TraceEventKind::kDeadlineMiss, "deadline_miss"},
+    {TraceEventKind::kIngest, "ingest"},
+    {TraceEventKind::kAdmit, "admit"},
+    {TraceEventKind::kReject, "reject"},
+    {TraceEventKind::kDrain, "drain"},
+};
+
+struct ReasonName {
+  RejectReason reason;
+  std::string_view name;
+};
+constexpr ReasonName kReasonNames[] = {
+    {RejectReason::kNone, "none"},
+    {RejectReason::kRate, "rate"},
+    {RejectReason::kLoad, "load"},
+    {RejectReason::kRingFull, "ring_full"},
 };
 }  // namespace
 
@@ -33,6 +48,23 @@ bool ParseTraceEventKind(std::string_view name, TraceEventKind* out) {
   for (const KindName& kn : kKindNames) {
     if (kn.name == name) {
       *out = kn.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view RejectReasonName(RejectReason reason) {
+  for (const ReasonName& rn : kReasonNames) {
+    if (rn.reason == reason) return rn.name;
+  }
+  return "unknown";
+}
+
+bool ParseRejectReason(std::string_view name, RejectReason* out) {
+  for (const ReasonName& rn : kReasonNames) {
+    if (rn.name == name) {
+      *out = rn.reason;
       return true;
     }
   }

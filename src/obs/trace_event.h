@@ -42,7 +42,30 @@ enum class TraceEventKind : uint8_t {
   kDispatch,      ///< request handed to the disk
   kCompletion,    ///< service finished
   kDeadlineMiss,  ///< the completion was after the request's deadline
+  // Service front-end events (src/svc, DESIGN.md section 12). A request
+  // served through the real-time front-end is traced as
+  //   ingest -> admit -> enqueue -> ... -> dispatch -> drain
+  // or sheds at the door as ingest -> reject.
+  kIngest,        ///< request offered to the service front-end
+  kAdmit,         ///< admission control accepted the request
+  kReject,        ///< admission shed the request (see RejectReason)
+  kDrain,         ///< front-end handed the request to service; wait_ms is
+                  ///< the enqueue-to-dispatch latency the SLOs track
 };
+
+/// Why the admission controller shed a request (kReject payload).
+enum class RejectReason : uint8_t {
+  kNone = 0,
+  kRate,      ///< per-stream token bucket empty
+  kLoad,      ///< SCAN-tour oracle predicts the wait would bust the SLO
+  kRingFull,  ///< ingest ring full (backpressure)
+};
+
+/// Stable wire name of a reject reason ("rate", "load", "ring_full").
+std::string_view RejectReasonName(RejectReason reason);
+
+/// Inverse of RejectReasonName; false when `name` is unknown.
+bool ParseRejectReason(std::string_view name, RejectReason* out);
 
 /// Sentinel for events that are not tied to one request (queue_swap,
 /// window_reset).
@@ -92,6 +115,13 @@ struct TraceEvent {
   double service_ms = 0.0;
   double response_ms = 0.0;
   bool missed = false;
+
+  // ingest (owning stream of the offered request)
+  uint32_t stream = 0;
+  // drain: enqueue-to-dispatch latency through the service front-end
+  double wait_ms = 0.0;
+  // reject
+  RejectReason reject = RejectReason::kNone;
 
   bool has_request() const { return id != kNoRequestId; }
 };

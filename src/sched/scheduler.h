@@ -13,7 +13,9 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
+#include <utility>
 
 #include "common/function_ref.h"
 #include "common/types.h"
@@ -47,6 +49,18 @@ class Scheduler {
   /// Callers that still need the request afterwards pass an lvalue and pay
   /// exactly one copy at the call site.
   virtual void Enqueue(Request r, const DispatchContext& ctx) = 0;
+
+  /// Accepts a batch of arrivals sharing one dispatch context. The default
+  /// simply loops Enqueue; policies with batch characterization kernels
+  /// (the cascaded scheduler's Encapsulator::CharacterizeBatch) override it
+  /// so per-batch invariants are hoisted once instead of per request. The
+  /// service front-end's drain path feeds ring batches through this.
+  /// Requests are consumed (moved from); the span's payloads are dead
+  /// after the call.
+  virtual void EnqueueBatch(std::span<Request> batch,
+                            const DispatchContext& ctx) {
+    for (Request& r : batch) Enqueue(std::move(r), ctx);
+  }
 
   /// Removes and returns the next request to serve, or nullopt if no
   /// request is pending. Implementations move the payload out of their

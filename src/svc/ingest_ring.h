@@ -1,0 +1,146 @@
+// MpscIngestRing: the bounded lock-free multi-producer / single-consumer
+// ring the service front-end ingests through. Producer threads TryPush
+// admitted requests; the dispatcher thread batch-drains them into the
+// scheduler. Bounded on purpose: a full ring is backpressure, surfaced to
+// the caller as a ring_full rejection rather than an unbounded queue
+// silently absorbing overload.
+//
+// The algorithm is the classic bounded-queue design with one atomic
+// sequence number per cell (Vyukov). Each cell's `seq` encodes its state
+// relative to the head/tail tickets:
+//
+//   seq == ticket       cell is free for the producer holding `ticket`
+//   seq == ticket + 1   cell holds the element for that ticket (consumer
+//                       side reads at seq == pos + 1)
+//   otherwise           another lap owns the cell (full / not yet filled)
+//
+// Memory ordering (the contract DESIGN.md section 12 documents):
+//   * producers CAS the tail ticket relaxed — the ticket only partitions
+//     cells between producers, it publishes nothing;
+//   * the payload is published by the producer's seq.store(release) and
+//     acquired by the consumer's seq.load(acquire) — this pair is the
+//     only producer->consumer edge and is what makes the element's
+//     non-atomic payload visible;
+//   * the consumer recycles a cell for the next lap with
+//     seq.store(pos + capacity, release), which a producer acquires
+//     before overwriting the slot.
+//
+// Single consumer: head_ is only ever advanced by the draining thread, so
+// it needs no CAS; it stays atomic (relaxed) only so size() is readable
+// from other threads as an approximation.
+//
+// Cells are padded to the destructive-interference range so the head and
+// tail tickets and neighboring cells do not false-share.
+
+#ifndef CSFC_SVC_INGEST_RING_H_
+#define CSFC_SVC_INGEST_RING_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace csfc {
+namespace svc {
+
+/// Cache-line size for padding; hardware_destructive_interference_size is
+/// not universally available, and 64 is correct on every target this repo
+/// builds for.
+inline constexpr size_t kCacheLine = 64;
+
+template <typename T>
+class MpscIngestRing {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2.
+  explicit MpscIngestRing(size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? size_t{2} : capacity) - 1),
+        cells_(mask_ + 1) {
+    for (size_t i = 0; i <= mask_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscIngestRing(const MpscIngestRing&) = delete;
+  MpscIngestRing& operator=(const MpscIngestRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Approximate occupancy (exact only when producers and the consumer
+  /// are quiescent).
+  size_t size() const {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  /// Attempts to push from any producer thread. Returns false when the
+  /// ring is full (backpressure); the element is untouched in that case.
+  CSFC_HOT bool TryPush(T&& value) {
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const size_t seq = cell.seq.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        // Cell is free for this ticket; claim it. Relaxed: the ticket
+        // partitions producers, the release below publishes the payload.
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry with the new ticket.
+      } else if (dif < 0) {
+        // The consumer has not recycled this cell from the previous lap:
+        // the ring is full.
+        return false;
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Drains up to `max` elements into `out` (caller-owned buffer, not
+  /// cleared). Single consumer only. Returns the number drained; no
+  /// allocation as long as `out` has capacity for `max` more elements
+  /// (callers reserve once and reuse the buffer across drains).
+  CSFC_HOT size_t DrainInto(std::vector<T>& out, size_t max) {
+    size_t pos = head_.load(std::memory_order_relaxed);
+    size_t drained = 0;
+    while (drained < max) {
+      Cell& cell = cells_[pos & mask_];
+      const size_t seq = cell.seq.load(std::memory_order_acquire);
+      if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0) {
+        break;  // next cell not yet published: ring drained
+      }
+      out.push_back(std::move(cell.value));  // csfc:alloc-ok(caller pre-reserves the drain buffer; growth settles after the first drain)
+      // Recycle the cell for the producers' next lap.
+      cell.seq.store(pos + capacity(), std::memory_order_release);
+      ++pos;
+      ++drained;
+    }
+    if (drained != 0) head_.store(pos, std::memory_order_relaxed);
+    return drained;
+  }
+
+ private:
+  struct alignas(kCacheLine) Cell {
+    std::atomic<size_t> seq;
+    T value;
+  };
+
+  const size_t mask_;
+  std::vector<Cell> cells_;
+  alignas(kCacheLine) std::atomic<size_t> tail_{0};  ///< producers' ticket
+  alignas(kCacheLine) std::atomic<size_t> head_{0};  ///< consumer cursor
+};
+
+}  // namespace svc
+}  // namespace csfc
+
+#endif  // CSFC_SVC_INGEST_RING_H_

@@ -1,0 +1,333 @@
+#include "svc/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <utility>
+
+namespace csfc {
+namespace svc {
+
+namespace {
+
+obs::RejectReason ToReason(AdmitDecision d) {
+  switch (d) {
+    case AdmitDecision::kRejectRate:
+      return obs::RejectReason::kRate;
+    case AdmitDecision::kRejectLoad:
+      return obs::RejectReason::kLoad;
+    case AdmitDecision::kAdmit:
+      break;
+  }
+  return obs::RejectReason::kNone;
+}
+
+}  // namespace
+
+Status IngestConfig::Validate() const {
+  if (ring_capacity < 2) {
+    return Status::InvalidArgument("ingest: ring_capacity must be >= 2");
+  }
+  if (drain_batch == 0) {
+    return Status::InvalidArgument("ingest: drain_batch must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ServiceServer>> ServiceServer::Create(
+    SchedulerPtr scheduler, ServiceTimeFn service_time,
+    const Options& options) {
+  if (scheduler == nullptr) {
+    return Status::InvalidArgument("service: scheduler is required");
+  }
+  if (!service_time) {
+    return Status::InvalidArgument("service: service_time is required");
+  }
+  if (Status s = options.ingest.Validate(); !s.ok()) return s;
+  if (Status s = options.admission.Validate(); !s.ok()) return s;
+  if (!std::isfinite(options.time_scale) || options.time_scale < 0.0) {
+    return Status::InvalidArgument(
+        "service: time_scale must be finite and >= 0");
+  }
+  return std::unique_ptr<ServiceServer>(new ServiceServer(
+      std::move(scheduler), std::move(service_time), options));
+}
+
+ServiceServer::ServiceServer(SchedulerPtr scheduler,
+                             ServiceTimeFn service_time,
+                             const Options& options)
+    : sched_(std::move(scheduler)),
+      service_time_(std::move(service_time)),
+      options_(options),
+      admission_(options.admission),
+      ring_(options.ingest.ring_capacity) {
+  if (options_.trace_sink != nullptr) {
+    locked_sink_.emplace(*options_.trace_sink);
+    tracer_ = obs::Tracer(&*locked_sink_);
+  }
+  drain_buf_.reserve(options_.ingest.drain_batch);
+  drain_ids_.reserve(options_.ingest.drain_batch);
+}
+
+ServiceServer::~ServiceServer() { Cancel(); }
+
+bool ServiceServer::Ingest(Request&& r, SimTime now) {
+  const RequestId id = r.id;
+  const uint32_t stream = r.stream;
+  if (tracer_.enabled()) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kIngest;
+    e.t = now;
+    e.id = id;
+    e.stream = stream;
+    tracer_.Emit(e);
+  }
+  const AdmitDecision d = admission_.Admit(stream, now, ApproxDepth());
+  if (d != AdmitDecision::kAdmit) {
+    if (tracer_.enabled()) {
+      obs::TraceEvent e;
+      e.kind = obs::TraceEventKind::kReject;
+      e.t = now;
+      e.id = id;
+      e.reject = ToReason(d);
+      tracer_.Emit(e);
+    }
+    return false;
+  }
+  if (!ring_.TryPush(std::move(r))) {
+    admission_.RecordRingReject();
+    if (tracer_.enabled()) {
+      obs::TraceEvent e;
+      e.kind = obs::TraceEventKind::kReject;
+      e.t = now;
+      e.id = id;
+      e.reject = obs::RejectReason::kRingFull;
+      tracer_.Emit(e);
+    }
+    return false;
+  }
+  admission_.RecordAdmit();
+  if (tracer_.enabled()) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kAdmit;
+    e.t = now;
+    e.id = id;
+    e.queue_depth = ApproxDepth();
+    tracer_.Emit(e);
+  }
+  return true;
+}
+
+size_t ServiceServer::DrainRing(const DispatchContext& ctx) {
+  size_t total = 0;
+  tracer_.set_now(ctx.now);
+  for (;;) {
+    drain_buf_.clear();
+    const size_t n = ring_.DrainInto(drain_buf_, options_.ingest.drain_batch);
+    if (n == 0) break;
+    drain_ids_.clear();
+    for (const Request& r : drain_buf_) drain_ids_.push_back(r.id);
+    sched_->EnqueueBatch(std::span<Request>(drain_buf_), ctx);
+    queue_depth_.store(sched_->queue_size(), std::memory_order_relaxed);
+    if (tracer_.enabled()) {
+      for (RequestId id : drain_ids_) {
+        obs::TraceEvent e;
+        e.kind = obs::TraceEventKind::kEnqueue;
+        e.t = ctx.now;
+        e.id = id;
+        e.queue_depth = sched_->queue_size();
+        tracer_.Emit(e);
+      }
+    }
+    total += n;
+  }
+  if (total != 0) {
+    MutexLock lock(stats_mu_);
+    enqueued_ += total;
+  }
+  return total;
+}
+
+bool ServiceServer::TryDispatch(DiskState& disk, double scale) {
+  const DispatchContext ctx{.now = disk.now, .head = disk.head};
+  tracer_.set_now(disk.now);
+  std::optional<Request> r = sched_->Dispatch(ctx);
+  if (!r) return false;
+  queue_depth_.store(sched_->queue_size(), std::memory_order_relaxed);
+  const SimTime wait = std::max<SimTime>(disk.now - r->arrival, 0);
+  {
+    MutexLock lock(stats_mu_);
+    wait_hist_.Add(wait);
+    ++dispatched_;
+  }
+  if (tracer_.enabled()) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kDispatch;
+    e.t = disk.now;
+    e.id = r->id;
+    e.cylinder = r->cylinder;
+    e.queue_depth = sched_->queue_size();
+    tracer_.Emit(e);
+    obs::TraceEvent d;
+    d.kind = obs::TraceEventKind::kDrain;
+    d.t = disk.now;
+    d.id = r->id;
+    d.wait_ms = SimToMs(wait);
+    d.queue_depth = sched_->queue_size();
+    tracer_.Emit(d);
+  }
+  const double service_ms = service_time_(disk.head, *r);
+  disk.in_service = std::move(*r);
+  disk.in_service_ms = service_ms;
+  disk.completion_time = disk.now + MsToSim(service_ms * scale);
+  disk.busy = true;
+  return true;
+}
+
+void ServiceServer::Complete(DiskState& disk) {
+  disk.head = disk.in_service.cylinder;
+  disk.busy = false;
+  {
+    MutexLock lock(stats_mu_);
+    ++completions_;
+  }
+  if (tracer_.enabled()) {
+    obs::TraceEvent e;
+    e.kind = obs::TraceEventKind::kCompletion;
+    e.t = disk.now;
+    e.id = disk.in_service.id;
+    e.service_ms = disk.in_service_ms;
+    e.response_ms = SimToMs(disk.now - disk.in_service.arrival);
+    e.missed = disk.in_service.has_deadline() &&
+               disk.now > disk.in_service.deadline;
+    tracer_.Emit(e);
+  }
+}
+
+ServiceStats ServiceServer::RunVirtual(std::vector<Request> offered) {
+  if (running_.load(std::memory_order_acquire)) return Stats();
+  sched_->Observe(tracer_);
+  DiskState disk;
+  size_t next = 0;
+  // The DiskServerSimulator::Run event loop, with the arrival branch
+  // replaced by ingest -> ring -> immediate drain (the ring is a
+  // pass-through at each arrival instant, so enqueue order and times —
+  // and therefore dispatch order — match the offline simulator run on
+  // the same admitted set).
+  while (true) {
+    if (!disk.busy) TryDispatch(disk, /*scale=*/1.0);
+    const bool has_arrival = next < offered.size();
+    const bool take_completion =
+        disk.busy &&
+        (!has_arrival || disk.completion_time <= offered[next].arrival);
+    if (take_completion) {
+      disk.now = disk.completion_time;
+      Complete(disk);
+    } else if (has_arrival) {
+      Request r = std::move(offered[next]);
+      ++next;
+      disk.now = r.arrival;
+      if (Ingest(std::move(r), disk.now)) {
+        DrainRing(DispatchContext{.now = disk.now, .head = disk.head});
+      }
+    } else if (!disk.busy) {
+      break;
+    }
+  }
+  return Stats();
+}
+
+Status ServiceServer::Start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) {
+    return Status::FailedPrecondition("service: already running");
+  }
+  stop_.store(false, std::memory_order_release);
+  cancel_.store(false, std::memory_order_release);
+  pump_ = std::thread(&ServiceServer::PumpLoop, this);
+  return Status::OK();
+}
+
+bool ServiceServer::Offer(Request r) {
+  if (!running_.load(std::memory_order_acquire) ||
+      stop_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  const SimTime now = clock_.NowUs();
+  r.arrival = now;
+  const bool admitted = Ingest(std::move(r), now);
+  // Plain notify (no lock): the pump's timed wait bounds any lost-wakeup
+  // window to one idle tick.
+  if (admitted) wake_cv_.NotifyOne();
+  return admitted;
+}
+
+void ServiceServer::PumpLoop() {
+  sched_->Observe(tracer_);
+  DiskState disk;
+  for (;;) {
+    if (cancel_.load(std::memory_order_acquire)) break;
+    disk.now = clock_.NowUs();
+    bool progress = DrainRing(DispatchContext{disk.now, disk.head}) > 0;
+    if (disk.busy && disk.now >= disk.completion_time) {
+      Complete(disk);
+      progress = true;
+    }
+    if (!disk.busy && TryDispatch(disk, options_.time_scale)) {
+      progress = true;
+      // Unpaced (time_scale 0) service completes within the iteration.
+      if (disk.completion_time <= disk.now) Complete(disk);
+    }
+    if (progress) continue;
+    if (stop_.load(std::memory_order_acquire) && ring_.size() == 0 &&
+        sched_->queue_size() == 0 && !disk.busy) {
+      break;  // graceful: everything admitted before Stop has been served
+    }
+    // Idle: sleep until the in-service request completes, an Offer
+    // notifies, or the 1ms tick re-checks stop/cancel.
+    SimTime timeout_us = kMillisecond;
+    if (disk.busy) {
+      timeout_us = std::clamp<SimTime>(disk.completion_time - disk.now, 1,
+                                       kMillisecond);
+    }
+    MutexLock lock(wake_mu_);
+    wake_cv_.WaitFor(wake_mu_, timeout_us);
+  }
+}
+
+void ServiceServer::Stop() {
+  stop_.store(true, std::memory_order_release);
+  wake_cv_.NotifyAll();
+  // The exchange elects exactly one joiner when Stop and Cancel race.
+  if (running_.exchange(false, std::memory_order_acq_rel) &&
+      pump_.joinable()) {
+    pump_.join();
+  }
+}
+
+void ServiceServer::Cancel() {
+  cancel_.store(true, std::memory_order_release);
+  stop_.store(true, std::memory_order_release);
+  wake_cv_.NotifyAll();
+  if (running_.exchange(false, std::memory_order_acq_rel) &&
+      pump_.joinable()) {
+    pump_.join();
+  }
+}
+
+ServiceStats ServiceServer::Stats() const {
+  ServiceStats s;
+  s.admission = admission_.counters();
+  MutexLock lock(stats_mu_);
+  s.enqueued = enqueued_;
+  s.dispatched = dispatched_;
+  s.completions = completions_;
+  s.p50_wait_ms = SimToMs(static_cast<SimTime>(wait_hist_.Quantile(0.5)));
+  s.p99_wait_ms = SimToMs(static_cast<SimTime>(wait_hist_.Quantile(0.99)));
+  s.p999_wait_ms = SimToMs(static_cast<SimTime>(wait_hist_.Quantile(0.999)));
+  s.max_wait_ms = SimToMs(wait_hist_.max());
+  s.mean_wait_ms = wait_hist_.mean() / static_cast<double>(kMillisecond);
+  return s;
+}
+
+}  // namespace svc
+}  // namespace csfc

@@ -26,10 +26,21 @@
 #include "obs/recorder.h"
 #include "sched/edf.h"
 #include "sched/fcfs.h"
+#include "sched/registry.h"
 #include "workload/generator.h"
 
 namespace csfc {
 namespace {
+
+/// Cascaded construction through the registry — the one sanctioned
+/// construction path (tests of the class itself stay direct).
+SchedulerFactory CascadedViaRegistry(const CascadedConfig& config) {
+  SchedulerRegistryContext ctx;
+  ctx.cascaded = config;
+  auto factory = MakeSchedulerFactory("csfc", ctx);
+  EXPECT_TRUE(factory.ok()) << factory.status().ToString();
+  return std::move(*factory);
+}
 
 std::vector<Request> StressTrace(uint64_t seed, uint32_t count = 600) {
   WorkloadConfig wc;
@@ -62,11 +73,7 @@ std::vector<RunPoint> StressPoints(const TracePtr& trace, size_t copies) {
         {sc, trace, [] { return std::make_unique<FcfsScheduler>(); }});
     points.push_back(
         {sc, trace, [] { return std::make_unique<EdfScheduler>(); }});
-    points.push_back({sc, trace, [cfg]() -> SchedulerPtr {
-                        auto s = CascadedSfcScheduler::Create(cfg);
-                        EXPECT_TRUE(s.ok());
-                        return std::move(*s);
-                      }});
+    points.push_back({sc, trace, CascadedViaRegistry(cfg)});
   }
   return points;
 }
@@ -338,11 +345,7 @@ TEST(ParallelStressTest, CalendarBackendRekeyBatchesAreRaceFreeAndDeterministic)
       QueueBackend::kCalendar);
   std::vector<RunPoint> points;
   for (size_t c = 0; c < 12; ++c) {
-    points.push_back({sc, trace, [cal]() -> SchedulerPtr {
-                        auto s = CascadedSfcScheduler::Create(cal);
-                        EXPECT_TRUE(s.ok());
-                        return std::move(*s);
-                      }});
+    points.push_back({sc, trace, CascadedViaRegistry(cal)});
   }
 
   auto serial = RunParallel(points, 1);
@@ -367,11 +370,7 @@ TEST(ParallelStressTest, ComparePoliciesTwiceIsBitIdentical) {
   entries.push_back(
       {"fcfs", [] { return std::make_unique<FcfsScheduler>(); }});
   entries.push_back({"edf", [] { return std::make_unique<EdfScheduler>(); }});
-  entries.push_back({"csfc", [cfg]() -> SchedulerPtr {
-                       auto s = CascadedSfcScheduler::Create(cfg);
-                       EXPECT_TRUE(s.ok());
-                       return std::move(*s);
-                     }});
+  entries.push_back({"csfc", CascadedViaRegistry(cfg)});
 
   auto first = ComparePolicies(sc, trace, entries, 4);
   ASSERT_TRUE(first.ok()) << first.status().ToString();

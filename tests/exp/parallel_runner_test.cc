@@ -14,6 +14,7 @@
 #include "exp/runner.h"
 #include "sched/edf.h"
 #include "sched/fcfs.h"
+#include "sched/registry.h"
 #include "workload/generator.h"
 
 namespace csfc {
@@ -99,11 +100,11 @@ std::vector<RunPoint> MakePoints(const TracePtr& trace) {
   for (const char* curve : {"hilbert", "diagonal", "peano", "gray"}) {
     const CascadedConfig cfg =
         PresetFull(curve, 2, 3, 1.0, 3, 3832, 0.05, 700.0);
-    points.push_back({sc, trace, [cfg] {
-                        auto s = CascadedSfcScheduler::Create(cfg);
-                        EXPECT_TRUE(s.ok());
-                        return std::move(*s);
-                      }});
+    SchedulerRegistryContext ctx;
+    ctx.cascaded = cfg;
+    auto factory = MakeSchedulerFactory("csfc", ctx);
+    EXPECT_TRUE(factory.ok()) << factory.status().ToString();
+    points.push_back({sc, trace, std::move(*factory)});
   }
   return points;
 }

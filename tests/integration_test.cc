@@ -8,6 +8,7 @@
 
 #include "core/presets.h"
 #include "exp/runner.h"
+#include "sched/registry.h"
 #include "sched/edf.h"
 #include "sched/fcfs.h"
 #include "sched/scan_family.h"
@@ -42,11 +43,11 @@ RunMetrics RunSim(const std::vector<Request>& trace, SchedulerFactory factory,
 }
 
 SchedulerFactory Cascaded(const CascadedConfig& config) {
-  return [config] {
-    auto s = CascadedSfcScheduler::Create(config);
-    EXPECT_TRUE(s.ok());
-    return std::move(*s);
-  };
+  SchedulerRegistryContext ctx;
+  ctx.cascaded = config;
+  auto factory = MakeSchedulerFactory("csfc", ctx);
+  EXPECT_TRUE(factory.ok()) << factory.status().ToString();
+  return std::move(*factory);
 }
 
 TEST(IntegrationTest, EveryRequestIsEventuallyServed) {

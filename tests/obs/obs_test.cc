@@ -17,8 +17,10 @@
 #include "obs/export.h"
 #include "obs/json.h"
 #include "obs/recorder.h"
+#include "obs/slo.h"
 #include "obs/windowed.h"
 #include "sched/fcfs.h"
+#include "sched/registry.h"
 #include "workload/generator.h"
 
 namespace csfc {
@@ -188,6 +190,27 @@ TEST(ExportTest, TraceEventJsonRoundTripsEveryKind) {
     events.push_back(e);
   }
   events.push_back(MakeEvent(TraceEventKind::kDeadlineMiss, 4.0, 7));
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kIngest, 5.0, 8);
+    e.stream = 3;
+    events.push_back(e);
+  }
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kAdmit, 5.0, 8);
+    e.queue_depth = 12;
+    events.push_back(e);
+  }
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kReject, 5.5, 9);
+    e.reject = RejectReason::kLoad;
+    events.push_back(e);
+  }
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kDrain, 6.0, 8);
+    e.wait_ms = 1.75;
+    e.queue_depth = 11;
+    events.push_back(e);
+  }
 
   StringWriter out;
   ASSERT_TRUE(Export(std::span<const TraceEvent>(events), out,
@@ -221,6 +244,30 @@ TEST(ExportTest, TraceEventJsonRoundTripsEveryKind) {
   EXPECT_DOUBLE_EQ(arrival->at("cyl").num, 123.0);
   EXPECT_DOUBLE_EQ(arrival->at("level").num, 3.0);
   EXPECT_NEAR(arrival->at("deadline_ms").num, 99.25, 1e-9);
+
+  // Service front-end payloads: reject carries the wire reason name,
+  // drain carries the wait latency the SLO windows aggregate.
+  std::vector<std::string> all_lines;
+  std::istringstream relines(out.str());
+  while (std::getline(relines, line)) all_lines.push_back(line);
+  auto reject = ParseFlatJsonObject(all_lines[all_lines.size() - 2]);
+  ASSERT_TRUE(reject.ok());
+  EXPECT_EQ(reject->at("reason").str, "load");
+  auto drain = ParseFlatJsonObject(all_lines.back());
+  ASSERT_TRUE(drain.ok());
+  EXPECT_DOUBLE_EQ(drain->at("wait_ms").num, 1.75);
+  EXPECT_DOUBLE_EQ(drain->at("qd").num, 11.0);
+}
+
+TEST(ExportTest, RejectReasonNamesRoundTrip) {
+  for (RejectReason r : {RejectReason::kRate, RejectReason::kLoad,
+                         RejectReason::kRingFull}) {
+    RejectReason parsed;
+    ASSERT_TRUE(ParseRejectReason(RejectReasonName(r), &parsed));
+    EXPECT_EQ(parsed, r);
+  }
+  RejectReason parsed;
+  EXPECT_FALSE(ParseRejectReason("because", &parsed));
 }
 
 TEST(ExportTest, JsonlSinkStreamsAndCounts) {
@@ -313,6 +360,116 @@ TEST(WindowedMetricsTest, BucketsCountsAndMaterializesGaps) {
   EXPECT_EQ(std::count(out.str().begin(), out.str().end(), '\n'), 5);
 }
 
+// ------------------------------------------------------------ SLO windows
+
+TEST(SloMetricsTest, WindowsAccumulateAndMaterializeGaps) {
+  SloMetrics slo(/*window_ms=*/10.0);
+  auto feed = [&slo](TraceEvent e) { slo.OnEvent(e); };
+
+  // Window [0,10): two offers, one admitted + drained, one load-shed.
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kIngest, 1.0, 0);
+    e.stream = 0;
+    feed(e);
+  }
+  feed(MakeEvent(TraceEventKind::kAdmit, 1.0, 0));
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kIngest, 2.0, 1);
+    e.stream = 1;
+    feed(e);
+  }
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kReject, 2.0, 1);
+    e.reject = RejectReason::kLoad;
+    feed(e);
+  }
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kDrain, 4.0, 0);
+    e.wait_ms = 3.0;
+    feed(e);
+  }
+  // Windows [10,20) and [20,30) stay empty; [30,40) gets one rate shed.
+  feed(MakeEvent(TraceEventKind::kIngest, 31.0, 2));
+  {
+    TraceEvent e = MakeEvent(TraceEventKind::kReject, 31.0, 2);
+    e.reject = RejectReason::kRate;
+    feed(e);
+  }
+
+  const std::vector<SloWindowRow> rows = slo.Rows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_DOUBLE_EQ(rows[0].start_ms, 0.0);
+  EXPECT_EQ(rows[0].offered, 2u);
+  EXPECT_EQ(rows[0].admitted, 1u);
+  EXPECT_EQ(rows[0].rejected, 1u);
+  EXPECT_EQ(rows[0].rejected_load, 1u);
+  EXPECT_EQ(rows[0].drains, 1u);
+  EXPECT_DOUBLE_EQ(rows[0].shed_rate(), 0.5);
+  EXPECT_GT(rows[0].p50_ms, 0.0);
+  EXPECT_GE(rows[0].max_ms, rows[0].p50_ms);
+
+  // Gap windows materialize with zero counts so the series plots as-is.
+  EXPECT_DOUBLE_EQ(rows[1].start_ms, 10.0);
+  EXPECT_EQ(rows[1].offered, 0u);
+  EXPECT_DOUBLE_EQ(rows[1].shed_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(rows[2].start_ms, 20.0);
+
+  EXPECT_DOUBLE_EQ(rows[3].start_ms, 30.0);
+  EXPECT_EQ(rows[3].rejected_rate, 1u);
+  EXPECT_EQ(rows[3].drains, 0u);
+
+  // The whole-run histogram saw exactly the one drain sample.
+  EXPECT_EQ(slo.overall().total(), 1u);
+}
+
+TEST(SloMetricsTest, ExportsCsvJsonAndJsonl) {
+  SloMetrics slo(/*window_ms=*/5.0);
+  for (int i = 0; i < 3; ++i) {
+    slo.OnEvent(MakeEvent(TraceEventKind::kIngest,
+                          static_cast<double>(i) * 4.0,
+                          static_cast<RequestId>(i)));
+    slo.OnEvent(MakeEvent(TraceEventKind::kAdmit,
+                          static_cast<double>(i) * 4.0,
+                          static_cast<RequestId>(i)));
+    TraceEvent d = MakeEvent(TraceEventKind::kDrain,
+                             static_cast<double>(i) * 4.0 + 1.0,
+                             static_cast<RequestId>(i));
+    d.wait_ms = 1.0 + i;
+    slo.OnEvent(d);
+  }
+  const size_t windows = slo.Rows().size();
+  ASSERT_GT(windows, 1u);
+
+  StringWriter csv;
+  ASSERT_TRUE(Export(slo, csv, ExportFormat::kCsv).ok());
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(csv.str().begin(), csv.str().end(), '\n')),
+            windows + 1);  // header + one line per window
+  EXPECT_EQ(csv.str().rfind("start_ms,offered,admitted,rejected", 0), 0u);
+
+  StringWriter jsonl;
+  ASSERT_TRUE(Export(slo, jsonl, ExportFormat::kJsonl).ok());
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  size_t parsed_rows = 0;
+  uint64_t offered = 0;
+  while (std::getline(lines, line)) {
+    auto obj = ParseFlatJsonObject(line);
+    ASSERT_TRUE(obj.ok()) << line;
+    offered += static_cast<uint64_t>(obj->at("offered").num);
+    ++parsed_rows;
+  }
+  EXPECT_EQ(parsed_rows, windows);
+  EXPECT_EQ(offered, 3u);  // per-window counts sum to the run total
+
+  StringWriter json;
+  ASSERT_TRUE(Export(slo, json, ExportFormat::kJson).ok());
+  std::string doc = json.str();
+  while (!doc.empty() && doc.back() == '\n') doc.pop_back();
+  EXPECT_EQ(doc.front(), '[');
+  EXPECT_EQ(doc.back(), ']');
+}
+
 // ------------------------------------------------- simulator integration
 
 std::vector<Request> TestTrace(uint64_t seed, uint64_t count) {
@@ -330,13 +487,11 @@ std::vector<Request> TestTrace(uint64_t seed, uint64_t count) {
 }
 
 SchedulerFactory CascadedFactory() {
-  const CascadedConfig config =
-      PresetFull("hilbert", 3, 4, 1.0, 3, 3832, 0.05, 700.0);
-  return [config] {
-    auto s = CascadedSfcScheduler::Create(config);
-    EXPECT_TRUE(s.ok());
-    return std::move(*s);
-  };
+  SchedulerRegistryContext ctx;
+  ctx.cascaded = PresetFull("hilbert", 3, 4, 1.0, 3, 3832, 0.05, 700.0);
+  auto factory = MakeSchedulerFactory("csfc", ctx);
+  EXPECT_TRUE(factory.ok()) << factory.status().ToString();
+  return std::move(*factory);
 }
 
 struct Timeline {

@@ -1,0 +1,163 @@
+// AdmissionController unit coverage: config validation, the token-bucket
+// rate gate (burst, refill, per-stream isolation), the SCAN-tour wait
+// oracle, and the accounting reconciliation identity
+// offered == admitted + rejected_rate + rejected_load + rejected_ring_full.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/types.h"
+#include "svc/admission.h"
+
+namespace csfc {
+namespace svc {
+namespace {
+
+TEST(AdmissionConfigTest, ValidatesRanges) {
+  AdmissionConfig ok;
+  EXPECT_TRUE(ok.Validate().ok());
+
+  AdmissionConfig zero_streams;
+  zero_streams.max_streams = 0;
+  EXPECT_FALSE(zero_streams.Validate().ok());
+
+  AdmissionConfig negative_rate;
+  negative_rate.stream_rate_rps = -1.0;
+  EXPECT_FALSE(negative_rate.Validate().ok());
+
+  AdmissionConfig nan_slo;
+  nan_slo.slo_wait_ms = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(nan_slo.Validate().ok());
+
+  AdmissionConfig negative_cost;
+  negative_cost.fixed_cost_ms = -0.5;
+  EXPECT_FALSE(negative_cost.Validate().ok());
+}
+
+TEST(AdmissionTest, DisabledGatesAdmitEverything) {
+  AdmissionConfig cfg;  // rate 0, slo 0: both gates off
+  AdmissionController c(cfg);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(c.Admit(static_cast<uint32_t>(i), 0, 1u << 20),
+              AdmitDecision::kAdmit);
+    c.RecordAdmit();
+  }
+  EXPECT_EQ(c.counters().offered, 100u);
+  EXPECT_EQ(c.counters().admitted, 100u);
+  EXPECT_EQ(c.counters().rejected(), 0u);
+}
+
+TEST(AdmissionTest, TokenBucketShedsBeyondBurst) {
+  AdmissionConfig cfg;
+  cfg.stream_rate_rps = 10.0;
+  cfg.stream_burst = 5.0;
+  AdmissionController c(cfg);
+
+  // Buckets start full: exactly `burst` offers pass at t=0, the rest shed.
+  int admitted = 0, shed = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (c.Admit(/*stream=*/0, /*now=*/0, /*queue_depth=*/0) ==
+        AdmitDecision::kAdmit) {
+      c.RecordAdmit();
+      ++admitted;
+    } else {
+      ++shed;
+    }
+  }
+  EXPECT_EQ(admitted, 5);
+  EXPECT_EQ(shed, 3);
+  EXPECT_EQ(c.counters().rejected_rate, 3u);
+}
+
+TEST(AdmissionTest, TokenBucketRefillsAtConfiguredRate) {
+  AdmissionConfig cfg;
+  cfg.stream_rate_rps = 10.0;  // one token every 100 ms
+  cfg.stream_burst = 1.0;
+  AdmissionController c(cfg);
+
+  EXPECT_EQ(c.Admit(0, MsToSim(0.0), 0), AdmitDecision::kAdmit);
+  EXPECT_EQ(c.Admit(0, MsToSim(1.0), 0), AdmitDecision::kRejectRate);
+  // 100 ms later one token has refilled; 50 ms after that only half a
+  // token has, which is not enough.
+  EXPECT_EQ(c.Admit(0, MsToSim(101.0), 0), AdmitDecision::kAdmit);
+  EXPECT_EQ(c.Admit(0, MsToSim(151.0), 0), AdmitDecision::kRejectRate);
+}
+
+TEST(AdmissionTest, StreamsHaveIndependentBuckets) {
+  AdmissionConfig cfg;
+  cfg.stream_rate_rps = 1.0;
+  cfg.stream_burst = 1.0;
+  cfg.max_streams = 8;
+  AdmissionController c(cfg);
+
+  // Draining stream 0's bucket must not shed stream 1.
+  EXPECT_EQ(c.Admit(0, 0, 0), AdmitDecision::kAdmit);
+  EXPECT_EQ(c.Admit(0, 0, 0), AdmitDecision::kRejectRate);
+  EXPECT_EQ(c.Admit(1, 0, 0), AdmitDecision::kAdmit);
+  // Stream ids fold modulo max_streams: stream 8 shares bucket 0.
+  EXPECT_EQ(c.Admit(8, 0, 0), AdmitDecision::kRejectRate);
+}
+
+TEST(AdmissionTest, WaitOracleIsLinearInDepth) {
+  AdmissionConfig cfg;
+  cfg.fixed_cost_ms = 2.0;
+  cfg.sweep_cost_ms = 10.0;
+  AdmissionController c(cfg);
+  EXPECT_DOUBLE_EQ(c.PredictedWaitMs(0), 10.0);
+  EXPECT_DOUBLE_EQ(c.PredictedWaitMs(1), 12.0);
+  EXPECT_DOUBLE_EQ(c.PredictedWaitMs(100), 210.0);
+}
+
+TEST(AdmissionTest, LoadGateShedsWhenPredictedWaitExceedsSlo) {
+  AdmissionConfig cfg;
+  cfg.slo_wait_ms = 50.0;
+  cfg.fixed_cost_ms = 1.0;
+  cfg.sweep_cost_ms = 10.0;  // W(d) = d + 10
+  AdmissionController c(cfg);
+
+  EXPECT_EQ(c.Admit(0, 0, /*queue_depth=*/40), AdmitDecision::kAdmit);
+  c.RecordAdmit();
+  EXPECT_EQ(c.Admit(0, 0, /*queue_depth=*/41), AdmitDecision::kRejectLoad);
+  EXPECT_EQ(c.counters().rejected_load, 1u);
+}
+
+TEST(AdmissionTest, AccountingReconcilesAcrossAllOutcomes) {
+  AdmissionConfig cfg;
+  cfg.stream_rate_rps = 5.0;
+  cfg.stream_burst = 5.0;
+  cfg.slo_wait_ms = 20.0;
+  cfg.fixed_cost_ms = 1.0;
+  cfg.sweep_cost_ms = 10.0;
+  AdmissionController c(cfg);
+
+  // A mixed workload: deep queues for some offers (load sheds), drained
+  // buckets for others (rate sheds), and every fifth admitted offer
+  // bouncing off a full ring.
+  int ring_bounces = 0;
+  for (int i = 0; i < 200; ++i) {
+    const uint32_t stream = static_cast<uint32_t>(i % 3);
+    const size_t depth = (i % 7 == 0) ? 50 : 2;
+    const AdmitDecision d = c.Admit(stream, MsToSim(10.0 * i), depth);
+    if (d == AdmitDecision::kAdmit) {
+      if (++ring_bounces % 5 == 0) {
+        c.RecordRingReject();
+      } else {
+        c.RecordAdmit();
+      }
+    }
+  }
+
+  const AdmissionController::Counters k = c.counters();
+  EXPECT_EQ(k.offered, 200u);
+  EXPECT_GT(k.admitted, 0u);
+  EXPECT_GT(k.rejected_load, 0u);
+  EXPECT_GT(k.rejected_ring_full, 0u);
+  EXPECT_EQ(k.offered,
+            k.admitted + k.rejected_rate + k.rejected_load +
+                k.rejected_ring_full);
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace csfc

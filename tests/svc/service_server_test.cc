@@ -1,0 +1,236 @@
+// ServiceServer end-to-end coverage in deterministic virtual-time mode,
+// plus a quick wall-clock sanity run (the concurrency stress lives in
+// service_stress_test.cc for the TSan job).
+//
+// The load-bearing assertions here are the ISSUE acceptance criteria:
+//  * dispatch order through the service front-end is bit-identical to the
+//    offline simulator fed the same admitted set;
+//  * RunVirtual twice -> bit-identical traces and stats;
+//  * under seeded open-loop overload the admission gates hold the SLO and
+//    the accounting identity reconciles.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/presets.h"
+#include "exp/runner.h"
+#include "exp/server_config.h"
+#include "obs/recorder.h"
+#include "obs/trace_event.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace csfc {
+namespace svc {
+namespace {
+
+using obs::TraceEvent;
+using obs::TraceEventKind;
+using obs::TraceRecorder;
+
+std::vector<Request> SyntheticTrace(uint64_t seed, uint64_t count,
+                                    double interarrival_ms) {
+  WorkloadConfig c;
+  c.seed = seed;
+  c.count = count;
+  c.mean_interarrival_ms = interarrival_ms;
+  c.priority_dims = 3;
+  c.priority_levels = 16;
+  c.deadline_lo_ms = 500;
+  c.deadline_hi_ms = 700;
+  auto gen = SyntheticGenerator::Create(c);
+  EXPECT_TRUE(gen.ok());
+  return DrainGenerator(**gen);
+}
+
+/// The shared base configuration: cascaded scheduler on the calendar
+/// backend, no admission gates unless a test turns them on.
+ServerConfig BaseConfig() {
+  ServerConfig config;
+  config.WithMetricsShape(3, 16)
+      .WithCascaded(PresetFull("hilbert", 3, 4, 1.0, 3,
+                               config.sim.disk.cylinders, 0.05, 700.0));
+  return config;
+}
+
+/// Projects the (id, t) sequence of one event kind out of a recorder.
+std::vector<std::pair<RequestId, SimTime>> EventsOfKind(
+    const TraceRecorder& rec, TraceEventKind kind) {
+  std::vector<std::pair<RequestId, SimTime>> out;
+  for (const TraceEvent& e : rec.Events()) {
+    if (e.kind == kind) out.emplace_back(e.id, e.t);
+  }
+  return out;
+}
+
+void ExpectSameEventStream(const TraceRecorder& a, const TraceRecorder& b) {
+  const std::vector<TraceEvent> ea = a.Events();
+  const std::vector<TraceEvent> eb = b.Events();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].kind, eb[i].kind) << "event " << i;
+    EXPECT_EQ(ea[i].t, eb[i].t) << "event " << i;
+    EXPECT_EQ(ea[i].id, eb[i].id) << "event " << i;
+    EXPECT_EQ(ea[i].queue_depth, eb[i].queue_depth) << "event " << i;
+    EXPECT_DOUBLE_EQ(ea[i].wait_ms, eb[i].wait_ms) << "event " << i;
+    EXPECT_EQ(ea[i].reject, eb[i].reject) << "event " << i;
+  }
+}
+
+void ExpectDispatchOrderMatchesOffline(std::optional<uint64_t> latency_seed) {
+  const std::vector<Request> trace = SyntheticTrace(1207, 2000, 0.5);
+
+  ServerConfig config = BaseConfig();
+  config.sim.latency_seed = latency_seed;
+  TraceRecorder service_rec(size_t{1} << 17);
+  config.WithTraceSink(&service_rec);
+  auto handle = MakeServer(config);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  const ServiceStats stats = handle->server->RunVirtual(trace);
+  EXPECT_EQ(stats.admission.offered, trace.size());
+  EXPECT_EQ(stats.admission.admitted, trace.size());  // gates off
+  EXPECT_EQ(stats.dispatched, trace.size());
+  EXPECT_EQ(stats.completions, trace.size());
+
+  // Offline replay of the same (here: complete) admitted set, same
+  // simulator config, scheduler built through the same registry path.
+  SimulatorConfig sim = config.sim;
+  TraceRecorder offline_rec(size_t{1} << 17);
+  sim.trace_sink = &offline_rec;
+  auto disk = DiskModel::Create(sim.disk);
+  ASSERT_TRUE(disk.ok());
+  auto factory = config.MakeFactory(*disk);
+  ASSERT_TRUE(factory.ok()) << factory.status().ToString();
+  auto metrics = RunSchedulerOnTrace(sim, trace, *factory);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+
+  const auto service_dispatch =
+      EventsOfKind(service_rec, TraceEventKind::kDispatch);
+  const auto offline_dispatch =
+      EventsOfKind(offline_rec, TraceEventKind::kDispatch);
+  ASSERT_EQ(service_dispatch.size(), trace.size());
+  ASSERT_EQ(service_dispatch.size(), offline_dispatch.size());
+  for (size_t i = 0; i < service_dispatch.size(); ++i) {
+    EXPECT_EQ(service_dispatch[i].first, offline_dispatch[i].first)
+        << "dispatch " << i;
+    EXPECT_EQ(service_dispatch[i].second, offline_dispatch[i].second)
+        << "dispatch " << i;
+  }
+  // Completions (and therefore modeled service times) line up too.
+  EXPECT_EQ(EventsOfKind(service_rec, TraceEventKind::kCompletion),
+            EventsOfKind(offline_rec, TraceEventKind::kCompletion));
+}
+
+TEST(ServiceServerTest, VirtualDispatchOrderMatchesOfflineSimulator) {
+  ExpectDispatchOrderMatchesOffline(std::nullopt);
+}
+
+TEST(ServiceServerTest, VirtualMatchesOfflineWithSeededLatency) {
+  ExpectDispatchOrderMatchesOffline(uint64_t{42});
+}
+
+TEST(ServiceServerTest, RunVirtualTwiceIsBitIdentical) {
+  const std::vector<Request> trace = SyntheticTrace(31, 1500, 0.4);
+
+  auto run = [&trace](TraceRecorder* rec) {
+    ServerConfig config = BaseConfig();
+    config.WithSlo(80.0).WithStreamRate(400.0, 32.0).WithTraceSink(rec);
+    auto handle = MakeServer(config);
+    EXPECT_TRUE(handle.ok()) << handle.status().ToString();
+    return handle->server->RunVirtual(trace);
+  };
+
+  TraceRecorder rec_a(size_t{1} << 17), rec_b(size_t{1} << 17);
+  const ServiceStats a = run(&rec_a);
+  const ServiceStats b = run(&rec_b);
+
+  ExpectSameEventStream(rec_a, rec_b);
+  EXPECT_EQ(a.admission.offered, b.admission.offered);
+  EXPECT_EQ(a.admission.admitted, b.admission.admitted);
+  EXPECT_EQ(a.admission.rejected_rate, b.admission.rejected_rate);
+  EXPECT_EQ(a.admission.rejected_load, b.admission.rejected_load);
+  EXPECT_EQ(a.dispatched, b.dispatched);
+  EXPECT_EQ(a.completions, b.completions);
+  EXPECT_DOUBLE_EQ(a.p50_wait_ms, b.p50_wait_ms);
+  EXPECT_DOUBLE_EQ(a.p99_wait_ms, b.p99_wait_ms);
+  EXPECT_DOUBLE_EQ(a.p999_wait_ms, b.p999_wait_ms);
+  EXPECT_DOUBLE_EQ(a.max_wait_ms, b.max_wait_ms);
+}
+
+TEST(ServiceServerTest, AdmissionHoldsSloUnderSeededOverload) {
+  // Open-loop overload: arrivals far faster than the disk can serve, so
+  // without the load gate waits would grow without bound. With the gate
+  // on, admitted requests must see waits near the configured SLO.
+  const std::vector<Request> trace = SyntheticTrace(77, 4000, 0.1);
+
+  ServerConfig config = BaseConfig();
+  const double kSloMs = 60.0;
+  config.WithSlo(kSloMs);  // derive_admission_costs fills the oracle
+  auto handle = MakeServer(config);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  const ServiceStats stats = handle->server->RunVirtual(trace);
+
+  // The accounting identity over every outcome class.
+  const AdmissionController::Counters& k = stats.admission;
+  EXPECT_EQ(k.offered, trace.size());
+  EXPECT_EQ(k.offered, k.admitted + k.rejected_rate + k.rejected_load +
+                           k.rejected_ring_full);
+  EXPECT_GT(k.admitted, 0u);
+  EXPECT_GT(k.rejected_load, 0u);  // overload really shed
+
+  // Everything admitted was served, and the wait distribution is sane.
+  EXPECT_EQ(stats.completions, k.admitted);
+  EXPECT_LE(stats.p50_wait_ms, stats.p99_wait_ms);
+  EXPECT_LE(stats.p99_wait_ms, stats.p999_wait_ms);
+  EXPECT_LE(stats.p999_wait_ms, stats.max_wait_ms);
+  // The oracle is an estimate, not a guarantee: bound the realized tail
+  // at a small multiple of the SLO rather than the SLO itself (measured
+  // ~3.6x here; ungated the same workload's tail is ~79,000 ms).
+  EXPECT_LE(stats.max_wait_ms, 5.0 * kSloMs);
+}
+
+TEST(ServiceServerTest, UngatedOverloadConfirmsTheGateWasLoadBearing) {
+  // Control for the SLO test above: the same overload with the gates off
+  // must blow far past the SLO, or the previous test proves nothing.
+  const std::vector<Request> trace = SyntheticTrace(77, 4000, 0.1);
+  ServerConfig config = BaseConfig();
+  auto handle = MakeServer(config);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  const ServiceStats stats = handle->server->RunVirtual(trace);
+  EXPECT_EQ(stats.admission.admitted, trace.size());
+  EXPECT_GT(stats.max_wait_ms, 1000.0);
+}
+
+TEST(ServiceServerTest, WallClockStopDrainsEverythingAdmitted) {
+  ServerConfig config = BaseConfig();
+  config.WithIngest(256, 32).WithTimeScale(0.0);
+  auto handle = MakeServer(config);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  ServiceServer& server = *handle->server;
+
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.Start().ok());  // double-start refused
+  const std::vector<Request> reqs = SyntheticTrace(5, 500, 1.0);
+  for (const Request& r : reqs) {
+    Request copy = r;
+    while (!server.Offer(std::move(copy))) {
+      copy = r;  // ring-full backpressure: retry the same request
+    }
+  }
+  server.Stop();
+  EXPECT_FALSE(server.running());
+
+  const ServiceStats stats = server.Stats();
+  EXPECT_EQ(stats.admission.admitted, reqs.size());
+  EXPECT_GE(stats.admission.offered, reqs.size());  // retries re-offer
+  EXPECT_EQ(stats.enqueued, stats.admission.admitted);
+  EXPECT_EQ(stats.dispatched, stats.admission.admitted);
+  EXPECT_EQ(stats.completions, stats.admission.admitted);
+  EXPECT_GE(stats.max_wait_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace csfc

@@ -1,0 +1,332 @@
+// One flag table per tool, driving BOTH the parser and the help text.
+//
+// csfc_sim's hand-rolled Usage() string had drifted from its if/else
+// parser chain (flags that parsed but were missing from the help, and
+// vice versa). Here a flag exists iff it was Add()ed: Parse() dispatches
+// over the table and PrintUsage()/PrintHelp() render the same table, so
+// the two cannot disagree. csfc_sim and csfc_serve both build their sets
+// from these helpers, sharing the workload/trace/scheduler flags through
+// AddWorkloadFlags/AddSchedulerFlags below.
+//
+// Syntax accepted: --name=VALUE for valued flags, bare --name for
+// booleans, --help/-h for the generated help. Unknown flags and
+// malformed values print usage and fail.
+
+#ifndef CSFC_TOOLS_CLI_FLAGS_H_
+#define CSFC_TOOLS_CLI_FLAGS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/server_config.h"
+#include "workload/edl.h"
+#include "workload/generator.h"
+#include "workload/mpeg.h"
+#include "workload/trace.h"
+
+namespace csfc {
+namespace tools {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string prog) : prog_(std::move(prog)) {}
+
+  /// Valued flag: --name=METAVAR. `parse` returns false on a bad value.
+  void Add(std::string name, std::string metavar, std::string help,
+           std::function<bool(const std::string&)> parse) {
+    flags_.push_back({std::move(name), std::move(metavar), std::move(help),
+                      std::move(parse)});
+  }
+
+  /// Boolean flag: bare --name sets *out = true.
+  void AddBool(std::string name, std::string help, bool* out) {
+    flags_.push_back({std::move(name), "", std::move(help),
+                      [out](const std::string&) {
+                        *out = true;
+                        return true;
+                      }});
+  }
+
+  void AddString(std::string name, std::string metavar, std::string help,
+                 std::string* out) {
+    Add(std::move(name), std::move(metavar), std::move(help),
+        [out](const std::string& v) {
+          *out = v;
+          return true;
+        });
+  }
+
+  void AddDouble(std::string name, std::string help, double* out) {
+    Add(std::move(name), "X", std::move(help), [out](const std::string& v) {
+      char* end = nullptr;
+      *out = std::strtod(v.c_str(), &end);
+      return end != nullptr && *end == '\0' && end != v.c_str();
+    });
+  }
+
+  void AddUint32(std::string name, std::string help, uint32_t* out) {
+    Add(std::move(name), "N", std::move(help), [out](const std::string& v) {
+      char* end = nullptr;
+      const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0') return false;
+      *out = static_cast<uint32_t>(x);
+      return true;
+    });
+  }
+
+  void AddUint64(std::string name, std::string help, uint64_t* out) {
+    Add(std::move(name), "N", std::move(help), [out](const std::string& v) {
+      char* end = nullptr;
+      *out = std::strtoull(v.c_str(), &end, 10);
+      return end != v.c_str() && *end == '\0';
+    });
+  }
+
+  void AddSize(std::string name, std::string help, size_t* out) {
+    Add(std::move(name), "N", std::move(help), [out](const std::string& v) {
+      char* end = nullptr;
+      const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0') return false;
+      *out = static_cast<size_t>(x);
+      return true;
+    });
+  }
+
+  /// "LO:HI" pair.
+  void AddRange(std::string name, std::string help, double* lo, double* hi) {
+    Add(std::move(name), "LO:HI", std::move(help),
+        [lo, hi](const std::string& v) {
+          const size_t colon = v.find(':');
+          if (colon == std::string::npos) return false;
+          *lo = std::atof(v.substr(0, colon).c_str());
+          *hi = std::atof(v.substr(colon + 1).c_str());
+          return true;
+        });
+  }
+
+  /// Parses argv. Returns 0 on success; 2 on a usage error (usage already
+  /// printed to stderr). --help/-h prints the full help to stdout and
+  /// exits the process with 0.
+  int Parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+        PrintHelp(stdout);
+        std::exit(0);
+      }
+      if (std::strncmp(arg, "--", 2) != 0) {
+        std::fprintf(stderr, "%s: unexpected argument '%s'\n", prog_.c_str(),
+                     arg);
+        PrintUsage(stderr);
+        return 2;
+      }
+      const char* body = arg + 2;
+      const char* eq = std::strchr(body, '=');
+      const std::string name =
+          eq != nullptr ? std::string(body, static_cast<size_t>(eq - body))
+                        : std::string(body);
+      const Flag* flag = FindFlag(name);
+      if (flag == nullptr) {
+        std::fprintf(stderr, "%s: unknown flag --%s\n", prog_.c_str(),
+                     name.c_str());
+        PrintUsage(stderr);
+        return 2;
+      }
+      const bool boolean = flag->metavar.empty();
+      if (boolean != (eq == nullptr)) {
+        std::fprintf(stderr, "%s: flag --%s %s a value\n", prog_.c_str(),
+                     name.c_str(), boolean ? "does not take" : "requires");
+        PrintUsage(stderr);
+        return 2;
+      }
+      if (!flag->parse(eq != nullptr ? std::string(eq + 1) : std::string())) {
+        std::fprintf(stderr, "%s: bad value for --%s\n", prog_.c_str(),
+                     name.c_str());
+        PrintUsage(stderr);
+        return 2;
+      }
+    }
+    return 0;
+  }
+
+  /// Single-line usage synopsis, generated from the table.
+  void PrintUsage(std::FILE* out) const {
+    std::fprintf(out, "usage: %s", prog_.c_str());
+    size_t col = prog_.size() + 7;
+    for (const Flag& f : flags_) {
+      std::string item = " [--" + f.name;
+      if (!f.metavar.empty()) item += "=" + f.metavar;
+      item += "]";
+      if (col + item.size() > 78) {
+        std::fprintf(out, "\n       ");
+        col = 7;
+      }
+      std::fprintf(out, "%s", item.c_str());
+      col += item.size();
+    }
+    std::fprintf(out, "\n");
+  }
+
+  /// Full help: usage plus one aligned line per flag.
+  void PrintHelp(std::FILE* out) const {
+    PrintUsage(out);
+    size_t width = 0;
+    for (const Flag& f : flags_) {
+      size_t w = f.name.size();
+      if (!f.metavar.empty()) w += 1 + f.metavar.size();
+      width = width > w ? width : w;
+    }
+    for (const Flag& f : flags_) {
+      std::string head = "--" + f.name;
+      if (!f.metavar.empty()) head += "=" + f.metavar;
+      std::fprintf(out, "  %-*s  %s\n", static_cast<int>(width + 2),
+                   head.c_str(), f.help.c_str());
+    }
+  }
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string metavar;  ///< empty = boolean
+    std::string help;
+    std::function<bool(const std::string&)> parse;
+  };
+
+  const Flag* FindFlag(const std::string& name) const {
+    for (const Flag& f : flags_) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+
+  std::string prog_;
+  std::vector<Flag> flags_;
+};
+
+// ---------------------------------------------------------------------
+// Shared flag blocks. csfc_sim and csfc_serve register the workload and
+// scheduler flags through these helpers, so a new knob lands in both
+// tools (parser and help alike) from one edit here.
+
+/// Workload selection and synthesis knobs.
+struct WorkloadFlags {
+  std::string kind = "synthetic";  ///< synthetic | mpeg | edl
+  uint32_t users = 40;             ///< mpeg streams / edl editors
+  double duration_ms = 20000.0;    ///< mpeg horizon
+  WorkloadConfig cfg;              ///< synthetic knobs + shared seed/shape
+};
+
+inline void AddWorkloadFlags(FlagSet& flags, WorkloadFlags* w) {
+  flags.AddString("workload", "KIND", "workload family: synthetic|mpeg|edl",
+                  &w->kind);
+  flags.AddUint32("users", "mpeg streams / edl editors", &w->users);
+  flags.AddDouble("duration", "mpeg workload horizon in ms",
+                  &w->duration_ms);
+  flags.AddUint64("count", "synthetic request count", &w->cfg.count);
+  flags.AddDouble("interarrival", "mean interarrival in ms",
+                  &w->cfg.mean_interarrival_ms);
+  flags.AddUint32("burst", "requests per arrival burst", &w->cfg.burst_size);
+  flags.AddUint32("dims", "priority dimensions", &w->cfg.priority_dims);
+  flags.AddUint32("levels", "priority levels per dimension",
+                  &w->cfg.priority_levels);
+  flags.AddRange("deadline", "relative deadline range in ms",
+                 &w->cfg.deadline_lo_ms, &w->cfg.deadline_hi_ms);
+  flags.Add("bytes", "LO:HI", "request size range in bytes",
+            [w](const std::string& v) {
+              const size_t colon = v.find(':');
+              if (colon == std::string::npos) return false;
+              w->cfg.bytes_lo = std::strtoull(v.c_str(), nullptr, 10);
+              w->cfg.bytes_hi =
+                  std::strtoull(v.c_str() + colon + 1, nullptr, 10);
+              return true;
+            });
+  flags.AddUint64("seed", "workload RNG seed", &w->cfg.seed);
+  flags.AddBool("relaxed", "relaxed (far-future) deadlines",
+                &w->cfg.relaxed_deadlines);
+}
+
+/// Generates the arrival stream the flags describe.
+inline Result<std::vector<Request>> BuildWorkload(const WorkloadFlags& w) {
+  if (w.kind == "mpeg") {
+    MpegWorkloadConfig mc;
+    mc.seed = w.cfg.seed;
+    mc.num_users = w.users;
+    mc.duration_ms = w.duration_ms;
+    mc.user_phase_spread_ms = mc.PeriodMs() - mc.batch_jitter_ms;
+    auto gen = MpegStreamGenerator::Create(mc);
+    if (!gen.ok()) return gen.status();
+    return DrainGenerator(**gen);
+  }
+  if (w.kind == "edl") {
+    EdlWorkloadConfig ec;
+    ec.seed = w.cfg.seed;
+    ec.num_editors = w.users;
+    auto gen = EdlWorkloadGenerator::Create(ec);
+    if (!gen.ok()) return gen.status();
+    return DrainGenerator(**gen);
+  }
+  if (w.kind == "synthetic") {
+    auto gen = SyntheticGenerator::Create(w.cfg);
+    if (!gen.ok()) return gen.status();
+    return DrainGenerator(**gen);
+  }
+  return Status::InvalidArgument("unknown --workload=" + w.kind +
+                                 " (synthetic|mpeg|edl)");
+}
+
+/// Scheduler selection and cascaded-preset knobs.
+struct SchedulerFlags {
+  std::string sched = "csfc";
+  std::string sfc1 = "hilbert";
+  double f = 1.0;
+  uint32_t r = 3;
+  double window = 0.05;
+  std::string queue = "calendar";  ///< flat | calendar (the default backend)
+  bool transfer_only = false;
+};
+
+inline void AddSchedulerFlags(FlagSet& flags, SchedulerFlags* s) {
+  flags.AddString("sched", "NAME", "scheduler registry name (see --list)",
+                  &s->sched);
+  flags.AddString("sfc1", "CURVE", "stage-1 curve (hilbert|diagonal|...)",
+                  &s->sfc1);
+  flags.AddDouble("f", "stage-2 balance factor", &s->f);
+  flags.AddUint32("r", "stage-3 partition count", &s->r);
+  flags.AddDouble("window", "conditional-preemption window fraction",
+                  &s->window);
+  flags.AddString("queue", "flat|calendar", "dispatcher queue backend",
+                  &s->queue);
+  flags.AddBool("transfer-only", "service time = transfer only (no seek)",
+                &s->transfer_only);
+}
+
+/// Folds the scheduler and workload flags into a ServerConfig: policy
+/// name, service model, metrics shape, and the cascaded preset (shape
+/// knobs reuse the workload's dims/levels/deadline horizon).
+inline Status ApplySchedulerFlags(const SchedulerFlags& s,
+                                  const WorkloadFlags& w, ServerConfig* out) {
+  if (s.queue != "flat" && s.queue != "calendar") {
+    return Status::InvalidArgument("unknown --queue=" + s.queue +
+                                   " (flat|calendar)");
+  }
+  out->WithScheduler(s.sched)
+      .WithServiceModel(s.transfer_only ? ServiceModel::kTransferOnly
+                                        : ServiceModel::kFullDisk)
+      .WithMetricsShape(w.cfg.priority_dims, w.cfg.priority_levels)
+      .WithCascaded(PresetFull(s.sfc1, w.cfg.priority_dims, /*bits=*/4, s.f,
+                               s.r, out->sim.disk.cylinders, s.window,
+                               w.cfg.deadline_hi_ms))
+      .WithQueueBackend(s.queue == "calendar" ? QueueBackend::kCalendar
+                                              : QueueBackend::kFlat);
+  return Status::OK();
+}
+
+}  // namespace tools
+}  // namespace csfc
+
+#endif  // CSFC_TOOLS_CLI_FLAGS_H_

@@ -15,8 +15,11 @@ Rules (all scoped to src/, tools/, DESIGN.md — tests may break them):
                     one sanctioned use is the SchedulerFactory alias in
                     sched/scheduler.h — a cold-path factory seam).
   determinism       No rand()/srand()/time()/std::random_device/
-                    wall-clock types in src/ outside common/random: every
-                    run must be reproducible from its seed.
+                    wall-clock types in src/ outside common/random and the
+                    common/clock seam: every run must be reproducible from
+                    its seed, and real time may enter only through a Clock
+                    (which tests replace with the deterministic
+                    VirtualClock).
   include-hygiene   src/core and src/sched may include from obs/ only the
                     tracer seam; the scheduler core must not grow a
                     dependency on sinks, recorders or exporters. The seam
@@ -286,15 +289,17 @@ NONDETERMINISM_RE = re.compile(
 def check_determinism(tree: Tree) -> List[Finding]:
     findings: List[Finding] = []
     for path, text in sorted(tree.items()):
-        if not path.startswith("src/") or path.startswith("src/common/random"):
+        if not path.startswith("src/") or path.startswith(
+                ("src/common/random", "src/common/clock")):
             continue
         code = strip_comments(text)
         for m in re.finditer(NONDETERMINISM_RE, code):
             findings.append(Finding(
                 "determinism", path, line_of(code, m.start()),
                 f"nondeterministic source `{m.group(1).strip()}` outside "
-                f"common/random — thread seeds through common/random so "
-                f"runs replay bit-identically"))
+                f"common/random — thread seeds through common/random (and "
+                f"real time through common/clock) so runs replay "
+                f"bit-identically"))
     return findings
 
 

@@ -3,16 +3,11 @@
 // prints the full metric set — the quickest way to explore the design
 // space without writing C++.
 //
-// Usage:
-//   csfc_sim [--sched=NAME] [--workload=synthetic|mpeg|edl] [--users=N]
-//            [--duration=MS] [--count=N] [--interarrival=MS] [--burst=N]
-//            [--dims=D] [--levels=L] [--deadline=LO:HI | --relaxed]
-//            [--bytes=LO:HI] [--seed=S] [--transfer-only]
-//            [--trace-in=FILE] [--trace-out=FILE]
-//            [--trace-jsonl=FILE] [--json]
-//            [--sfc1=CURVE] [--f=F] [--r=R] [--window=W]
-//            [--queue=flat|calendar]
-//   csfc_sim --list
+// Flags come from the shared table in cli_flags.h (same workload and
+// scheduler flags as csfc_serve); run `csfc_sim --help` for the full
+// generated list. Configuration flows through ServerConfig, the same
+// surface the service front-end builds from, so an offline replay and a
+// service run of the same flags cannot drift apart.
 //
 // --trace-jsonl streams every lifecycle event of the run to FILE in the
 // JSONL schema of DESIGN.md section 10 (inspect with trace_inspect).
@@ -21,146 +16,45 @@
 // Examples:
 //   csfc_sim --sched=edf --count=5000 --interarrival=20
 //   csfc_sim --sched=csfc --sfc1=diagonal --f=1 --r=3 --window=0.05
-//   csfc_sim --sched=csfc --queue=calendar --count=200000
+//   csfc_sim --sched=csfc --queue=flat --count=200000
 //   csfc_sim --trace-in=load.trace --sched=scan-rt
 //   csfc_sim --sched=csfc --trace-jsonl=run.jsonl && trace_inspect run.jsonl
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
-#include "core/presets.h"
+#include "cli_flags.h"
 #include "exp/runner.h"
 #include "obs/export.h"
-#include "sched/registry.h"
-#include "workload/edl.h"
-#include "workload/mpeg.h"
-#include "workload/trace.h"
 
 using namespace csfc;
 
-namespace {
-
-struct Args {
-  std::string sched = "csfc";
-  std::string workload = "synthetic";  // synthetic | mpeg | edl
-  uint32_t users = 40;
-  double duration_ms = 20000.0;
-  WorkloadConfig workload_cfg;
-  bool transfer_only = false;
-  std::string trace_in;
-  std::string trace_out;
-  std::string trace_jsonl;
-  bool json = false;
-  std::string sfc1 = "hilbert";
-  double f = 1.0;
-  uint32_t r = 3;
-  double window = 0.05;
-  std::string queue = "flat";  // flat | calendar
-  bool list = false;
-};
-
-bool ParseKv(const char* arg, const char* key, std::string* out) {
-  const size_t n = std::strlen(key);
-  if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') {
-    *out = arg + n + 1;
-    return true;
-  }
-  return false;
-}
-
-bool ParseRange(const std::string& v, double* lo, double* hi) {
-  const size_t colon = v.find(':');
-  if (colon == std::string::npos) return false;
-  *lo = std::atof(v.substr(0, colon).c_str());
-  *hi = std::atof(v.substr(colon + 1).c_str());
-  return true;
-}
-
-int Usage() {
-  std::fprintf(stderr,
-               "usage: csfc_sim [--sched=NAME] [--count=N] "
-               "[--interarrival=MS] [--burst=N] [--dims=D] [--levels=L]\n"
-               "                [--deadline=LO:HI | --relaxed] "
-               "[--bytes=LO:HI] [--seed=S] [--transfer-only]\n"
-               "                [--trace-in=F] [--trace-out=F] "
-               "[--trace-jsonl=F] [--json]\n"
-               "                [--sfc1=CURVE] [--f=F] [--r=R] [--window=W] "
-               "[--queue=flat|calendar] | --list\n");
-  return 2;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  Args args;
-  args.workload_cfg.count = 5000;
-  for (int i = 1; i < argc; ++i) {
-    std::string v;
-    if (std::strcmp(argv[i], "--list") == 0) {
-      args.list = true;
-    } else if (std::strcmp(argv[i], "--relaxed") == 0) {
-      args.workload_cfg.relaxed_deadlines = true;
-    } else if (std::strcmp(argv[i], "--transfer-only") == 0) {
-      args.transfer_only = true;
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      args.json = true;
-    } else if (ParseKv(argv[i], "--sched", &v)) {
-      args.sched = v;
-    } else if (ParseKv(argv[i], "--workload", &v)) {
-      args.workload = v;
-    } else if (ParseKv(argv[i], "--users", &v)) {
-      args.users = static_cast<uint32_t>(std::atoi(v.c_str()));
-    } else if (ParseKv(argv[i], "--duration", &v)) {
-      args.duration_ms = std::atof(v.c_str());
-    } else if (ParseKv(argv[i], "--count", &v)) {
-      args.workload_cfg.count = std::strtoull(v.c_str(), nullptr, 10);
-    } else if (ParseKv(argv[i], "--interarrival", &v)) {
-      args.workload_cfg.mean_interarrival_ms = std::atof(v.c_str());
-    } else if (ParseKv(argv[i], "--burst", &v)) {
-      args.workload_cfg.burst_size = static_cast<uint32_t>(std::atoi(v.c_str()));
-    } else if (ParseKv(argv[i], "--dims", &v)) {
-      args.workload_cfg.priority_dims = static_cast<uint32_t>(std::atoi(v.c_str()));
-    } else if (ParseKv(argv[i], "--levels", &v)) {
-      args.workload_cfg.priority_levels =
-          static_cast<uint32_t>(std::atoi(v.c_str()));
-    } else if (ParseKv(argv[i], "--deadline", &v)) {
-      if (!ParseRange(v, &args.workload_cfg.deadline_lo_ms,
-                      &args.workload_cfg.deadline_hi_ms)) {
-        return Usage();
-      }
-    } else if (ParseKv(argv[i], "--bytes", &v)) {
-      double lo, hi;
-      if (!ParseRange(v, &lo, &hi)) return Usage();
-      args.workload_cfg.bytes_lo = static_cast<uint64_t>(lo);
-      args.workload_cfg.bytes_hi = static_cast<uint64_t>(hi);
-    } else if (ParseKv(argv[i], "--seed", &v)) {
-      args.workload_cfg.seed = std::strtoull(v.c_str(), nullptr, 10);
-    } else if (ParseKv(argv[i], "--trace-in", &v)) {
-      args.trace_in = v;
-    } else if (ParseKv(argv[i], "--trace-out", &v)) {
-      args.trace_out = v;
-    } else if (ParseKv(argv[i], "--trace-jsonl", &v)) {
-      args.trace_jsonl = v;
-    } else if (ParseKv(argv[i], "--sfc1", &v)) {
-      args.sfc1 = v;
-    } else if (ParseKv(argv[i], "--f", &v)) {
-      args.f = std::atof(v.c_str());
-    } else if (ParseKv(argv[i], "--r", &v)) {
-      args.r = static_cast<uint32_t>(std::atoi(v.c_str()));
-    } else if (ParseKv(argv[i], "--window", &v)) {
-      args.window = std::atof(v.c_str());
-    } else if (ParseKv(argv[i], "--queue", &v)) {
-      if (v != "flat" && v != "calendar") return Usage();
-      args.queue = v;
-    } else {
-      return Usage();
-    }
-  }
+  tools::WorkloadFlags wf;
+  wf.cfg.count = 5000;
+  tools::SchedulerFlags sf;
+  std::string trace_in, trace_out, trace_jsonl;
+  bool json = false;
+  bool list = false;
 
-  if (args.list) {
+  tools::FlagSet flags("csfc_sim");
+  flags.AddString("trace-in", "FILE", "replay a binary trace instead of generating",
+                  &trace_in);
+  flags.AddString("trace-out", "FILE", "save the generated workload as a binary trace",
+                  &trace_out);
+  flags.AddString("trace-jsonl", "FILE",
+                  "stream lifecycle events as JSONL (DESIGN.md section 10)",
+                  &trace_jsonl);
+  flags.AddBool("json", "print RunMetrics as JSON instead of the summary",
+                &json);
+  flags.AddBool("list", "list registered schedulers and exit", &list);
+  tools::AddSchedulerFlags(flags, &sf);
+  tools::AddWorkloadFlags(flags, &wf);
+  if (int rc = flags.Parse(argc, argv); rc != 0) return rc;
+
+  if (list) {
     std::printf("schedulers:");
     for (auto n : AllSchedulerNames()) std::printf(" %s", std::string(n).c_str());
     std::printf("\n");
@@ -169,97 +63,66 @@ int main(int argc, char** argv) {
 
   // Workload: trace replay or synthetic.
   std::vector<Request> trace;
-  if (!args.trace_in.empty()) {
-    auto loaded = LoadTrace(args.trace_in);
+  if (!trace_in.empty()) {
+    auto loaded = LoadTrace(trace_in);
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
       return 1;
     }
     trace = std::move(*loaded);
-  } else if (args.workload == "mpeg") {
-    MpegWorkloadConfig mc;
-    mc.seed = args.workload_cfg.seed;
-    mc.num_users = args.users;
-    mc.duration_ms = args.duration_ms;
-    mc.user_phase_spread_ms = mc.PeriodMs() - mc.batch_jitter_ms;
-    auto gen = MpegStreamGenerator::Create(mc);
-    if (!gen.ok()) {
-      std::fprintf(stderr, "%s\n", gen.status().ToString().c_str());
-      return 1;
-    }
-    trace = DrainGenerator(**gen);
-  } else if (args.workload == "edl") {
-    EdlWorkloadConfig ec;
-    ec.seed = args.workload_cfg.seed;
-    ec.num_editors = args.users;
-    auto gen = EdlWorkloadGenerator::Create(ec);
-    if (!gen.ok()) {
-      std::fprintf(stderr, "%s\n", gen.status().ToString().c_str());
-      return 1;
-    }
-    trace = DrainGenerator(**gen);
-  } else if (args.workload == "synthetic") {
-    auto gen = SyntheticGenerator::Create(args.workload_cfg);
-    if (!gen.ok()) {
-      std::fprintf(stderr, "%s\n", gen.status().ToString().c_str());
-      return 1;
-    }
-    trace = DrainGenerator(**gen);
   } else {
-    std::fprintf(stderr, "unknown --workload=%s (synthetic|mpeg|edl)\n",
-                 args.workload.c_str());
-    return 2;
+    auto built = tools::BuildWorkload(wf);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    trace = std::move(*built);
   }
-  if (!args.trace_out.empty()) {
-    if (Status s = SaveTrace(args.trace_out, trace); !s.ok()) {
+  if (!trace_out.empty()) {
+    if (Status s = SaveTrace(trace_out, trace); !s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 1;
     }
-    std::printf("trace written: %s (%zu requests)\n", args.trace_out.c_str(),
+    std::printf("trace written: %s (%zu requests)\n", trace_out.c_str(),
                 trace.size());
   }
 
-  SimulatorConfig sc;
-  sc.service_model = args.transfer_only ? ServiceModel::kTransferOnly
-                                        : ServiceModel::kFullDisk;
-  sc.metrics.dims = args.workload_cfg.priority_dims;
-  sc.metrics.levels = args.workload_cfg.priority_levels;
+  ServerConfig config;
+  if (Status s = tools::ApplySchedulerFlags(sf, wf, &config); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
 
   // Optional lifecycle trace, streamed to disk as the run progresses.
   std::optional<obs::FileWriter> trace_file;
   std::optional<obs::JsonlSink> trace_sink;
-  if (!args.trace_jsonl.empty()) {
-    auto opened = obs::FileWriter::Open(args.trace_jsonl);
+  if (!trace_jsonl.empty()) {
+    auto opened = obs::FileWriter::Open(trace_jsonl);
     if (!opened.ok()) {
       std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
       return 1;
     }
     trace_file.emplace(std::move(*opened));
     trace_sink.emplace(*trace_file);
-    sc.trace_sink = &*trace_sink;
+    config.WithTraceSink(&*trace_sink);
   }
 
-  auto disk = DiskModel::Create(sc.disk);
+  if (Status s = config.Validate(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  auto disk = DiskModel::Create(config.sim.disk);
   if (!disk.ok()) {
     std::fprintf(stderr, "%s\n", disk.status().ToString().c_str());
     return 1;
   }
-  SchedulerRegistryContext ctx;
-  ctx.disk = &*disk;
-  ctx.priority_levels = args.workload_cfg.priority_levels;
-  ctx.cascaded = WithQueueBackend(
-      PresetFull(args.sfc1, args.workload_cfg.priority_dims,
-                 /*bits=*/4, args.f, args.r, sc.disk.cylinders, args.window,
-                 args.workload_cfg.deadline_hi_ms),
-      args.queue == "calendar" ? QueueBackend::kCalendar
-                               : QueueBackend::kFlat);
-  auto factory = MakeSchedulerFactory(args.sched, ctx);
+  auto factory = config.MakeFactory(*disk);
   if (!factory.ok()) {
     std::fprintf(stderr, "%s\n", factory.status().ToString().c_str());
     return 1;
   }
 
-  auto metrics = RunSchedulerOnTrace(sc, trace, *factory);
+  auto metrics = RunSchedulerOnTrace(config.sim, trace, *factory);
   if (!metrics.ok()) {
     std::fprintf(stderr, "%s\n", metrics.status().ToString().c_str());
     return 1;
@@ -277,15 +140,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "trace written: %s (%llu events)\n",
-                 args.trace_jsonl.c_str(),
+                 trace_jsonl.c_str(),
                  static_cast<unsigned long long>(trace_sink->events_written()));
   }
 
-  if (args.json) {
+  if (json) {
     std::printf("%s\n", m.ToJson().c_str());
     return 0;
   }
-  std::printf("scheduler:        %s\n", args.sched.c_str());
+  std::printf("scheduler:        %s\n", config.scheduler.c_str());
   std::printf("requests:         %llu\n",
               static_cast<unsigned long long>(m.completions));
   std::printf("makespan:         %.1f ms\n", SimToMs(m.makespan));

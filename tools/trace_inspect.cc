@@ -42,10 +42,12 @@ struct ParsedEvent {
   std::optional<double> level;
   std::optional<double> vc;
   std::optional<double> response_ms;
+  std::optional<double> wait_ms;
   bool missed = false;
 };
 
 struct Lifecycle {
+  std::optional<double> ingest_ms;
   std::optional<double> arrival_ms;
   std::optional<double> enqueue_ms;
   std::optional<double> dispatch_ms;
@@ -192,6 +194,40 @@ std::optional<ParsedEvent> ParseLine(const std::string& line, size_t line_no,
     }
     case K::kDeadlineMiss:
       break;
+    case K::kIngest:
+      if (!RequireNumber(obj, "stream", line_no, errors, &tmp)) {
+        return std::nullopt;
+      }
+      break;
+    case K::kAdmit:
+      if (!RequireNumber(obj, "qd", line_no, errors, &tmp)) return std::nullopt;
+      break;
+    case K::kReject: {
+      const obs::JsonScalar* reason = Find(obj, "reason");
+      if (reason == nullptr || !reason->is_string()) {
+        errors->Add(line_no, "reject missing string \"reason\"");
+        return std::nullopt;
+      }
+      obs::RejectReason parsed_reason;
+      if (!obs::ParseRejectReason(reason->str, &parsed_reason)) {
+        errors->Add(line_no, "unknown reject reason \"" + reason->str + "\"");
+        return std::nullopt;
+      }
+      break;
+    }
+    case K::kDrain: {
+      double wait;
+      if (!RequireNumber(obj, "wait_ms", line_no, errors, &wait) ||
+          !RequireNumber(obj, "qd", line_no, errors, &tmp)) {
+        return std::nullopt;
+      }
+      if (wait < 0.0) {
+        errors->Add(line_no, "negative drain wait_ms");
+        return std::nullopt;
+      }
+      out.wait_ms = wait;
+      break;
+    }
   }
   return out;
 }
@@ -290,8 +326,23 @@ int main(int argc, char** argv) {
         lc.level = static_cast<uint32_t>(e.level.value_or(0));
         lc.have_level = true;
         break;
+      case K::kIngest:
+        if (lc.ingest_ms) errors.Add(0, "duplicate ingest for request " +
+                                            std::to_string(*e.id));
+        lc.ingest_ms = e.t_ms;
+        break;
+      case K::kAdmit:
+      case K::kReject:
+        check_order("ingest", lc.ingest_ms,
+                    e.kind == K::kAdmit ? "admit" : "reject", e.t_ms);
+        break;
+      case K::kDrain:
+        check_order("ingest", lc.ingest_ms, "drain", e.t_ms);
+        check_order("enqueue", lc.enqueue_ms, "drain", e.t_ms);
+        break;
       case K::kEnqueue:
         check_order("arrival", lc.arrival_ms, "enqueue", e.t_ms);
+        check_order("ingest", lc.ingest_ms, "enqueue", e.t_ms);
         lc.enqueue_ms = e.t_ms;
         break;
       case K::kDispatch:
@@ -404,6 +455,21 @@ int main(int argc, char** argv) {
     }
     levels.Print();
     std::printf("\n");
+  }
+
+  // Service-mode summary: offer-to-dispatch wait percentiles from the
+  // drain events, when the trace came from the front-end.
+  std::vector<double> waits;
+  for (const ParsedEvent& e : events) {
+    if (e.kind == K::kDrain && e.wait_ms) waits.push_back(*e.wait_ms);
+  }
+  if (!waits.empty()) {
+    std::sort(waits.begin(), waits.end());
+    std::printf("drain waits: %zu  p50: %.3f ms  p99: %.3f ms  p999: %.3f ms"
+                "  max: %.3f ms\n\n",
+                waits.size(), Percentile(waits, 0.50),
+                Percentile(waits, 0.99), Percentile(waits, 0.999),
+                waits.back());
   }
 
   TablePrinter timeline({"window start ms", "inversions", "misses",
