@@ -1,0 +1,112 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace csfc::simd {
+
+namespace {
+
+// -1 = not yet initialized from the environment. Values >= 0 are Modes.
+std::atomic<int> g_override{-1};
+
+Mode ReadEnvMode() {
+  const char* s = std::getenv("CSFC_SIMD");
+  if (s == nullptr || *s == '\0') return Mode::kAuto;
+  Mode m = Mode::kAuto;
+  if (!ParseMode(s, &m)) {
+    // Warned once: the env read happens only on the first OverrideMode().
+    std::fprintf(stderr,
+                 "csfc: ignoring invalid CSFC_SIMD=%s "
+                 "(expected auto|scalar|sse2|avx2)\n",
+                 s);
+    return Mode::kAuto;
+  }
+  return m;
+}
+
+}  // namespace
+
+Level DetectLevel() {
+  static const Level level = [] {
+#if CSFC_SIMD_X86
+#if defined(__GNUC__) || defined(__clang__)
+    if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+    return Level::kSse2;  // SSE2 is the x86-64 baseline.
+#else
+    return Level::kScalar;
+#endif
+  }();
+  return level;
+}
+
+Mode OverrideMode() {
+  int cur = g_override.load(std::memory_order_relaxed);
+  if (cur < 0) {
+    int expected = -1;
+    g_override.compare_exchange_strong(expected,
+                                       static_cast<int>(ReadEnvMode()),
+                                       std::memory_order_relaxed);
+    cur = g_override.load(std::memory_order_relaxed);
+  }
+  return static_cast<Mode>(cur);
+}
+
+void SetOverride(Mode mode) {
+  g_override.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+Level Resolve(Mode requested) {
+  Mode m = OverrideMode();
+  if (m == Mode::kAuto) m = requested;
+  const Level detected = DetectLevel();
+  if (m == Mode::kAuto) return detected;
+  const int want = static_cast<int>(m);
+  const int have = static_cast<int>(detected);
+  return static_cast<Level>(want < have ? want : have);
+}
+
+bool ParseMode(std::string_view text, Mode* out) {
+  if (text == "auto") {
+    *out = Mode::kAuto;
+  } else if (text == "scalar") {
+    *out = Mode::kScalar;
+  } else if (text == "sse2") {
+    *out = Mode::kSse2;
+  } else if (text == "avx2") {
+    *out = Mode::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kScalar:
+      return "scalar";
+    case Mode::kSse2:
+      return "sse2";
+    case Mode::kAvx2:
+      return "avx2";
+    case Mode::kAuto:
+      return "auto";
+  }
+  return "auto";
+}
+
+}  // namespace csfc::simd

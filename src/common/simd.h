@@ -1,0 +1,501 @@
+// Portable SIMD wrapper for the hot-path kernels.
+//
+// Three backends expose one fixed-width lane model — kWidth f64 lanes,
+// kWidth i64 lanes, and kWidth i32 lanes packed into a half-width
+// register — behind an identical static-op interface:
+//
+//   * ScalarBackend  (4 lanes)  plain arrays + loops; compiles anywhere
+//     and doubles as the reference semantics for the wrapper's own tests.
+//   * Sse2Backend    (2 lanes)  the x86-64 baseline ISA; no compile flag
+//     needed, so any translation unit may instantiate it.
+//   * Avx2Backend    (4 lanes)  only defined when the including TU is
+//     compiled with -mavx2 (see src/CMakeLists.txt: the AVX2 kernel
+//     lives in its own TU with per-file flags, never behind a runtime
+//     branch in generic code).
+//
+// The op set is exactly what the fused characterization kernel and the
+// SFC encode loops need; every op is elementwise and IEEE-exact, so a
+// kernel written against this interface is bit-identical across
+// backends by construction (property-tested in tests/).
+//
+// Semantics pinned by the kernels (do not "fix" these):
+//   * MinF64(a, b) == a < b ? a : b (the MINPD rule: second operand on
+//     equal; callers guarantee no NaNs and no +-0 ambiguity).
+//   * U64ToF64 is the correctly-rounded u64 -> f64 conversion, matching
+//     static_cast<double>(uint64_t) on every input (the AVX2/SSE2
+//     implementations use the split-halves exponent trick).
+//   * F64ToI32Trunc truncates toward zero; defined for |x| < 2^31.
+//   * Compares return all-ones/all-zero lane masks for AndMask/AndI32.
+//
+// Runtime dispatch: Level is what the CPU (or an operator override) says
+// may run; DetectLevel() probes once and caches, CSFC_SIMD=
+// {auto,scalar,sse2,avx2} (env, or SetOverride for --simd/tests)
+// narrows it. Resolve() is clamped to DetectLevel(), so requesting avx2
+// on an SSE2-only machine degrades safely.
+
+#ifndef CSFC_COMMON_SIMD_H_
+#define CSFC_COMMON_SIMD_H_
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define CSFC_SIMD_X86 1
+#include <emmintrin.h>  // SSE2
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+#else
+#define CSFC_SIMD_X86 0
+#endif
+
+namespace csfc::simd {
+
+/// An ISA tier the process can execute. Ordered: higher includes lower.
+enum class Level : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// A dispatch request: a Level, or "pick the best the CPU has".
+enum class Mode : int { kScalar = 0, kSse2 = 1, kAvx2 = 2, kAuto = 3 };
+
+/// Best Level the executing CPU supports. Probed once (cached).
+Level DetectLevel();
+
+/// Process-wide override, initialized from the CSFC_SIMD environment
+/// variable on first use (invalid values warn once and read as kAuto).
+Mode OverrideMode();
+
+/// Replaces the process-wide override (tests, --simd flag). Pass kAuto
+/// to defer to per-call requests again. Callers that probe temporarily
+/// should save OverrideMode() first and restore it.
+void SetOverride(Mode mode);
+
+/// Resolves a dispatch request to an executable Level: the process
+/// override wins over `requested`, kAuto means DetectLevel(), and the
+/// result is clamped to DetectLevel().
+Level Resolve(Mode requested);
+
+/// Parses "auto" | "scalar" | "sse2" | "avx2". Returns false (and leaves
+/// *out alone) on anything else.
+bool ParseMode(std::string_view text, Mode* out);
+
+const char* LevelName(Level level);
+const char* ModeName(Mode mode);
+
+// ---------------------------------------------------------------------------
+// ScalarBackend: array emulation. The reference implementation of the op
+// semantics, and the fallback the ISA-specific kernel TUs instantiate on
+// non-x86 targets.
+// ---------------------------------------------------------------------------
+
+struct ScalarBackend {
+  static constexpr int kWidth = 4;
+  struct F64 {
+    double v[kWidth];
+  };
+  struct I64 {
+    int64_t v[kWidth];
+  };
+  struct I32 {
+    int32_t v[kWidth];
+  };
+
+  static const char* Name() { return "scalar"; }
+
+  static F64 LoadF64(const double* p) {
+    F64 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = p[l];
+    return r;
+  }
+  static void StoreF64(double* p, F64 x) {
+    for (int l = 0; l < kWidth; ++l) p[l] = x.v[l];
+  }
+  static I64 LoadI64(const int64_t* p) {
+    I64 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = p[l];
+    return r;
+  }
+  static I32 LoadI32(const int32_t* p) {
+    I32 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = p[l];
+    return r;
+  }
+  static void StoreI64(int64_t* p, I64 x) {
+    for (int l = 0; l < kWidth; ++l) p[l] = x.v[l];
+  }
+
+  static F64 Set1F64(double x) {
+    F64 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = x;
+    return r;
+  }
+  static I64 Set1I64(int64_t x) {
+    I64 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = x;
+    return r;
+  }
+  static I32 Set1I32(int32_t x) {
+    I32 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = x;
+    return r;
+  }
+
+  static F64 AddF64(F64 a, F64 b) {
+    F64 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = a.v[l] + b.v[l];
+    return r;
+  }
+  static F64 SubF64(F64 a, F64 b) {
+    F64 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = a.v[l] - b.v[l];
+    return r;
+  }
+  static F64 MulF64(F64 a, F64 b) {
+    F64 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = a.v[l] * b.v[l];
+    return r;
+  }
+  static F64 DivF64(F64 a, F64 b) {
+    F64 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = a.v[l] / b.v[l];
+    return r;
+  }
+  /// MINPD semantics: a < b ? a : b (second operand when equal).
+  static F64 MinF64(F64 a, F64 b) {
+    F64 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = a.v[l] < b.v[l] ? a.v[l] : b.v[l];
+    return r;
+  }
+  /// Bitwise AND of a value with a lane mask (keeps lanes whose mask is
+  /// all-ones, zeroes the rest — the branch-free "x if cond else +0.0").
+  static F64 AndMaskF64(F64 x, I64 mask) {
+    F64 r;
+    for (int l = 0; l < kWidth; ++l) {
+      r.v[l] = std::bit_cast<double>(std::bit_cast<int64_t>(x.v[l]) & mask.v[l]);
+    }
+    return r;
+  }
+
+  static I64 SubI64(I64 a, I64 b) {
+    I64 r;
+    for (int l = 0; l < kWidth; ++l) {
+      r.v[l] = static_cast<int64_t>(static_cast<uint64_t>(a.v[l]) -
+                                    static_cast<uint64_t>(b.v[l]));
+    }
+    return r;
+  }
+  /// Signed 64-bit a > b, as an all-ones/all-zero lane mask.
+  static I64 CmpGtI64(I64 a, I64 b) {
+    I64 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = a.v[l] > b.v[l] ? -1 : 0;
+    return r;
+  }
+  static I64 AndI64(I64 a, I64 b) {
+    I64 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = a.v[l] & b.v[l];
+    return r;
+  }
+  static I64 OrI64(I64 a, I64 b) {
+    I64 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = a.v[l] | b.v[l];
+    return r;
+  }
+  static I64 XorI64(I64 a, I64 b) {
+    I64 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = a.v[l] ^ b.v[l];
+    return r;
+  }
+  /// Logical shifts; `count` is shared by all lanes and must be < 64.
+  static I64 ShlI64(I64 a, uint32_t count) {
+    I64 r;
+    for (int l = 0; l < kWidth; ++l) {
+      r.v[l] = static_cast<int64_t>(static_cast<uint64_t>(a.v[l]) << count);
+    }
+    return r;
+  }
+  static I64 ShrI64(I64 a, uint32_t count) {
+    I64 r;
+    for (int l = 0; l < kWidth; ++l) {
+      r.v[l] = static_cast<int64_t>(static_cast<uint64_t>(a.v[l]) >> count);
+    }
+    return r;
+  }
+
+  static I32 AddI32(I32 a, I32 b) {
+    I32 r;
+    for (int l = 0; l < kWidth; ++l) {
+      r.v[l] = static_cast<int32_t>(static_cast<uint32_t>(a.v[l]) +
+                                    static_cast<uint32_t>(b.v[l]));
+    }
+    return r;
+  }
+  static I32 SubI32(I32 a, I32 b) {
+    I32 r;
+    for (int l = 0; l < kWidth; ++l) {
+      r.v[l] = static_cast<int32_t>(static_cast<uint32_t>(a.v[l]) -
+                                    static_cast<uint32_t>(b.v[l]));
+    }
+    return r;
+  }
+  static I32 AndI32(I32 a, I32 b) {
+    I32 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = a.v[l] & b.v[l];
+    return r;
+  }
+  /// Signed 32-bit min (callers keep values in [0, 2^31)).
+  static I32 MinI32(I32 a, I32 b) {
+    I32 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = a.v[l] < b.v[l] ? a.v[l] : b.v[l];
+    return r;
+  }
+  /// Unsigned 32-bit a < b, as an all-ones/all-zero lane mask.
+  static I32 CmpLtU32(I32 a, I32 b) {
+    I32 r;
+    for (int l = 0; l < kWidth; ++l) {
+      r.v[l] =
+          static_cast<uint32_t>(a.v[l]) < static_cast<uint32_t>(b.v[l]) ? -1 : 0;
+    }
+    return r;
+  }
+  /// High 32 bits of the unsigned 32x32 -> 64 product.
+  static I32 MulHiU32(I32 a, I32 b) {
+    I32 r;
+    for (int l = 0; l < kWidth; ++l) {
+      const uint64_t p = static_cast<uint64_t>(static_cast<uint32_t>(a.v[l])) *
+                         static_cast<uint64_t>(static_cast<uint32_t>(b.v[l]));
+      r.v[l] = static_cast<int32_t>(static_cast<uint32_t>(p >> 32));
+    }
+    return r;
+  }
+
+  /// Correctly-rounded u64 -> f64 (lane bits reinterpreted as unsigned).
+  static F64 U64ToF64(I64 x) {
+    F64 r;
+    for (int l = 0; l < kWidth; ++l) {
+      r.v[l] = static_cast<double>(static_cast<uint64_t>(x.v[l]));
+    }
+    return r;
+  }
+  /// Signed i32 -> f64 (exact; every i32 is representable).
+  static F64 I32ToF64(I32 x) {
+    F64 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = static_cast<double>(x.v[l]);
+    return r;
+  }
+  /// Truncate toward zero; defined for |x| < 2^31.
+  static I32 F64ToI32Trunc(F64 x) {
+    I32 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = static_cast<int32_t>(x.v[l]);
+    return r;
+  }
+  /// r[l] = base[idx[l]] (indices are non-negative i32).
+  static F64 GatherF64(const double* base, I32 idx) {
+    F64 r;
+    for (int l = 0; l < kWidth; ++l) r.v[l] = base[idx.v[l]];
+    return r;
+  }
+};
+
+#if CSFC_SIMD_X86
+
+namespace detail {
+
+/// Bit pattern of 2^84 / 2^52 as doubles — the split-halves constants of
+/// the exact u64 -> f64 conversion (high 32 bits land in the 2^84
+/// mantissa, low 32 bits in the 2^52 mantissa; both ORs are carry-free
+/// because each half is < 2^32 <= the 52-bit mantissa).
+inline constexpr int64_t k2p84Bits = std::bit_cast<int64_t>(0x1.0p84);
+inline constexpr int64_t k2p52Bits = std::bit_cast<int64_t>(0x1.0p52);
+inline constexpr double k2p84Plus2p52 = 0x1.0p84 + 0x1.0p52;
+
+/// SSE2 MulHiU32 over the low 4 i32 lanes of a 128-bit register: widen
+/// even/odd dword pairs with PMULUDQ, then pick each product's high half.
+inline __m128i MulHiU32Sse2(__m128i a, __m128i b) {
+  const __m128i even = _mm_srli_epi64(_mm_mul_epu32(a, b), 32);
+  const __m128i odd = _mm_srli_epi64(
+      _mm_mul_epu32(_mm_srli_epi64(a, 32), _mm_srli_epi64(b, 32)), 32);
+  return _mm_or_si128(even, _mm_slli_epi64(odd, 32));
+}
+
+/// Unsigned 32-bit a < b via the sign-bias trick (SSE2 only has signed
+/// compares).
+inline __m128i CmpLtU32Sse2(__m128i a, __m128i b) {
+  const __m128i bias = _mm_set1_epi32(static_cast<int32_t>(0x80000000u));
+  return _mm_cmpgt_epi32(_mm_xor_si128(b, bias), _mm_xor_si128(a, bias));
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Sse2Backend: 2 f64/i64 lanes; the i32 lanes ride in the low half of a
+// 128-bit register (loads/stores touch exactly 8 bytes).
+// ---------------------------------------------------------------------------
+
+struct Sse2Backend {
+  static constexpr int kWidth = 2;
+  using F64 = __m128d;
+  using I64 = __m128i;
+  using I32 = __m128i;
+
+  static const char* Name() { return "sse2"; }
+
+  static F64 LoadF64(const double* p) { return _mm_loadu_pd(p); }
+  static void StoreF64(double* p, F64 x) { _mm_storeu_pd(p, x); }
+  static I64 LoadI64(const int64_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static I32 LoadI32(const int32_t* p) {
+    return _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  }
+  static void StoreI64(int64_t* p, I64 x) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), x);
+  }
+
+  static F64 Set1F64(double x) { return _mm_set1_pd(x); }
+  static I64 Set1I64(int64_t x) { return _mm_set1_epi64x(x); }
+  static I32 Set1I32(int32_t x) { return _mm_set1_epi32(x); }
+
+  static F64 AddF64(F64 a, F64 b) { return _mm_add_pd(a, b); }
+  static F64 SubF64(F64 a, F64 b) { return _mm_sub_pd(a, b); }
+  static F64 MulF64(F64 a, F64 b) { return _mm_mul_pd(a, b); }
+  static F64 DivF64(F64 a, F64 b) { return _mm_div_pd(a, b); }
+  static F64 MinF64(F64 a, F64 b) { return _mm_min_pd(a, b); }
+  static F64 AndMaskF64(F64 x, I64 mask) {
+    return _mm_and_pd(x, _mm_castsi128_pd(mask));
+  }
+
+  static I64 SubI64(I64 a, I64 b) { return _mm_sub_epi64(a, b); }
+  /// Signed 64-bit compare without SSE4.2's PCMPGTQ: decide on the high
+  /// dwords, and when those tie take the borrow of the low-half subtract;
+  /// the sign of the merged dword is broadcast into the lane mask.
+  static I64 CmpGtI64(I64 a, I64 b) {
+    __m128i r = _mm_and_si128(_mm_cmpeq_epi32(a, b), _mm_sub_epi64(b, a));
+    r = _mm_or_si128(r, _mm_cmpgt_epi32(a, b));
+    return _mm_shuffle_epi32(_mm_srai_epi32(r, 31), _MM_SHUFFLE(3, 3, 1, 1));
+  }
+  static I64 AndI64(I64 a, I64 b) { return _mm_and_si128(a, b); }
+  static I64 OrI64(I64 a, I64 b) { return _mm_or_si128(a, b); }
+  static I64 XorI64(I64 a, I64 b) { return _mm_xor_si128(a, b); }
+  static I64 ShlI64(I64 a, uint32_t count) {
+    return _mm_slli_epi64(a, static_cast<int>(count));
+  }
+  static I64 ShrI64(I64 a, uint32_t count) {
+    return _mm_srli_epi64(a, static_cast<int>(count));
+  }
+
+  static I32 AddI32(I32 a, I32 b) { return _mm_add_epi32(a, b); }
+  static I32 SubI32(I32 a, I32 b) { return _mm_sub_epi32(a, b); }
+  static I32 AndI32(I32 a, I32 b) { return _mm_and_si128(a, b); }
+  static I32 MinI32(I32 a, I32 b) {
+    const __m128i a_lt = _mm_cmplt_epi32(a, b);
+    return _mm_or_si128(_mm_and_si128(a_lt, a), _mm_andnot_si128(a_lt, b));
+  }
+  static I32 CmpLtU32(I32 a, I32 b) { return detail::CmpLtU32Sse2(a, b); }
+  static I32 MulHiU32(I32 a, I32 b) { return detail::MulHiU32Sse2(a, b); }
+
+  static F64 U64ToF64(I64 x) {
+    const __m128i hi = _mm_or_si128(_mm_srli_epi64(x, 32),
+                                    _mm_set1_epi64x(detail::k2p84Bits));
+    const __m128i lo =
+        _mm_or_si128(_mm_and_si128(x, _mm_set1_epi64x(0xFFFFFFFFll)),
+                     _mm_set1_epi64x(detail::k2p52Bits));
+    const __m128d f = _mm_sub_pd(_mm_castsi128_pd(hi),
+                                 _mm_set1_pd(detail::k2p84Plus2p52));
+    return _mm_add_pd(f, _mm_castsi128_pd(lo));
+  }
+  static F64 I32ToF64(I32 x) { return _mm_cvtepi32_pd(x); }
+  static I32 F64ToI32Trunc(F64 x) { return _mm_cvttpd_epi32(x); }
+  static F64 GatherF64(const double* base, I32 idx) {
+    const int i0 = _mm_cvtsi128_si32(idx);
+    const int i1 = _mm_cvtsi128_si32(_mm_shuffle_epi32(idx, 0x55));
+    return _mm_set_pd(base[i1], base[i0]);
+  }
+};
+
+#if defined(__AVX2__)
+
+// ---------------------------------------------------------------------------
+// Avx2Backend: 4 f64/i64 lanes; the i32 lanes are a full __m128i. Only
+// defined in TUs compiled with -mavx2.
+// ---------------------------------------------------------------------------
+
+struct Avx2Backend {
+  static constexpr int kWidth = 4;
+  using F64 = __m256d;
+  using I64 = __m256i;
+  using I32 = __m128i;
+
+  static const char* Name() { return "avx2"; }
+
+  static F64 LoadF64(const double* p) { return _mm256_loadu_pd(p); }
+  static void StoreF64(double* p, F64 x) { _mm256_storeu_pd(p, x); }
+  static I64 LoadI64(const int64_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static I32 LoadI32(const int32_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void StoreI64(int64_t* p, I64 x) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), x);
+  }
+
+  static F64 Set1F64(double x) { return _mm256_set1_pd(x); }
+  static I64 Set1I64(int64_t x) { return _mm256_set1_epi64x(x); }
+  static I32 Set1I32(int32_t x) { return _mm_set1_epi32(x); }
+
+  static F64 AddF64(F64 a, F64 b) { return _mm256_add_pd(a, b); }
+  static F64 SubF64(F64 a, F64 b) { return _mm256_sub_pd(a, b); }
+  static F64 MulF64(F64 a, F64 b) { return _mm256_mul_pd(a, b); }
+  static F64 DivF64(F64 a, F64 b) { return _mm256_div_pd(a, b); }
+  static F64 MinF64(F64 a, F64 b) { return _mm256_min_pd(a, b); }
+  static F64 AndMaskF64(F64 x, I64 mask) {
+    return _mm256_and_pd(x, _mm256_castsi256_pd(mask));
+  }
+
+  static I64 SubI64(I64 a, I64 b) { return _mm256_sub_epi64(a, b); }
+  static I64 CmpGtI64(I64 a, I64 b) { return _mm256_cmpgt_epi64(a, b); }
+  static I64 AndI64(I64 a, I64 b) { return _mm256_and_si256(a, b); }
+  static I64 OrI64(I64 a, I64 b) { return _mm256_or_si256(a, b); }
+  static I64 XorI64(I64 a, I64 b) { return _mm256_xor_si256(a, b); }
+  static I64 ShlI64(I64 a, uint32_t count) {
+    return _mm256_slli_epi64(a, static_cast<int>(count));
+  }
+  static I64 ShrI64(I64 a, uint32_t count) {
+    return _mm256_srli_epi64(a, static_cast<int>(count));
+  }
+
+  static I32 AddI32(I32 a, I32 b) { return _mm_add_epi32(a, b); }
+  static I32 SubI32(I32 a, I32 b) { return _mm_sub_epi32(a, b); }
+  static I32 AndI32(I32 a, I32 b) { return _mm_and_si128(a, b); }
+  static I32 MinI32(I32 a, I32 b) { return _mm_min_epi32(a, b); }
+  static I32 CmpLtU32(I32 a, I32 b) { return detail::CmpLtU32Sse2(a, b); }
+  static I32 MulHiU32(I32 a, I32 b) { return detail::MulHiU32Sse2(a, b); }
+
+  static F64 U64ToF64(I64 x) {
+    const __m256i hi = _mm256_or_si256(_mm256_srli_epi64(x, 32),
+                                       _mm256_set1_epi64x(detail::k2p84Bits));
+    const __m256i lo =
+        _mm256_or_si256(_mm256_and_si256(x, _mm256_set1_epi64x(0xFFFFFFFFll)),
+                        _mm256_set1_epi64x(detail::k2p52Bits));
+    const __m256d f = _mm256_sub_pd(_mm256_castsi256_pd(hi),
+                                    _mm256_set1_pd(detail::k2p84Plus2p52));
+    return _mm256_add_pd(f, _mm256_castsi256_pd(lo));
+  }
+  static F64 I32ToF64(I32 x) { return _mm256_cvtepi32_pd(x); }
+  static I32 F64ToI32Trunc(F64 x) { return _mm256_cvttpd_epi32(x); }
+  static F64 GatherF64(const double* base, I32 idx) {
+    // The masked form with a zeroed source: the plain intrinsic expands
+    // through _mm256_undefined_pd(), which GCC flags under
+    // -Wmaybe-uninitialized -Werror. All-ones mask = gather every lane.
+    return _mm256_mask_i32gather_pd(
+        _mm256_setzero_pd(), base, idx,
+        _mm256_castsi256_pd(_mm256_set1_epi64x(-1)), 8);
+  }
+};
+
+#endif  // defined(__AVX2__)
+#endif  // CSFC_SIMD_X86
+
+}  // namespace csfc::simd
+
+#endif  // CSFC_COMMON_SIMD_H_

@@ -104,6 +104,15 @@ class SmallVector {
   T& back() { return (*this)[size_ - 1]; }
   const T& back() const { return (*this)[size_ - 1]; }
 
+  /// Inline storage capacity (elements 0..N-1 never spill to the heap).
+  static constexpr size_t kInlineCapacity = N;
+
+  /// Direct pointer to the inline buffer: the first min(size(), N)
+  /// elements, contiguous. Lets batch kernels hoist the per-element
+  /// inline-vs-heap branch of operator[] out of their hot loops; reading
+  /// past min(size(), N) through this pointer is the caller's bug.
+  const T* inline_data() const { return inline_; }
+
   bool operator==(const SmallVector& other) const {
     if (size_ != other.size_) return false;
     for (size_t i = 0; i < size_; ++i) {

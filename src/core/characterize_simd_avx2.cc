@@ -1,0 +1,37 @@
+// AVX2 instantiation of the fused characterization kernel. This TU (and
+// only this TU) is compiled with -mavx2 -ffp-contract=off — see
+// src/CMakeLists.txt; the runtime dispatcher in Encapsulator never calls
+// it unless the CPUID probe reported AVX2. -ffp-contract=off pins the
+// bit-identity contract: -mavx2 alone would let the compiler contract
+// mul+add chains into FMAs on machines that have them, changing rounding
+// versus the scalar kernel. If the toolchain can't target AVX2 the TU
+// degrades to the best backend it can compile (SSE2 on x86, scalar
+// elsewhere) — still bit-identical; the *Backend() query reports which.
+
+#include "core/characterize_kernel.h"
+
+namespace csfc {
+
+namespace {
+#if CSFC_SIMD_X86 && defined(__AVX2__)
+using Backend = simd::Avx2Backend;
+#elif CSFC_SIMD_X86
+using Backend = simd::Sse2Backend;
+#else
+using Backend = simd::ScalarBackend;
+#endif
+}  // namespace
+
+CSFC_HOT void CharacterizeFusedAvx2(const FusedInvariants& in,
+                                    std::span<const Request* const> reqs,
+                                    std::span<CValue> out, bool lut1) {
+  if (lut1) {
+    FusedSimdKernel<Backend, true>(in, reqs, out);
+  } else {
+    FusedSimdKernel<Backend, false>(in, reqs, out);
+  }
+}
+
+const char* CharacterizeFusedAvx2Backend() { return Backend::Name(); }
+
+}  // namespace csfc

@@ -1,0 +1,30 @@
+// SSE2 instantiation of the fused characterization kernel. SSE2 is the
+// x86-64 baseline, so this TU needs no special compile flags; on non-x86
+// targets it instantiates the scalar-emulation backend under the same
+// exported symbols (bit-identical, just not faster).
+
+#include "core/characterize_kernel.h"
+
+namespace csfc {
+
+namespace {
+#if CSFC_SIMD_X86
+using Backend = simd::Sse2Backend;
+#else
+using Backend = simd::ScalarBackend;
+#endif
+}  // namespace
+
+CSFC_HOT void CharacterizeFusedSse2(const FusedInvariants& in,
+                                    std::span<const Request* const> reqs,
+                                    std::span<CValue> out, bool lut1) {
+  if (lut1) {
+    FusedSimdKernel<Backend, true>(in, reqs, out);
+  } else {
+    FusedSimdKernel<Backend, false>(in, reqs, out);
+  }
+}
+
+const char* CharacterizeFusedSse2Backend() { return Backend::Name(); }
+
+}  // namespace csfc

@@ -5,16 +5,10 @@
 #include <cmath>
 #include <vector>
 
+#include "core/characterize_kernel.h"
 #include "sfc/registry.h"
 
 namespace csfc {
-
-namespace {
-// Weight of the Stage-2 tie-breaking secondary key. Small enough that it
-// can never reorder requests whose primary keys differ by one grid cell
-// (the smallest primary separation is ~2^-16 at the maximum stage-2 grid).
-constexpr double kTieEpsilon = 0x1.0p-24;
-}  // namespace
 
 Status EncapsulatorConfig::Validate() const {
   if (stage1_enabled && priority_dims > 0) {
@@ -112,7 +106,20 @@ Result<std::unique_ptr<Encapsulator>> Encapsulator::Create(
     e->curve3_ = std::move(*c);
   }
   if (config.enable_lut) e->BuildLuts(config.lut_max_cells);
+  e->simd_level_ = simd::Resolve(config.simd);
   return e;
+}
+
+const char* Encapsulator::simd_backend() const {
+  switch (simd_level_) {
+    case simd::Level::kAvx2:
+      return CharacterizeFusedAvx2Backend();
+    case simd::Level::kSse2:
+      return CharacterizeFusedSse2Backend();
+    case simd::Level::kScalar:
+      break;
+  }
+  return "scalar";
 }
 
 void Encapsulator::BuildLuts(uint64_t max_cells) {
@@ -340,16 +347,28 @@ void Encapsulator::Stage1Batch(std::span<const Request* const> reqs,
     }
     return;
   }
+  // Direct curve evaluation, in blocks through IndexBatch: Z-order and
+  // Gray run their encode in SIMD lanes (bit-identical to per-point
+  // Index(); the other curves take the base per-point loop). Stack
+  // buffers keep this allocation-free (dims <= 16).
   const SpaceFillingCurve& curve = *curve1_;
   const uint64_t num_cells = curve.num_cells();
-  for (size_t i = 0; i < n; ++i) {
-    const Request& r = *reqs[i];
-    uint32_t point[16];
-    for (uint32_t k = 0; k < dims; ++k) {
-      point[k] = std::min<uint32_t>(r.priority(k), levels - 1);
+  constexpr size_t kBlock = 64;
+  uint32_t flat[kBlock * 16];
+  uint64_t idx[kBlock];
+  for (size_t i = 0; i < n; i += kBlock) {
+    const size_t m = std::min(kBlock, n - i);
+    for (size_t j = 0; j < m; ++j) {
+      const Request& r = *reqs[i + j];
+      for (uint32_t k = 0; k < dims; ++k) {
+        flat[j * dims + k] = std::min<uint32_t>(r.priority(k), levels - 1);
+      }
     }
-    v[i] = NormalizeIndex(curve.Index(std::span<const uint32_t>(point, dims)),
-                          num_cells);
+    curve.IndexBatch(std::span<const uint32_t>(flat, m * dims),
+                     std::span<uint64_t>(idx, m));
+    for (size_t j = 0; j < m; ++j) {
+      v[i + j] = NormalizeIndex(idx[j], num_cells);
+    }
   }
 }
 
@@ -480,43 +499,66 @@ template <bool kLut1>
 void Encapsulator::FusedFormulaPartitionedBatch(
     std::span<const Request* const> reqs, const DispatchContext& ctx,
     std::span<CValue> v) const {
-  const size_t n = reqs.size();
+  FusedInvariants in;
   // Stage-1 invariants.
-  const uint32_t bits = config_.priority_bits;
-  const uint32_t levels = uint32_t{1} << bits;
-  [[maybe_unused]] const double levels_d = static_cast<double>(levels);
-  [[maybe_unused]] const uint32_t dims = config_.priority_dims;
-  [[maybe_unused]] const CValue* const lut = kLut1 ? lut1_.data() : nullptr;
+  in.priority_bits = config_.priority_bits;
+  in.levels = uint32_t{1} << in.priority_bits;
+  in.levels_d = static_cast<double>(in.levels);
+  in.priority_dims = config_.priority_dims;
+  in.lut1 = kLut1 ? lut1_.data() : nullptr;
   // Stage-2 invariants.
-  const SimTime now = ctx.now;
-  const double f = config_.f;
-  const double denom = 1.0 + f;
+  in.now = ctx.now;
+  in.f = config_.f;
+  in.denom = 1.0 + in.f;
   // When denom is a power of two (notably f = 1), dividing by it and
   // multiplying by its reciprocal are the same exact exponent shift, so
   // the per-request divide can become a multiply. Another per-batch
   // invariant decision; the scalar stage pays the divide every call.
   int denom_exp = 0;
-  const bool denom_pow2 = std::frexp(denom, &denom_exp) == 0.5;
-  const double inv_denom = denom_pow2 ? 1.0 / denom : 0.0;
-  const double cap = std::nextafter(1.0, 0.0);
-  const double horizon_d = static_cast<double>(MsToSim(config_.deadline_horizon_ms));
-  const Stage2TieBreak tie = config_.stage2_tie;
+  in.denom_pow2 = std::frexp(in.denom, &denom_exp) == 0.5;
+  in.inv_denom = in.denom_pow2 ? 1.0 / in.denom : 0.0;
+  in.cap = std::nextafter(1.0, 0.0);
+  in.horizon_d = static_cast<double>(MsToSim(config_.deadline_horizon_ms));
+  in.tie = config_.stage2_tie;
   // Stage-3 invariants.
-  const uint32_t cylinders = config_.cylinders;
-  const Cylinder head = ctx.head;
-  const uint32_t max_x = uint32_t{1} << config_.stage3_bits;
+  in.cylinders = config_.cylinders;
+  in.head = ctx.head;
+  in.max_x = uint32_t{1} << config_.stage3_bits;
   const uint32_t r_parts = config_.partitions_r;
-  const uint32_t p_s = (max_x + r_parts - 1) / r_parts;  // partition width
-  const uint64_t max_y = cylinders;
-  const double raw_max =
-      static_cast<double>(static_cast<uint64_t>(r_parts) * max_y * p_s);
+  in.p_s = (in.max_x + r_parts - 1) / r_parts;  // partition width
+  in.raw_max = static_cast<double>(static_cast<uint64_t>(r_parts) *
+                                   in.cylinders * in.p_s);
   // x_v / p_s as an exact multiply-shift: with magic = ceil(2^32 / p_s),
   // floor(x_v * magic / 2^32) == x_v / p_s whenever
   // x_v * (magic * p_s - 2^32) < 2^32, and here x_v < 2^16 and the error
   // term is < p_s <= 2^16 (CharacterizeBatch only takes this kernel when
   // stage3_bits <= 16). p_s is a per-batch invariant, so this hoists the
   // per-request hardware divide into one multiply per request.
-  const uint64_t magic = ((uint64_t{1} << 32) + p_s - 1) / p_s;
+  in.magic = ((uint64_t{1} << 32) + in.p_s - 1) / in.p_s;
+  in.max_x_d = static_cast<double>(in.max_x);
+  in.p_s_d = static_cast<double>(in.p_s);
+  in.max_y_d = static_cast<double>(in.cylinders);
+
+  // Vector eligibility, beyond the fused-gate conditions: the SIMD
+  // kernels redo Stage 3 in f64/i32 lanes, which is exact only while
+  // every intermediate stays a small integer (< 2^47 needs cylinders
+  // <= 2^30; head < cylinders keeps the C-SCAN wrap inside i32 range —
+  // see characterize_kernel.h). An oversized LUT would overflow the i32
+  // gather indices; anything ineligible runs the scalar kernel, which
+  // has no such bounds.
+  const bool simd_ok = simd_level_ != simd::Level::kScalar &&
+                       config_.cylinders <= (uint32_t{1} << 30) &&
+                       ctx.head < config_.cylinders &&
+                       (!kLut1 || lut1_.size() <= (size_t{1} << 30));
+  if (simd_ok) {
+    if (simd_level_ == simd::Level::kAvx2) {
+      CharacterizeFusedAvx2(in, reqs, v, kLut1);
+    } else {
+      CharacterizeFusedSse2(in, reqs, v, kLut1);
+    }
+    return;
+  }
+  const size_t n = reqs.size();
   for (size_t i = 0; i < n; ++i) {
     // The gathered pointers scatter across the dispatcher's slot pool,
     // which outgrows L2 at simulation queue depths; prefetch a few
@@ -527,58 +569,7 @@ void Encapsulator::FusedFormulaPartitionedBatch(
       __builtin_prefetch(next);
       __builtin_prefetch(next + 64);
     }
-    const Request& r = *reqs[i];
-    // Stage 1: LUT load or pass-through.
-    double v1;
-    if constexpr (kLut1) {
-      uint64_t cell = 0;
-      for (uint32_t k = 0; k < dims; ++k) {
-        cell = (cell << bits) | std::min<uint32_t>(r.priority(k), levels - 1);
-      }
-      v1 = lut[cell];
-    } else {
-      if (r.priorities.empty()) {
-        v1 = 0.0;
-      } else {
-        const PriorityLevel p = std::min(r.priorities[0], levels - 1);
-        v1 = static_cast<double>(p) / levels_d;
-      }
-    }
-    // Stage 2: the formula blend. Unlike the scalar stage, the deadline
-    // clamp is selects, not branches: deadlines are effectively random
-    // per request, so the scalar if/else chain mispredicts constantly.
-    // The unsigned difference below is exact whenever it survives the
-    // selects — past-due wrap-arounds are discarded by the `due` select,
-    // and kNoDeadline's enormous quotient hits the min() clamp at exactly
-    // the 1.0 the scalar no-deadline arm returns.
-    const SimTime deadline = r.deadline;
-    const uint64_t remaining =
-        static_cast<uint64_t>(deadline) - static_cast<uint64_t>(now);
-    double dl = std::min(1.0, static_cast<double>(remaining) / horizon_d);
-    dl = deadline <= now ? 0.0 : dl;
-    double val = denom_pow2 ? (v1 + f * dl) * inv_denom : (v1 + f * dl) / denom;
-    switch (tie) {
-      case Stage2TieBreak::kNone:
-        break;
-      case Stage2TieBreak::kEarliestDeadline:
-        val += kTieEpsilon * dl;
-        break;
-      case Stage2TieBreak::kHighestPriority:
-        val += kTieEpsilon * v1;
-        break;
-    }
-    const double v2 = std::min(val, cap);
-    // Stage 3: partitioned C-SCAN. The C-SCAN wrap test is a select for
-    // the same reason as the deadline clamp: request cylinders are
-    // scattered relative to the head, so the branch form mispredicts on
-    // roughly every other request.
-    const uint32_t cyl = r.cylinder;
-    const uint32_t y_v = cyl - head + (cyl < head ? cylinders : 0);
-    const uint32_t x_v = QuantizeUnit(v2, max_x);
-    const uint32_t p_n = static_cast<uint32_t>((x_v * magic) >> 32);
-    const uint64_t raw =
-        (static_cast<uint64_t>(p_n) * max_y + y_v) * p_s + (x_v - p_n * p_s);
-    v[i] = static_cast<double>(raw) / raw_max;
+    v[i] = FusedScalarOne<kLut1>(in, *reqs[i]);
   }
 }
 

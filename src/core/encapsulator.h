@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "common/annotations.h"
+#include "common/simd.h"
 #include "common/status.h"
 #include "core/cvalue.h"
 #include "sched/scheduler.h"
@@ -96,6 +97,12 @@ struct EncapsulatorConfig {
   /// Largest grid (in cells) a LUT is built for; larger grids fall back
   /// to direct curve evaluation. 2^20 cells = 8 MB of CValues.
   uint64_t lut_max_cells = uint64_t{1} << 20;
+  /// Lane width of the fused batch kernel, resolved at Create() against
+  /// the CPUID probe and the CSFC_SIMD process override (which wins; see
+  /// simd::Resolve). Purely an optimization: CharacterizeBatch output is
+  /// bit-identical at every level (property-tested); kAuto picks the best
+  /// the machine has.
+  simd::Mode simd = simd::Mode::kAuto;
 
   Status Validate() const;
 
@@ -155,6 +162,14 @@ class Encapsulator {
   bool stage2_uses_lut() const { return !lut2_.empty(); }
   bool stage3_uses_lut() const { return !lut3_.empty(); }
 
+  /// Dispatch level the fused batch kernel resolved to at Create().
+  simd::Level simd_level() const { return simd_level_; }
+  /// Backend actually compiled into the dispatched kernel TU ("avx2",
+  /// "sse2" or "scalar") — differs from LevelName(simd_level()) only when
+  /// the toolchain couldn't target the ISA (exposed for the bench, which
+  /// records honest per-arm numbers).
+  const char* simd_backend() const;
+
  private:
   explicit Encapsulator(const EncapsulatorConfig& config);
 
@@ -182,7 +197,10 @@ class Encapsulator {
   /// carry value stay in registers instead of making three trips through
   /// the value array. Per-request operations are exactly the three stage
   /// bodies in order — stages never mix values across requests — so the
-  /// result is bit-identical to the three-pass pipeline.
+  /// result is bit-identical to the three-pass pipeline. Hoists the batch
+  /// invariants (core/characterize_kernel.h) then dispatches on
+  /// simd_level_: the AVX2/SSE2 vector kernels when eligible, otherwise a
+  /// scalar loop over FusedScalarOne.
   template <bool kLut1>
   CSFC_HOT void FusedFormulaPartitionedBatch(
       std::span<const Request* const> reqs, const DispatchContext& ctx,
@@ -193,6 +211,7 @@ class Encapsulator {
   void BuildLuts(uint64_t max_cells);
 
   EncapsulatorConfig config_;
+  simd::Level simd_level_ = simd::Level::kScalar;  // resolved at Create()
   CurvePtr curve1_;  // null when stage 1 is disabled or D == 0
   CurvePtr curve2_;  // null unless stage2_mode == kCurve
   CurvePtr curve3_;  // null unless stage3_mode == kCurve

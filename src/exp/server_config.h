@@ -133,11 +133,6 @@ struct ServiceHandle {
 /// disabled), ServiceServer wired to `config.sim.trace_sink`.
 Result<ServiceHandle> MakeServer(const ServerConfig& config);
 
-/// Deprecated name kept for one PR while call sites migrate; see
-/// DESIGN.md section 12.
-using ServiceServerConfig [[deprecated("renamed to ServerConfig")]] =
-    ServerConfig;
-
 }  // namespace csfc
 
 #endif  // CSFC_EXP_SERVER_CONFIG_H_

@@ -1,5 +1,6 @@
 #include "sfc/curve.h"
 
+#include <algorithm>
 #include <string>
 
 namespace csfc {
@@ -19,6 +20,40 @@ Status GridSpec::Validate() const {
         std::to_string(dims * bits));
   }
   return Status::OK();
+}
+
+void SpaceFillingCurve::IndexBatch(std::span<const uint32_t> flat,
+                                   std::span<uint64_t> out) const {
+  const uint32_t d = spec_.dims;
+  for (size_t j = 0; j < out.size(); ++j) {
+    out[j] = Index(flat.subspan(j * d, d));
+  }
+}
+
+std::vector<uint64_t> SpaceFillingCurve::BuildIndexTableByEncode() const {
+  const uint64_t n = num_cells();
+  std::vector<uint64_t> table(n);
+  const uint32_t d = spec_.dims;
+  const uint32_t b = spec_.bits;
+  const uint32_t mask = static_cast<uint32_t>(side() - 1);
+  // Fixed-size blocks keep the point buffer on the stack (dims <= 16).
+  constexpr uint64_t kBlock = 64;
+  uint32_t flat[kBlock * 16];
+  for (uint64_t base = 0; base < n; base += kBlock) {
+    const uint64_t m = std::min(kBlock, n - base);
+    for (uint64_t j = 0; j < m; ++j) {
+      // Row-major cell base + j: coordinates are its base-2^bits digits,
+      // dimension 0 most significant (CellOf inverted).
+      const uint64_t cell = base + j;
+      for (uint32_t k = 0; k < d; ++k) {
+        flat[j * d + k] =
+            static_cast<uint32_t>(cell >> ((d - 1 - k) * b)) & mask;
+      }
+    }
+    IndexBatch(std::span<const uint32_t>(flat, m * d),
+               std::span<uint64_t>(table.data() + base, m));
+  }
+  return table;
 }
 
 std::vector<uint64_t> SpaceFillingCurve::BuildIndexTable() const {

@@ -75,6 +75,16 @@ class SpaceFillingCurve {
   /// `out.size()` must equal dims().
   virtual void Point(uint64_t index, std::span<uint32_t> out) const = 0;
 
+  /// Batch encode: out[j] = Index of the j-th point of `flat`, which holds
+  /// out.size() row-major points back to back (flat.size() == out.size()
+  /// * dims()). The base implementation loops over Index(); curves whose
+  /// encode is pure bit arithmetic (Z-order, Gray) override it with a
+  /// lane-parallel sweep behind common/simd.h, honoring the CSFC_SIMD
+  /// override. Bit-identical to per-point Index() on every backend — the
+  /// ops are integer — and property-tested as such.
+  virtual void IndexBatch(std::span<const uint32_t> flat,
+                          std::span<uint64_t> out) const;
+
   const GridSpec& spec() const { return spec_; }
   uint32_t dims() const { return spec_.dims; }
   uint32_t bits() const { return spec_.bits; }
@@ -111,6 +121,13 @@ class SpaceFillingCurve {
   virtual std::vector<uint64_t> BuildIndexTable() const;
 
  protected:
+  /// BuildIndexTable by sweeping cells in row-major order through
+  /// IndexBatch (table[cell] = Index(point-of-cell)) instead of walking
+  /// the curve through Point(). Produces the identical table (the curve
+  /// is a bijection); curves with a vectorized IndexBatch override
+  /// BuildIndexTable to this so LUT construction rides the SIMD encode.
+  std::vector<uint64_t> BuildIndexTableByEncode() const;
+
   GridSpec spec_;
 };
 

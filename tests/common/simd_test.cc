@@ -1,0 +1,452 @@
+// Tests for the portable SIMD wrapper: dispatch plumbing (parse /
+// detect / override / resolve) and op-level bit-identity of the
+// Sse2Backend against ScalarBackend, which is the reference semantics.
+// The ops with non-obvious implementations get targeted edge cases:
+//
+//   * U64ToF64 — the split-halves exponent trick must be correctly
+//     rounded on EVERY u64, matching static_cast<double>(uint64_t).
+//   * CmpGtI64 — SSE2 has no PCMPGTQ; the emulation decides on high
+//     dwords and borrows from the low half on ties.
+//   * MulHiU32 / CmpLtU32 — PMULUDQ even/odd recombination and the
+//     sign-bias trick.
+//   * MinF64 — MINPD returns the SECOND operand on equal; the fused
+//     kernel relies on this matching std::min's argument order.
+//
+// Avx2Backend is exercised end-to-end by tests/core/simd_characterize_
+// test.cc (this TU compiles at baseline flags, so the AVX2 type is not
+// visible here); its U64ToF64/CmpLtU32/MulHiU32 share the detail::
+// helpers and constants validated below.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/simd.h"
+
+namespace csfc::simd {
+namespace {
+
+// Save/restore the process-wide override so these tests cannot poison a
+// CI leg that pins CSFC_SIMD (the env value is latched into the override
+// on first use; tests must put back whatever they found).
+class OverrideGuard {
+ public:
+  OverrideGuard() : saved_(OverrideMode()) {}
+  ~OverrideGuard() { SetOverride(saved_); }
+
+ private:
+  Mode saved_;
+};
+
+TEST(SimdDispatchTest, ParseModeAcceptsTheFourSpellings) {
+  Mode m = Mode::kAvx2;
+  EXPECT_TRUE(ParseMode("auto", &m));
+  EXPECT_EQ(m, Mode::kAuto);
+  EXPECT_TRUE(ParseMode("scalar", &m));
+  EXPECT_EQ(m, Mode::kScalar);
+  EXPECT_TRUE(ParseMode("sse2", &m));
+  EXPECT_EQ(m, Mode::kSse2);
+  EXPECT_TRUE(ParseMode("avx2", &m));
+  EXPECT_EQ(m, Mode::kAvx2);
+}
+
+TEST(SimdDispatchTest, ParseModeRejectsAndLeavesOutputAlone) {
+  Mode m = Mode::kSse2;
+  EXPECT_FALSE(ParseMode("", &m));
+  EXPECT_FALSE(ParseMode("AVX2", &m));  // case-sensitive, like other flags
+  EXPECT_FALSE(ParseMode("avx512", &m));
+  EXPECT_FALSE(ParseMode("auto ", &m));
+  EXPECT_EQ(m, Mode::kSse2);
+}
+
+TEST(SimdDispatchTest, NamesRoundTrip) {
+  EXPECT_STREQ(LevelName(Level::kScalar), "scalar");
+  EXPECT_STREQ(LevelName(Level::kSse2), "sse2");
+  EXPECT_STREQ(LevelName(Level::kAvx2), "avx2");
+  EXPECT_STREQ(ModeName(Mode::kAuto), "auto");
+  for (const Mode m : {Mode::kScalar, Mode::kSse2, Mode::kAvx2}) {
+    Mode parsed = Mode::kAuto;
+    EXPECT_TRUE(ParseMode(ModeName(m), &parsed));
+    EXPECT_EQ(parsed, m);
+  }
+}
+
+TEST(SimdDispatchTest, DetectLevelIsStableAndAtLeastBaseline) {
+  const Level first = DetectLevel();
+  EXPECT_EQ(first, DetectLevel());  // cached probe
+#if CSFC_SIMD_X86
+  // SSE2 is part of the x86-64 baseline ABI.
+  EXPECT_GE(static_cast<int>(first), static_cast<int>(Level::kSse2));
+#else
+  EXPECT_EQ(first, Level::kScalar);
+#endif
+}
+
+TEST(SimdDispatchTest, ResolveClampsToDetectedLevel) {
+  OverrideGuard guard;
+  SetOverride(Mode::kAuto);
+  const Level detected = DetectLevel();
+  EXPECT_EQ(Resolve(Mode::kAuto), detected);
+  EXPECT_EQ(Resolve(Mode::kScalar), Level::kScalar);
+  EXPECT_LE(static_cast<int>(Resolve(Mode::kAvx2)),
+            static_cast<int>(detected));
+  EXPECT_LE(static_cast<int>(Resolve(Mode::kSse2)),
+            static_cast<int>(Level::kSse2));
+}
+
+TEST(SimdDispatchTest, OverrideWinsOverPerCallRequest) {
+  OverrideGuard guard;
+  SetOverride(Mode::kScalar);
+  EXPECT_EQ(OverrideMode(), Mode::kScalar);
+  // A forced-scalar override beats any request, including auto.
+  EXPECT_EQ(Resolve(Mode::kAuto), Level::kScalar);
+  EXPECT_EQ(Resolve(Mode::kAvx2), Level::kScalar);
+  EXPECT_EQ(Resolve(Mode::kSse2), Level::kScalar);
+  // Back to auto: per-call requests are honored again.
+  SetOverride(Mode::kAuto);
+  EXPECT_EQ(Resolve(Mode::kScalar), Level::kScalar);
+  EXPECT_EQ(Resolve(Mode::kAuto), DetectLevel());
+}
+
+// ---------------------------------------------------------------------------
+// Op-level identity. Each Check* helper runs one op over a vector of
+// inputs through backend B, lane-block by lane-block, and compares each
+// lane against the scalar reference expression with EXPECT_EQ (exact
+// bits for integers; for doubles EXPECT_EQ is exact equality, which is
+// the contract).
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> InterestingU64s() {
+  std::vector<uint64_t> xs = {
+      0,
+      1,
+      2,
+      3,
+      0x7FFFFFFFull,
+      0x80000000ull,
+      0xFFFFFFFFull,
+      0x100000000ull,
+      (1ull << 52) - 1,
+      1ull << 52,
+      (1ull << 52) + 1,
+      (1ull << 53) - 1,
+      1ull << 53,
+      (1ull << 53) + 1,  // not representable: rounds to even
+      (1ull << 53) + 3,
+      (1ull << 62) + 12345,
+      1ull << 63,
+      (1ull << 63) + 1,
+      std::numeric_limits<uint64_t>::max() - 1,
+      std::numeric_limits<uint64_t>::max(),
+  };
+  Rng rng(2026);
+  for (int i = 0; i < 400; ++i) {
+    // Mix full-range values with small-magnitude and near-power-of-two
+    // ones, where rounding boundaries live.
+    const uint64_t raw = rng.Next();
+    xs.push_back(raw);
+    xs.push_back(raw >> rng.Uniform(64));
+    xs.push_back((1ull << rng.Uniform(64)) + rng.Uniform(5) - 2);
+  }
+  return xs;
+}
+
+template <typename B>
+void CheckU64ToF64() {
+  const std::vector<uint64_t> xs = InterestingU64s();
+  constexpr int kW = B::kWidth;
+  for (size_t i = 0; i + kW <= xs.size(); i += kW) {
+    int64_t in[kW];
+    for (int l = 0; l < kW; ++l) in[l] = static_cast<int64_t>(xs[i + l]);
+    double out[kW];
+    B::StoreF64(out, B::U64ToF64(B::LoadI64(in)));
+    for (int l = 0; l < kW; ++l) {
+      EXPECT_EQ(out[l], static_cast<double>(xs[i + l]))
+          << B::Name() << " lane " << l << " input " << xs[i + l];
+    }
+  }
+}
+
+template <typename B>
+void CheckCmpGtI64() {
+  std::vector<std::pair<int64_t, int64_t>> pairs = {
+      {0, 0},
+      {1, 0},
+      {0, 1},
+      {-1, 0},
+      {0, -1},
+      {-1, -2},
+      {std::numeric_limits<int64_t>::max(), std::numeric_limits<int64_t>::min()},
+      {std::numeric_limits<int64_t>::min(), std::numeric_limits<int64_t>::max()},
+      {std::numeric_limits<int64_t>::min(), std::numeric_limits<int64_t>::min()},
+      // Equal high dwords — the emulation must decide on the low-half
+      // borrow, treating the low dwords as UNSIGNED.
+      {0x1234567800000001ll, 0x1234567800000000ll},
+      {0x1234567800000000ll, 0x1234567800000001ll},
+      {0x12345678FFFFFFFFll, 0x1234567800000000ll},
+      {0x1234567800000000ll, 0x12345678FFFFFFFFll},
+      {static_cast<int64_t>(0xFFFFFFFF00000001ull),
+       static_cast<int64_t>(0xFFFFFFFF00000000ull)},
+      {static_cast<int64_t>(0x80000000FFFFFFFFull),
+       static_cast<int64_t>(0x8000000000000000ull)},
+  };
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t a = static_cast<int64_t>(rng.Next());
+    // Bias toward nearby values and shared high halves.
+    switch (rng.Uniform(3)) {
+      case 0:
+        pairs.emplace_back(a, static_cast<int64_t>(rng.Next()));
+        break;
+      case 1:
+        pairs.emplace_back(a, a + rng.UniformRange(-2, 2));
+        break;
+      default:
+        pairs.emplace_back(
+            a, static_cast<int64_t>(
+                   (static_cast<uint64_t>(a) & 0xFFFFFFFF00000000ull) |
+                   (rng.Next() & 0xFFFFFFFFull)));
+        break;
+    }
+  }
+  constexpr int kW = B::kWidth;
+  for (size_t i = 0; i + kW <= pairs.size(); i += kW) {
+    int64_t a[kW], b[kW], out[kW];
+    for (int l = 0; l < kW; ++l) {
+      a[l] = pairs[i + l].first;
+      b[l] = pairs[i + l].second;
+    }
+    B::StoreI64(out, B::CmpGtI64(B::LoadI64(a), B::LoadI64(b)));
+    for (int l = 0; l < kW; ++l) {
+      EXPECT_EQ(out[l], a[l] > b[l] ? -1 : 0)
+          << B::Name() << " a=" << a[l] << " b=" << b[l];
+    }
+  }
+}
+
+// The wrapper has no StoreI32 (the kernels never store i32 lanes), so
+// the tests read them back themselves: ScalarBackend exposes .v
+// directly; the x86 backends keep i32 lanes in a __m128i whose low
+// kWidth dwords are the payload.
+template <typename B>
+void StoreI32Lanes(typename B::I32 x, int32_t* out) {
+  if constexpr (requires { x.v[0]; }) {
+    for (int l = 0; l < B::kWidth; ++l) out[l] = x.v[l];
+  }
+#if CSFC_SIMD_X86
+  else {
+    alignas(16) int32_t buf[4];
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(buf), x);
+    for (int l = 0; l < B::kWidth; ++l) out[l] = buf[l];
+  }
+#endif
+}
+
+template <typename B>
+void CheckU32Ops() {
+  std::vector<std::pair<uint32_t, uint32_t>> pairs = {
+      {0, 0},
+      {1, 0},
+      {0, 1},
+      {0x7FFFFFFFu, 0x80000000u},
+      {0x80000000u, 0x7FFFFFFFu},
+      {0x80000000u, 0x80000000u},
+      {0xFFFFFFFFu, 0xFFFFFFFFu},
+      {0xFFFFFFFFu, 1},
+      {0x10000u, 0x10000u},
+      {0xDEADBEEFu, 0xCAFEBABEu},
+  };
+  Rng rng(99);
+  for (int i = 0; i < 600; ++i) {
+    pairs.emplace_back(static_cast<uint32_t>(rng.Next()),
+                       static_cast<uint32_t>(rng.Next()));
+  }
+  constexpr int kW = B::kWidth;
+  for (size_t i = 0; i + kW <= pairs.size(); i += kW) {
+    int32_t a[kW], b[kW], hi[kW], lt[kW], mn[kW], ad[kW], sb[kW];
+    for (int l = 0; l < kW; ++l) {
+      a[l] = static_cast<int32_t>(pairs[i + l].first);
+      b[l] = static_cast<int32_t>(pairs[i + l].second);
+    }
+    const typename B::I32 va = B::LoadI32(a);
+    const typename B::I32 vb = B::LoadI32(b);
+    StoreI32Lanes<B>(B::MulHiU32(va, vb), hi);
+    StoreI32Lanes<B>(B::CmpLtU32(va, vb), lt);
+    StoreI32Lanes<B>(B::MinI32(va, vb), mn);
+    StoreI32Lanes<B>(B::AddI32(va, vb), ad);
+    StoreI32Lanes<B>(B::SubI32(va, vb), sb);
+    for (int l = 0; l < kW; ++l) {
+      const uint32_t ua = pairs[i + l].first;
+      const uint32_t ub = pairs[i + l].second;
+      EXPECT_EQ(static_cast<uint32_t>(hi[l]),
+                static_cast<uint32_t>(
+                    (static_cast<uint64_t>(ua) * static_cast<uint64_t>(ub)) >>
+                    32))
+          << B::Name() << " MulHiU32 " << ua << "*" << ub;
+      EXPECT_EQ(lt[l], ua < ub ? -1 : 0)
+          << B::Name() << " CmpLtU32 " << ua << "<" << ub;
+      EXPECT_EQ(mn[l], std::min(a[l], b[l]))
+          << B::Name() << " MinI32 " << a[l] << "," << b[l];
+      EXPECT_EQ(static_cast<uint32_t>(ad[l]), ua + ub);
+      EXPECT_EQ(static_cast<uint32_t>(sb[l]), ua - ub);
+    }
+  }
+}
+
+template <typename B>
+void CheckF64Ops() {
+  Rng rng(4242);
+  constexpr int kW = B::kWidth;
+  for (int iter = 0; iter < 200; ++iter) {
+    double a[kW], b[kW];
+    for (int l = 0; l < kW; ++l) {
+      a[l] = rng.UniformDouble(-1e6, 1e6);
+      b[l] = rng.UniformDouble(-1e6, 1e6);
+      if (rng.Uniform(4) == 0) b[l] = a[l];  // force the equal case
+    }
+    double add[kW], sub[kW], mul[kW], div[kW], mn[kW];
+    const typename B::F64 va = B::LoadF64(a);
+    const typename B::F64 vb = B::LoadF64(b);
+    B::StoreF64(add, B::AddF64(va, vb));
+    B::StoreF64(sub, B::SubF64(va, vb));
+    B::StoreF64(mul, B::MulF64(va, vb));
+    B::StoreF64(div, B::DivF64(va, vb));
+    B::StoreF64(mn, B::MinF64(va, vb));
+    for (int l = 0; l < kW; ++l) {
+      EXPECT_EQ(add[l], a[l] + b[l]);
+      EXPECT_EQ(sub[l], a[l] - b[l]);
+      EXPECT_EQ(mul[l], a[l] * b[l]);
+      EXPECT_EQ(div[l], a[l] / b[l]);
+      EXPECT_EQ(mn[l], a[l] < b[l] ? a[l] : b[l]) << B::Name() << " MinF64";
+    }
+  }
+}
+
+// MINPD's tie rule (second operand on equal) is observable with signed
+// zeros: MinF64(+0, -0) must be -0 and MinF64(-0, +0) must be +0.
+template <typename B>
+void CheckMinF64SignedZeroTie() {
+  constexpr int kW = B::kWidth;
+  double a[kW], b[kW], out[kW];
+  for (int l = 0; l < kW; ++l) {
+    a[l] = (l % 2 == 0) ? +0.0 : -0.0;
+    b[l] = (l % 2 == 0) ? -0.0 : +0.0;
+  }
+  B::StoreF64(out, B::MinF64(B::LoadF64(a), B::LoadF64(b)));
+  for (int l = 0; l < kW; ++l) {
+    EXPECT_EQ(std::bit_cast<int64_t>(out[l]), std::bit_cast<int64_t>(b[l]))
+        << B::Name() << " must return the second operand on equal";
+  }
+}
+
+template <typename B>
+void CheckConversionsAndGather() {
+  Rng rng(321);
+  constexpr int kW = B::kWidth;
+  std::vector<double> table(257);
+  for (double& d : table) d = rng.NextDouble();
+  for (int iter = 0; iter < 200; ++iter) {
+    int32_t idx[kW];
+    double x[kW];
+    for (int l = 0; l < kW; ++l) {
+      idx[l] = static_cast<int32_t>(rng.Uniform(table.size()));
+      x[l] = rng.UniformDouble(-65536.0, 65536.0);
+    }
+    double gathered[kW], widened[kW];
+    int32_t trunced[kW];
+    B::StoreF64(gathered, B::GatherF64(table.data(), B::LoadI32(idx)));
+    B::StoreF64(widened, B::I32ToF64(B::LoadI32(idx)));
+    StoreI32Lanes<B>(B::F64ToI32Trunc(B::LoadF64(x)), trunced);
+    for (int l = 0; l < kW; ++l) {
+      EXPECT_EQ(gathered[l], table[static_cast<size_t>(idx[l])]);
+      EXPECT_EQ(widened[l], static_cast<double>(idx[l]));
+      EXPECT_EQ(trunced[l], static_cast<int32_t>(x[l]));
+    }
+  }
+}
+
+template <typename B>
+void CheckI64BitOps() {
+  Rng rng(555);
+  constexpr int kW = B::kWidth;
+  for (int iter = 0; iter < 200; ++iter) {
+    int64_t a[kW], b[kW];
+    for (int l = 0; l < kW; ++l) {
+      a[l] = static_cast<int64_t>(rng.Next());
+      b[l] = static_cast<int64_t>(rng.Next());
+    }
+    const uint32_t sh = static_cast<uint32_t>(rng.Uniform(64));
+    int64_t andv[kW], orv[kW], xorv[kW], shl[kW], shr[kW], sub[kW];
+    const typename B::I64 va = B::LoadI64(a);
+    const typename B::I64 vb = B::LoadI64(b);
+    B::StoreI64(andv, B::AndI64(va, vb));
+    B::StoreI64(orv, B::OrI64(va, vb));
+    B::StoreI64(xorv, B::XorI64(va, vb));
+    B::StoreI64(shl, B::ShlI64(va, sh));
+    B::StoreI64(shr, B::ShrI64(va, sh));
+    B::StoreI64(sub, B::SubI64(va, vb));
+    for (int l = 0; l < kW; ++l) {
+      const uint64_t ua = static_cast<uint64_t>(a[l]);
+      EXPECT_EQ(andv[l], a[l] & b[l]);
+      EXPECT_EQ(orv[l], a[l] | b[l]);
+      EXPECT_EQ(xorv[l], a[l] ^ b[l]);
+      EXPECT_EQ(static_cast<uint64_t>(shl[l]), ua << sh);
+      EXPECT_EQ(static_cast<uint64_t>(shr[l]), ua >> sh);
+      EXPECT_EQ(static_cast<uint64_t>(sub[l]),
+                ua - static_cast<uint64_t>(b[l]));
+    }
+  }
+}
+
+template <typename B>
+void CheckAndMaskF64() {
+  Rng rng(777);
+  constexpr int kW = B::kWidth;
+  for (int iter = 0; iter < 100; ++iter) {
+    double x[kW];
+    int64_t mask[kW];
+    for (int l = 0; l < kW; ++l) {
+      x[l] = rng.UniformDouble(-10.0, 10.0);
+      mask[l] = rng.Uniform(2) == 0 ? -1 : 0;
+    }
+    double out[kW];
+    B::StoreF64(out, B::AndMaskF64(B::LoadF64(x), B::LoadI64(mask)));
+    for (int l = 0; l < kW; ++l) {
+      const double want = mask[l] == -1 ? x[l] : +0.0;
+      EXPECT_EQ(std::bit_cast<int64_t>(out[l]), std::bit_cast<int64_t>(want))
+          << B::Name() << " lane " << l;
+    }
+  }
+}
+
+template <typename B>
+void CheckBackend() {
+  CheckU64ToF64<B>();
+  CheckCmpGtI64<B>();
+  CheckU32Ops<B>();
+  CheckF64Ops<B>();
+  CheckMinF64SignedZeroTie<B>();
+  CheckConversionsAndGather<B>();
+  CheckI64BitOps<B>();
+}
+
+TEST(SimdOpsTest, ScalarBackendMatchesReferenceExpressions) {
+  CheckBackend<ScalarBackend>();
+  CheckAndMaskF64<ScalarBackend>();
+}
+
+#if CSFC_SIMD_X86
+TEST(SimdOpsTest, Sse2BackendMatchesReferenceExpressions) {
+  CheckBackend<Sse2Backend>();
+  CheckAndMaskF64<Sse2Backend>();
+}
+#endif
+
+}  // namespace
+}  // namespace csfc::simd

@@ -135,15 +135,13 @@ TEST(ServerConfigTest, MakeServerRejectsInvalidConfig) {
   EXPECT_FALSE(MakeServer(config).ok());
 }
 
-TEST(ServerConfigTest, DeprecatedAliasStillCompiles) {
-  // One-PR migration window (DESIGN.md section 12): the old name must
-  // keep compiling, with the deprecation warning silenced here only.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  ServiceServerConfig legacy;
-#pragma GCC diagnostic pop
-  EXPECT_TRUE(legacy.Validate().ok());
-  EXPECT_EQ(legacy.scheduler, "csfc");
+TEST(ServerConfigTest, DefaultConfigValidatesAsCsfc) {
+  // The deprecated ServiceServerConfig alias completed its one-PR
+  // migration window (DESIGN.md section 12) and is gone; the defaults
+  // it forwarded to are pinned here instead.
+  ServerConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_EQ(config.scheduler, "csfc");
 }
 
 }  // namespace

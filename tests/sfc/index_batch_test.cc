@@ -1,0 +1,125 @@
+// IndexBatch / BuildIndexTable identity for every curve family.
+//
+// PR 8 vectorizes the Z-order and Gray encode loops (IndexBatch
+// overrides riding common/simd.h) and reroutes their BuildIndexTable
+// through the batch encoder. The contract is the same as the
+// characterization kernel's: bit-identical results to the per-point
+// Index() path at every CSFC_SIMD level, for every batch size including
+// lane remainders. The base-class IndexBatch (a plain loop) is covered
+// by the same sweep, so curves without an override stay honest too.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/simd.h"
+#include "sfc/curve.h"
+#include "sfc/registry.h"
+
+namespace csfc {
+namespace {
+
+class OverrideGuard {
+ public:
+  OverrideGuard() : saved_(simd::OverrideMode()) {}
+  ~OverrideGuard() { simd::SetOverride(saved_); }
+
+ private:
+  simd::Mode saved_;
+};
+
+std::vector<uint32_t> RandomPoints(Rng& rng, const GridSpec& spec, size_t n) {
+  std::vector<uint32_t> flat(n * spec.dims);
+  for (uint32_t& c : flat) {
+    c = static_cast<uint32_t>(rng.Uniform(spec.side()));
+  }
+  return flat;
+}
+
+void ExpectIndexBatchMatchesIndex(const SpaceFillingCurve& curve,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  const uint32_t d = curve.dims();
+  // Sizes straddling the 2-lane and 4-lane widths and the 64-point
+  // blocks of BuildIndexTableByEncode.
+  for (const size_t n : {0u, 1u, 2u, 3u, 5u, 8u, 63u, 64u, 65u, 200u}) {
+    const std::vector<uint32_t> flat = RandomPoints(rng, curve.spec(), n);
+    std::vector<uint64_t> got(n, ~uint64_t{0});
+    curve.IndexBatch(std::span<const uint32_t>(flat.data(), flat.size()),
+                     std::span<uint64_t>(got.data(), got.size()));
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(got[j],
+                curve.Index(std::span<const uint32_t>(&flat[j * d], d)))
+          << curve.name() << " point " << j << " of " << n;
+    }
+  }
+}
+
+TEST(IndexBatchTest, MatchesPerPointIndexForEveryCurve) {
+  uint64_t seed = 500;
+  for (const std::string_view name : AllCurveNames()) {
+    for (const GridSpec spec :
+         {GridSpec{.dims = 1, .bits = 9}, GridSpec{.dims = 2, .bits = 5},
+          GridSpec{.dims = 3, .bits = 4}, GridSpec{.dims = 5, .bits = 2}}) {
+      auto curve = MakeCurve(name, spec);
+      ASSERT_TRUE(curve.ok()) << name;
+      ExpectIndexBatchMatchesIndex(**curve, ++seed);
+    }
+  }
+}
+
+// The SIMD-overridden curves must agree with Index() at EVERY resolved
+// level, not just the default: force each level in turn.
+TEST(IndexBatchTest, ZOrderAndGrayAgreeAtEveryForcedLevel) {
+  OverrideGuard guard;
+  uint64_t seed = 900;
+  for (const simd::Mode mode :
+       {simd::Mode::kScalar, simd::Mode::kSse2, simd::Mode::kAvx2,
+        simd::Mode::kAuto}) {
+    simd::SetOverride(mode);
+    for (const std::string_view name : {"peano", "gray"}) {
+      const GridSpec spec{.dims = 3, .bits = 5};
+      auto curve = MakeCurve(name, spec);
+      ASSERT_TRUE(curve.ok()) << name;
+      ExpectIndexBatchMatchesIndex(**curve, ++seed);
+    }
+  }
+}
+
+// BuildIndexTableByEncode must produce the identical table the generic
+// curve walk produces — same bijection, opposite traversal.
+TEST(IndexBatchTest, EncodeBuiltTablesMatchCurveWalk) {
+  OverrideGuard guard;
+  for (const simd::Mode mode : {simd::Mode::kScalar, simd::Mode::kAuto}) {
+    simd::SetOverride(mode);
+    for (const std::string_view name : {"peano", "gray"}) {
+      const GridSpec spec{.dims = 2, .bits = 5};
+      auto curve = MakeCurve(name, spec);
+      ASSERT_TRUE(curve.ok()) << name;
+      const std::vector<uint64_t> table = (*curve)->BuildIndexTable();
+      ASSERT_EQ(table.size(), spec.num_cells());
+      // Check against Index() on every cell, and that it is a bijection.
+      std::vector<bool> seen(table.size(), false);
+      std::vector<uint32_t> p(spec.dims);
+      for (uint64_t cell = 0; cell < table.size(); ++cell) {
+        for (uint32_t k = 0; k < spec.dims; ++k) {
+          p[k] = static_cast<uint32_t>(cell >> ((spec.dims - 1 - k) *
+                                                spec.bits)) &
+                 static_cast<uint32_t>(spec.side() - 1);
+        }
+        const uint64_t idx =
+            (*curve)->Index(std::span<const uint32_t>(p.data(), p.size()));
+        EXPECT_EQ(table[cell], idx) << name << " cell " << cell;
+        ASSERT_LT(idx, table.size());
+        EXPECT_FALSE(seen[idx]) << name << " duplicate index " << idx;
+        seen[idx] = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csfc

@@ -38,6 +38,10 @@ struct SectionSpec {
 const std::vector<SectionSpec>& Specs() {
   static const std::vector<SectionSpec> specs = {
       {"characterize", {"direct_rps", "lut_rps", "speedup"}, {"config"}},
+      {"characterize_simd",
+       {"batch", "scalar_rps", "sse2_rps", "avx2_rps", "auto_rps",
+        "speedup_sse2", "speedup_avx2"},
+       {"auto_backend"}},
       {"dispatcher_insert_pop",
        {"depth", "map_ops_per_sec", "flat_ops_per_sec", "speedup"},
        {}},

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "exp/server_config.h"
 #include "workload/edl.h"
 #include "workload/generator.h"
@@ -287,6 +288,7 @@ struct SchedulerFlags {
   uint32_t r = 3;
   double window = 0.05;
   std::string queue = "calendar";  ///< flat | calendar (the default backend)
+  std::string simd;                ///< empty = leave the CSFC_SIMD env alone
   bool transfer_only = false;
 };
 
@@ -301,6 +303,10 @@ inline void AddSchedulerFlags(FlagSet& flags, SchedulerFlags* s) {
                   &s->window);
   flags.AddString("queue", "flat|calendar", "dispatcher queue backend",
                   &s->queue);
+  flags.AddString("simd", "auto|scalar|sse2|avx2",
+                  "characterization kernel lane width (default: CSFC_SIMD "
+                  "env, else auto)",
+                  &s->simd);
   flags.AddBool("transfer-only", "service time = transfer only (no seek)",
                 &s->transfer_only);
 }
@@ -313,6 +319,17 @@ inline Status ApplySchedulerFlags(const SchedulerFlags& s,
   if (s.queue != "flat" && s.queue != "calendar") {
     return Status::InvalidArgument("unknown --queue=" + s.queue +
                                    " (flat|calendar)");
+  }
+  if (!s.simd.empty()) {
+    // --simd sets the process-wide override (the same knob CSFC_SIMD
+    // binds), so it governs every encapsulator the tool creates; when
+    // the flag is absent, whatever the environment latched stands.
+    simd::Mode mode;
+    if (!simd::ParseMode(s.simd, &mode)) {
+      return Status::InvalidArgument("unknown --simd=" + s.simd +
+                                     " (auto|scalar|sse2|avx2)");
+    }
+    simd::SetOverride(mode);
   }
   out->WithScheduler(s.sched)
       .WithServiceModel(s.transfer_only ? ServiceModel::kTransferOnly
