@@ -53,6 +53,8 @@ class VirtualClock final : public Clock {
   }
 
  private:
+  /// Allowed memory orders per op are manifested in
+  /// tools/csfc_analyze/concurrency.toml (row `now_`).
   std::atomic<SimTime> now_;
 };
 

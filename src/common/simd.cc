@@ -9,6 +9,9 @@ namespace csfc::simd {
 namespace {
 
 // -1 = not yet initialized from the environment. Values >= 0 are Modes.
+// Fully relaxed by contract (row `g_override` in
+// tools/csfc_analyze/concurrency.toml): the probe is idempotent, so
+// only atomicity matters, not ordering.
 std::atomic<int> g_override{-1};
 
 Mode ReadEnvMode() {

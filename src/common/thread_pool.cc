@@ -70,13 +70,16 @@ void ParallelFor(size_t n, unsigned num_threads,
     return;
   }
   // One claim-next-index task per worker: dynamic load balancing without
-  // pushing n closures through the queue.
+  // pushing n closures through the queue. Relaxed: the ticket only
+  // partitions indices between workers; results are published by the
+  // pool's mutex in Wait() (see tools/csfc_analyze/concurrency.toml).
   std::atomic<size_t> next{0};
   const size_t width = std::min<size_t>(num_threads, n);
   ThreadPool pool(static_cast<unsigned>(width));
   for (size_t w = 0; w < width; ++w) {
     pool.Submit([&next, n, &fn] {
-      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
         fn(i);
       }
     });

@@ -57,6 +57,9 @@ struct RunPoint {
 /// any thread (a UI poller, a deadline watchdog) may read `started` /
 /// `completed` or flip `abort` while the sweep runs.
 struct RunProgress {
+  // All three are relaxed by contract (rows `started` / `completed` /
+  // `abort` in tools/csfc_analyze/concurrency.toml): they publish no
+  // data — results travel through ThreadPool::Wait's mutex.
   /// Points whose simulation has begun (monotonic, <= points.size()).
   std::atomic<size_t> started{0};
   /// Points whose simulation has finished, success or failure (monotonic,

@@ -51,7 +51,14 @@ namespace svc {
 /// builds for.
 inline constexpr size_t kCacheLine = 64;
 
-template <typename T>
+/// `AtomicSize` is a seam for the deterministic interleaving explorer
+/// (tests/svc/model_check.h): production code always uses the default
+/// `std::atomic<size_t>`; the model checker substitutes an instrumented
+/// atomic that yields to a controlled scheduler at every operation. The
+/// substitute must mirror the std::atomic member signatures used below.
+/// csfc_analyze treats `AtomicSize` members as atomics via the
+/// [atomics].extra_types list in tools/csfc_analyze/concurrency.toml.
+template <typename T, typename AtomicSize = std::atomic<size_t>>
 class MpscIngestRing {
  public:
   /// Capacity is rounded up to a power of two, minimum 2.
@@ -80,6 +87,10 @@ class MpscIngestRing {
   /// ring is full (backpressure); the element is untouched in that case.
   CSFC_HOT bool TryPush(T&& value) {
     size_t pos = tail_.load(std::memory_order_relaxed);
+    // Every retry means another producer won the CAS or the consumer
+    // recycled a lap boundary, so each pass follows system-wide progress;
+    // a full ring exits through the dif<0 branch below.
+    // csfc:spin-ok(lock-free: retries only follow other threads' progress)
     for (;;) {
       Cell& cell = cells_[pos & mask_];
       const size_t seq = cell.seq.load(std::memory_order_acquire);
@@ -130,14 +141,14 @@ class MpscIngestRing {
 
  private:
   struct alignas(kCacheLine) Cell {
-    std::atomic<size_t> seq;
+    AtomicSize seq;
     T value;
   };
 
   const size_t mask_;
   std::vector<Cell> cells_;
-  alignas(kCacheLine) std::atomic<size_t> tail_{0};  ///< producers' ticket
-  alignas(kCacheLine) std::atomic<size_t> head_{0};  ///< consumer cursor
+  alignas(kCacheLine) AtomicSize tail_{0};  ///< producers' ticket
+  alignas(kCacheLine) AtomicSize head_{0};  ///< consumer cursor
 };
 
 }  // namespace svc

@@ -210,6 +210,9 @@ class ServiceServer {
   std::vector<RequestId> drain_ids_;
 
   std::thread pump_;
+  /// Lifecycle flags. Memory-order contracts (allowed orders per op,
+  /// with rationale) live in tools/csfc_analyze/concurrency.toml;
+  /// csfc_analyze enforces call sites against them.
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::atomic<bool> cancel_{false};

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 namespace csfc {
 namespace {
@@ -106,6 +109,151 @@ TEST(HistogramTest, QuantileInterpolates) {
 TEST(HistogramTest, QuantileOnEmptyReturnsLo) {
   Histogram h(5.0, 10.0, 4);
   EXPECT_DOUBLE_EQ(h.Quantile(0.5), 5.0);
+}
+
+TEST(LogHistogramTest, EmptyQuantilesAndMoments) {
+  LogHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(LogHistogramTest, SingleSampleEveryQuantileIsTheSample) {
+  LogHistogram h;
+  h.Add(100);
+  // The landing bucket is [100, 102), but no quantile may exceed the
+  // observed maximum, so every q collapses to the sample itself.
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 100.0) << "q=" << q;
+  }
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.mean(), 100.0);
+}
+
+TEST(LogHistogramTest, LinearHeadIsExact) {
+  // Values below kSubBuckets map 1:1 to unit-wide buckets, so small
+  // latencies suffer no quantization at all.
+  LogHistogram h;
+  for (int64_t v = 0; v < 32; ++v) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 31.0);  // clamped to max, not 32
+  // The median of 0..31 lands inside bucket 15 or 16 (width 1).
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 15.0);
+  EXPECT_LE(p50, 17.0);
+}
+
+TEST(LogHistogramTest, NegativeAndOversizedSamplesClamp) {
+  LogHistogram h;
+  h.Add(-17);  // clamps to 0
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+
+  LogHistogram big;
+  const int64_t huge = int64_t{1} << 62;  // far beyond the covered ranges
+  big.Add(huge);
+  EXPECT_EQ(big.max(), huge);  // max() still reports the raw sample
+  // Quantiles saturate at the top bucket's upper edge (2^36 with the
+  // fixed kRanges x kSubBuckets geometry), not at the raw sample.
+  EXPECT_DOUBLE_EQ(big.Quantile(1.0), std::ldexp(1.0, 36));
+}
+
+TEST(LogHistogramTest, CrossBucketInterpolation) {
+  // Two spikes decades apart: quantiles below/above the split must land
+  // in the correct spike, and interpolation stays within each landing
+  // bucket (bounded relative error of 1/kSubBuckets).
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.Add(10);
+  for (int i = 0; i < 100; ++i) h.Add(1000);
+  EXPECT_NEAR(h.Quantile(0.25), 10.0, 1.0);    // bucket [10, 11)
+  EXPECT_NEAR(h.Quantile(0.75), 1000.0, 16.0); // bucket width 16 there
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 505.0);
+}
+
+TEST(LogHistogramTest, QuantileRelativeErrorIsBounded) {
+  // The HDR layout promises <= 1/kSubBuckets relative error at every
+  // magnitude; verify across five decades with a deterministic stream.
+  LogHistogram h;
+  std::vector<int64_t> vals;
+  int64_t v = 1;
+  while (v < 2'000'000) {
+    vals.push_back(v);
+    h.Add(v);
+    v += 1 + v / 7;  // roughly geometric spacing
+  }
+  std::sort(vals.begin(), vals.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const size_t rank = std::min(
+        vals.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(vals.size())));
+    const double truth = static_cast<double>(vals[rank]);
+    const double est = h.Quantile(q);
+    EXPECT_NEAR(est, truth, truth / 16.0 + 2.0)
+        << "q=" << q << " truth=" << truth << " est=" << est;
+  }
+}
+
+TEST(LogHistogramTest, MergeDisjointMatchesCombinedStream) {
+  LogHistogram a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    a.Add(3 + i % 5);
+    all.Add(3 + i % 5);
+  }
+  for (int i = 0; i < 70; ++i) {
+    b.Add(4096 + 37 * i);
+    all.Add(4096 + 37 * i);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.total(), all.total());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  // Fixed geometry: merged buckets are exactly the combined stream's.
+  for (double q : {0.1, 0.4, 0.5, 0.9, 0.999}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), all.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogHistogramTest, MergeOverlappingAndWithEmpty) {
+  LogHistogram a, b, all;
+  for (int i = 0; i < 40; ++i) {
+    a.Add(100 + i);
+    all.Add(100 + i);
+  }
+  for (int i = 0; i < 40; ++i) {
+    b.Add(110 + i);  // overlaps a's range
+    all.Add(110 + i);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.total(), all.total());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  for (double q : {0.25, 0.5, 0.75}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), all.Quantile(q)) << "q=" << q;
+  }
+  // Merging an empty histogram is a no-op in both directions.
+  LogHistogram empty;
+  const double p50_before = a.Quantile(0.5);
+  a.Merge(empty);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), p50_before);
+  empty.Merge(a);
+  EXPECT_EQ(empty.total(), a.total());
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), a.Quantile(0.5));
+}
+
+TEST(LogHistogramTest, ResetReturnsToEmptyBehavior) {
+  LogHistogram h;
+  for (int i = 0; i < 10; ++i) h.Add(1 << i);
+  ASSERT_GT(h.total(), 0u);
+  h.Reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);
 }
 
 TEST(HistogramTest, AsciiRenderingHasOneLinePerBucket) {

@@ -1,0 +1,580 @@
+// Deterministic interleaving explorer for small concurrent protocols.
+//
+// The explorer runs N "virtual threads" (real std::threads under a strict
+// one-at-a-time handoff) and owns every scheduling decision: a thread
+// only advances between two *schedule points*, and every instrumented
+// atomic operation is a schedule point. Because exactly one thread runs
+// at any instant and every handoff goes through a mutex, executions are
+// sequentially consistent and data-race-free by construction (TSan-clean
+// even for protocols that would race with real atomics) — what the
+// explorer varies is the *interleaving*, chosen by depth-first search
+// over the schedule tree.
+//
+// Search modes:
+//   * Exhaustive DFS with a configurable preemption bound (CHESS-style):
+//     all schedules reachable with at most `preemption_bound` involuntary
+//     context switches are enumerated. Voluntary switches (a thread
+//     blocking on BlockUntilWrite or finishing) are free.
+//   * Optional DPOR-style sleep-set pruning: after a branch explores
+//     thread t at a node, sibling branches put t to sleep until a
+//     dependent operation wakes it, skipping schedules that only commute
+//     independent operations. Sleep sets are sound for full exploration;
+//     combined with a preemption bound they can in principle skip a
+//     schedule whose representative needs more preemptions, so the
+//     exhaustive gates in ring_model_check_test.cc run with pruning OFF
+//     and a separate test cross-checks the pruned search.
+//   * Randomized mode: `random_schedules` seeded random walks for
+//     configurations too big to enumerate.
+//
+// Instrumentation seams:
+//   * McAtomicSize substitutes for std::atomic<size_t> via template
+//     parameters (e.g. MpscIngestRing's AtomicSize seam). Operations are
+//     schedule points; plain size_t storage is safe under the handoff.
+//   * Token is a payload type whose moves are schedule points carrying
+//     ghost state (producer id, serial, liveness) so tests can assert
+//     per-producer FIFO, no lost/duplicated elements, and that no
+//     unpublished or doubly-consumed cell is ever claimed.
+//   * BlockUntilWrite() parks the calling virtual thread until another
+//     thread performs a write — the test-program idiom for "ring full /
+//     ring empty, wait for progress". This keeps the schedule tree
+//     finite: a failed push/drain performs only reads, so retry cycles
+//     consume writes made by *other* threads.
+//
+// The explorer reports the first invariant violation (mc::Check) with the
+// decision trace that produced it, detects deadlocks (all live threads
+// blocked), and enforces a per-execution step bound as a livelock guard.
+
+#ifndef CSFC_TESTS_SVC_MODEL_CHECK_H_
+#define CSFC_TESTS_SVC_MODEL_CHECK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace csfc {
+namespace mc {
+
+enum class OpKind { kStart, kRead, kWrite, kPayload, kBlock };
+
+struct AbortExecution {};
+
+class Explorer;
+
+// Thread-local context: workers see (explorer, tid >= 0); the scheduler
+// thread sees (explorer, -1) so Check() works from on_finish; everything
+// else (e.g. ring construction in make()) sees nullptr and every hook is
+// a no-op.
+inline thread_local Explorer* tls_explorer = nullptr;
+inline thread_local int tls_tid = -1;
+
+class Explorer {
+ public:
+  struct Options {
+    // Max involuntary context switches per execution (-1-ish large value
+    // = unbounded). Voluntary switches are always free.
+    int preemption_bound = 2;
+    // DPOR-style sleep-set pruning (see file comment for the caveat).
+    bool sleep_sets = false;
+    // > 0: run this many seeded random schedules instead of DFS.
+    uint64_t random_schedules = 0;
+    uint64_t seed = 1;
+    // Livelock guard: max schedule points in one execution.
+    uint64_t max_steps = 100000;
+    // Safety valve for runaway DFS; hitting it is reported as a
+    // violation so a test never silently under-explores.
+    uint64_t max_executions = 5000000;
+  };
+
+  struct Execution {
+    std::vector<std::function<void()>> threads;
+    // Runs on the scheduler thread after all virtual threads finished
+    // (skipped when the execution already failed or was pruned).
+    std::function<void()> on_finish;
+  };
+
+  struct Stats {
+    uint64_t executions = 0;        // completed executions
+    uint64_t pruned_executions = 0; // cut by sleep sets (fully covered)
+    uint64_t steps = 0;             // schedule points taken
+    uint64_t pruned_choices = 0;    // branches skipped by sleep sets
+    std::string violation;          // first failure; empty = all clean
+    std::vector<int> schedule;      // decision trace of the failing run
+  };
+
+  Stats Explore(const std::function<Execution()>& make,
+                const Options& opt) {
+    opt_ = opt;
+    stats_ = Stats();
+    rng_.seed(opt.seed);
+    stack_.clear();
+    Execution first = make();
+    const size_t n = first.threads.size();
+    StartWorkers(n);
+    tls_explorer = this;  // scheduler-side Check()/Fail()
+    tls_tid = -1;
+    bool have_first = true;
+    const bool random = opt_.random_schedules > 0;
+    for (;;) {
+      Execution exec = have_first ? std::move(first) : make();
+      have_first = false;
+      if (exec.threads.size() != n) {
+        Fail("make() changed the thread count between executions");
+        break;
+      }
+      RunOne(exec);
+      if (!stats_.violation.empty()) break;
+      if (random) {
+        if (stats_.executions >= opt_.random_schedules) break;
+      } else {
+        if (stats_.executions + stats_.pruned_executions
+            >= opt_.max_executions) {
+          Fail("max_executions exceeded before the schedule tree was "
+               "exhausted — raise Options::max_executions");
+          break;
+        }
+        if (!Advance()) break;  // DFS exhausted: full coverage
+      }
+    }
+    StopWorkers();
+    tls_explorer = nullptr;
+    return stats_;
+  }
+
+  // --- hooks (called via the free functions below) -----------------------
+
+  void Point(const void* obj, OpKind kind) {
+    const int tid = tls_tid;
+    std::unique_lock<std::mutex> l(mu_);
+    Thr& me = thr_[static_cast<size_t>(tid)];
+    me.state = kind == OpKind::kBlock ? TState::kBlocked : TState::kParked;
+    me.pending = Pending{obj, kind};
+    running_ = -1;
+    sched_cv_.notify_one();
+    me.cv.wait(l, [&] { return me.abort || running_ == tid; });
+    if (me.abort) {
+      // Payload moves must not throw through vector internals; the
+      // thread keeps running (alone — nothing else holds the grant)
+      // until its next atomic op or program end unwinds it.
+      if (kind == OpKind::kPayload) return;
+      throw AbortExecution{};
+    }
+    me.state = TState::kRunning;
+  }
+
+  void Fail(std::string msg) {
+    std::lock_guard<std::mutex> l(fail_mu_);
+    if (!stats_.violation.empty()) return;
+    stats_.violation = std::move(msg);
+    stats_.schedule = trace_;
+  }
+
+ private:
+  struct Pending {
+    const void* obj = nullptr;
+    OpKind kind = OpKind::kStart;
+  };
+  enum class TState { kIdle, kRunning, kParked, kBlocked, kDone };
+  struct Thr {
+    std::thread th;
+    std::condition_variable cv;  // signaled only when THIS thread may move
+    TState state = TState::kIdle;
+    Pending pending;
+    bool abort = false;
+  };
+  struct Node {
+    int chosen = -1;
+    Pending chosen_op;  // refreshed on every (re)visit, used by Advance
+    std::vector<int> untried;
+    std::vector<std::pair<int, Pending>> sleep_entry;
+    std::vector<std::pair<int, Pending>> explored;
+  };
+
+  static bool Dependent(const Pending& a, const Pending& b) {
+    if (a.kind == OpKind::kPayload || b.kind == OpKind::kPayload) {
+      return true;  // payload identity is coarse; stay conservative
+    }
+    if (a.kind == OpKind::kStart || a.kind == OpKind::kBlock ||
+        b.kind == OpKind::kStart || b.kind == OpKind::kBlock) {
+      return false;
+    }
+    return a.obj == b.obj &&
+           (a.kind == OpKind::kWrite || b.kind == OpKind::kWrite);
+  }
+
+  // --- worker lifecycle ---------------------------------------------------
+
+  void StartWorkers(size_t n) {
+    thr_ = std::vector<Thr>(n);
+    shutdown_ = false;
+    gen_ = 0;
+    for (size_t t = 0; t < n; ++t) {
+      thr_[t].th = std::thread([this, t] {
+        WorkerMain(static_cast<int>(t));
+      });
+    }
+  }
+
+  void StopWorkers() {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      shutdown_ = true;
+      for (Thr& t : thr_) t.cv.notify_one();
+    }
+    for (Thr& t : thr_) {
+      if (t.th.joinable()) t.th.join();
+    }
+    thr_.clear();
+  }
+
+  void WorkerMain(int tid) {
+    tls_explorer = this;
+    tls_tid = tid;
+    Thr& me = thr_[static_cast<size_t>(tid)];
+    std::unique_lock<std::mutex> l(mu_);
+    uint64_t seen_gen = 0;
+    for (;;) {
+      me.cv.wait(l, [&] { return shutdown_ || gen_ > seen_gen; });
+      if (shutdown_) return;
+      seen_gen = gen_;
+      std::function<void()> program = programs_[static_cast<size_t>(tid)];
+      me.state = TState::kParked;  // initial park: all threads line up
+      me.pending = Pending{};
+      sched_cv_.notify_one();
+      me.cv.wait(l, [&] { return me.abort || running_ == tid; });
+      if (!me.abort) {
+        me.state = TState::kRunning;
+        l.unlock();
+        try {
+          program();
+        } catch (const AbortExecution&) {
+        }
+        l.lock();
+      }
+      me.state = TState::kDone;
+      if (running_ == tid) running_ = -1;
+      sched_cv_.notify_one();
+    }
+  }
+
+  // Releases threads one at a time so even the unwind path never runs
+  // two virtual threads concurrently (keeps buggy-protocol executions
+  // race-free under TSan).
+  void AbortAll(std::unique_lock<std::mutex>& l) {
+    for (Thr& t : thr_) {
+      if (t.state == TState::kDone) continue;
+      t.abort = true;
+      t.cv.notify_one();
+      sched_cv_.wait(l, [&] { return t.state == TState::kDone; });
+    }
+  }
+
+  // --- one execution ------------------------------------------------------
+
+  enum class RunResult { kCompleted, kPruned, kFailed };
+
+  void RunOne(const Execution& exec) {
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      programs_ = exec.threads;
+      for (Thr& t : thr_) {
+        t.state = TState::kIdle;
+        t.pending = Pending{};
+        t.abort = false;
+      }
+      ++gen_;
+      for (Thr& t : thr_) t.cv.notify_one();
+      sched_cv_.wait(l, [&] {
+        for (const Thr& t : thr_) {
+          if (t.state != TState::kParked) return false;
+        }
+        return true;
+      });
+    }
+    depth_ = 0;
+    budget_ = opt_.preemption_bound;
+    cur_ = -1;
+    sleep_.clear();
+    trace_.clear();
+    RunResult res = Schedule();
+    if (res == RunResult::kCompleted) {
+      ++stats_.executions;
+      if (exec.on_finish) exec.on_finish();
+    } else if (res == RunResult::kPruned) {
+      ++stats_.pruned_executions;
+    }
+  }
+
+  RunResult Schedule() {
+    uint64_t steps = 0;
+    std::unique_lock<std::mutex> l(mu_);
+    for (;;) {
+      bool all_done = true;
+      std::vector<int> runnable;
+      bool any_blocked = false;
+      for (size_t t = 0; t < thr_.size(); ++t) {
+        switch (thr_[t].state) {
+          case TState::kDone:
+            break;
+          case TState::kParked:
+            all_done = false;
+            runnable.push_back(static_cast<int>(t));
+            break;
+          case TState::kBlocked:
+            all_done = false;
+            any_blocked = true;
+            break;
+          default:
+            all_done = false;
+            break;
+        }
+      }
+      if (all_done) return RunResult::kCompleted;
+      if (runnable.empty()) {
+        Fail(any_blocked
+                 ? "deadlock: every live virtual thread is blocked in "
+                   "BlockUntilWrite with no writer left"
+                 : "scheduler stuck: no runnable virtual thread");
+        AbortAll(l);
+        return RunResult::kFailed;
+      }
+      const int pick = Decide(runnable);
+      if (pick < 0) {  // every option is asleep: state covered elsewhere
+        AbortAll(l);
+        return RunResult::kPruned;
+      }
+      const bool paid =
+          cur_ >= 0 && pick != cur_ &&
+          thr_[static_cast<size_t>(cur_)].state == TState::kParked;
+      if (paid) --budget_;
+      const Pending op = thr_[static_cast<size_t>(pick)].pending;
+      cur_ = pick;
+      trace_.push_back(pick);
+      ++stats_.steps;
+      if (++steps > opt_.max_steps) {
+        Fail("per-execution step bound exceeded — livelock or a "
+             "configuration too large for Options::max_steps");
+        AbortAll(l);
+        return RunResult::kFailed;
+      }
+      running_ = pick;
+      thr_[static_cast<size_t>(pick)].cv.notify_one();
+      sched_cv_.wait(l, [&] { return running_ == -1; });
+      if (!stats_.violation.empty()) {  // a worker's Check failed
+        AbortAll(l);
+        return RunResult::kFailed;
+      }
+      if (op.kind == OpKind::kWrite || op.kind == OpKind::kPayload) {
+        for (Thr& t : thr_) {
+          if (t.state == TState::kBlocked) t.state = TState::kParked;
+        }
+      }
+      if (opt_.sleep_sets) {
+        std::vector<std::pair<int, Pending>> kept;
+        for (const auto& s : sleep_) {
+          if (!Dependent(s.second, op)) kept.push_back(s);
+        }
+        sleep_.swap(kept);
+      }
+    }
+  }
+
+  // Picks the next thread to grant, or -1 when sleep sets prove every
+  // option is covered by an already-explored sibling branch.
+  int Decide(const std::vector<int>& runnable) {
+    const bool cur_runnable =
+        cur_ >= 0 &&
+        thr_[static_cast<size_t>(cur_)].state == TState::kParked;
+    std::vector<int> options;
+    if (cur_runnable) {
+      options.push_back(cur_);  // continuing costs nothing
+      if (budget_ > 0) {
+        for (int t : runnable) {
+          if (t != cur_) options.push_back(t);
+        }
+      }
+    } else {
+      options = runnable;  // voluntary switch: every choice is free
+    }
+    if (opt_.random_schedules > 0) {
+      std::uniform_int_distribution<size_t> d(0, options.size() - 1);
+      return options[d(rng_)];
+    }
+    if (opt_.sleep_sets) {
+      if (depth_ < stack_.size()) {
+        sleep_ = stack_[depth_].sleep_entry;
+        for (const auto& e : stack_[depth_].explored) sleep_.push_back(e);
+      }
+      std::vector<int> awake;
+      for (int t : options) {
+        bool asleep = false;
+        for (const auto& s : sleep_) {
+          if (s.first == t) asleep = true;
+        }
+        if (!asleep) awake.push_back(t);
+      }
+      stats_.pruned_choices += options.size() - awake.size();
+      options.swap(awake);
+      if (options.empty()) return -1;
+    }
+    if (depth_ < stack_.size()) {
+      Node& node = stack_[depth_];
+      ++depth_;
+      node.chosen_op =
+          thr_[static_cast<size_t>(node.chosen)].pending;
+      return node.chosen;
+    }
+    Node node;
+    node.chosen = options[0];
+    node.chosen_op = thr_[static_cast<size_t>(options[0])].pending;
+    node.untried.assign(options.begin() + 1, options.end());
+    if (opt_.sleep_sets) node.sleep_entry = sleep_;
+    stack_.push_back(std::move(node));
+    ++depth_;
+    return stack_.back().chosen;
+  }
+
+  // Moves the DFS to the next unexplored branch; false when exhausted.
+  bool Advance() {
+    while (!stack_.empty()) {
+      Node& node = stack_.back();
+      if (!node.untried.empty()) {
+        if (opt_.sleep_sets) {
+          node.explored.emplace_back(node.chosen, node.chosen_op);
+        }
+        node.chosen = node.untried.front();
+        node.untried.erase(node.untried.begin());
+        return true;
+      }
+      stack_.pop_back();
+    }
+    return false;
+  }
+
+  Options opt_;
+  Stats stats_;
+  std::mt19937_64 rng_;
+
+  std::mutex mu_;
+  std::condition_variable sched_cv_;  // workers -> scheduler
+  std::vector<Thr> thr_;
+  std::vector<std::function<void()>> programs_;
+  uint64_t gen_ = 0;
+  int running_ = -1;
+  bool shutdown_ = false;
+
+  std::mutex fail_mu_;
+  std::vector<Node> stack_;
+  size_t depth_ = 0;
+  int budget_ = 0;
+  int cur_ = -1;
+  std::vector<std::pair<int, Pending>> sleep_;
+  std::vector<int> trace_;
+};
+
+// --- free-function hooks ----------------------------------------------------
+
+inline void SchedulePoint(const void* obj, OpKind kind) {
+  if (tls_explorer != nullptr && tls_tid >= 0) {
+    tls_explorer->Point(obj, kind);
+  }
+}
+
+/// Parks the calling virtual thread until another thread performs a
+/// write. No-op outside a controlled execution.
+inline void BlockUntilWrite() {
+  if (tls_explorer != nullptr && tls_tid >= 0) {
+    tls_explorer->Point(nullptr, OpKind::kBlock);
+  }
+}
+
+/// Records the first failed invariant (with the decision trace) and
+/// aborts the current execution when called from a virtual thread.
+inline void Check(bool cond, const char* msg) {
+  if (cond) return;
+  if (tls_explorer != nullptr) {
+    tls_explorer->Fail(msg);
+    if (tls_tid >= 0) throw AbortExecution{};
+  }
+}
+
+// --- instrumented building blocks -------------------------------------------
+
+/// Drop-in for std::atomic<size_t> under the explorer (the ring's
+/// AtomicSize seam). Every operation is a schedule point; plain storage
+/// is safe because exactly one virtual thread runs at a time and every
+/// handoff synchronizes through the explorer's mutex.
+class McAtomicSize {
+ public:
+  McAtomicSize() = default;
+  McAtomicSize(size_t v) : v_(v) {}  // NOLINT: mirrors std::atomic
+  McAtomicSize(const McAtomicSize&) = delete;
+  McAtomicSize& operator=(const McAtomicSize&) = delete;
+
+  size_t load(std::memory_order) const {
+    SchedulePoint(this, OpKind::kRead);
+    return v_;
+  }
+  void store(size_t v, std::memory_order) {
+    SchedulePoint(this, OpKind::kWrite);
+    v_ = v;
+  }
+  bool compare_exchange_weak(size_t& expected, size_t desired,
+                             std::memory_order) {
+    SchedulePoint(this, OpKind::kWrite);  // conservative: failure reads
+    if (v_ == expected) {
+      v_ = desired;
+      return true;
+    }
+    expected = v_;
+    return false;
+  }
+
+ private:
+  size_t v_ = 0;
+};
+
+/// Ring payload with ghost state. Moves are schedule points, and the
+/// ghost bits catch the protocol failures directly:
+///   * moving FROM a non-live token  -> the consumer claimed a cell whose
+///     payload was never published (or was already consumed);
+///   * moving ONTO a live token      -> a producer overwrote an element
+///     the consumer never saw (lost update).
+struct Token {
+  int producer = -1;
+  int serial = -1;
+  bool live = false;
+
+  Token() = default;
+  Token(int p, int s) : producer(p), serial(s), live(true) {}
+  Token(const Token&) = delete;
+  Token& operator=(const Token&) = delete;
+  Token(Token&& o) { MoveFrom(o); }
+  Token& operator=(Token&& o) {
+    Check(!live, "payload overwrite: a producer stored into a cell whose "
+                 "element was never consumed (lost update)");
+    MoveFrom(o);
+    return *this;
+  }
+
+ private:
+  void MoveFrom(Token& o) {
+    SchedulePoint(&o, OpKind::kPayload);
+    producer = o.producer;
+    serial = o.serial;
+    live = o.live;
+    o.live = false;
+  }
+};
+
+}  // namespace mc
+}  // namespace csfc
+
+#endif  // CSFC_TESTS_SVC_MODEL_CHECK_H_

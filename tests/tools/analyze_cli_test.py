@@ -69,7 +69,12 @@ def main(argv: list) -> int:
             ("exc-safety", "_seeded_mover.h"),
             # hot-coverage findings point at the manifest entry, not the
             # seeded file: the function exists but lost its annotation.
-            ("hot-coverage", "SeededCold::Push")):
+            ("hot-coverage", "SeededCold::Push"),
+            # Concurrency families (rules 5-7): each seed drops a file
+            # with exactly one contract breach into the scanned tree.
+            ("atomics-discipline", "_seeded_atomics.h"),
+            ("lock-hierarchy", "_seeded_locks.h"),
+            ("hot-blocking", "_seeded_blocking.h")):
         check(f"seed-{rule}",
               run_cli(*base, f"--seed-violation={rule}"), 1, fragment)
 

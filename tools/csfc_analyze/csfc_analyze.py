@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """csfc_analyze: AST-backed contract analyzer for the csfc codebase.
 
-Four rule families, one checked-in manifest (tools/csfc_analyze/layers.toml):
+Seven rule families, two checked-in manifests
+(tools/csfc_analyze/layers.toml and tools/csfc_analyze/concurrency.toml):
 
   layering       src/ include edges must follow the layer DAG declared in
                  layers.toml, plus the tracer seam and per-file exceptions
@@ -25,6 +26,22 @@ Four rule families, one checked-in manifest (tools/csfc_analyze/layers.toml):
                  Status / Result must be [[nodiscard]] at class level —
                  a throwing move silently degrades every vector growth
                  and slot-pool recycle back to copies.
+  atomics-discipline
+                 Every atomic operation in src/ must spell an explicit
+                 std::memory_order, and every atomic variable must have an
+                 [[atomic]] row in concurrency.toml declaring its role and
+                 the allowed orders per operation kind (load/store/rmw/cas).
+                 Unmanifested atomics, stale rows, implicit seq_cst, and
+                 orders outside the declared set are all errors.
+  lock-hierarchy Every Mutex instance must have a [[lock]] row, and nested
+                 MutexLock acquisitions (plus REQUIRES(...) regions) must
+                 follow the total acquisition order declared in
+                 [locks].order — out-of-order or recursive acquisition is
+                 an error.
+  hot-blocking   CSFC_HOT functions may not block: no mutex acquisition,
+                 condvar wait, sleep, or I/O. Unbounded spin loops over
+                 atomics must justify progress with a
+                 `// csfc:spin-ok(<reason>)` marker on the loop header.
 
 Engines:
 
@@ -36,11 +53,16 @@ Engines:
              verified on the AST (exception specifications and the
              WarnUnusedResult attribute), not by pattern match.
   regex      fallback when libclang is unavailable (the dev container is
-             gcc-only). Implements all three rules textually; the
-             hot-alloc scan degrades to the direct bodies of annotated
-             functions — no transitive call graph. The degradation is
-             announced on stderr so a clean exit is never mistaken for
-             full AST coverage.
+             gcc-only). Implements all rules textually; the hot-alloc
+             scan degrades to the direct bodies of annotated functions —
+             no transitive call graph. The degradation is announced on
+             stderr so a clean exit is never mistaken for full AST
+             coverage.
+
+The three concurrency families are textual in BOTH engines: memory_order
+arguments, MutexLock statements, and spin markers are lexical facts, and
+sharing one implementation makes engine agreement structural (the same
+stance layering already takes).
 
 `--self-test` seeds one violation per rule against synthetic trees and
 verifies each is caught. `--seed-violation=RULE` injects a violation into
@@ -71,6 +93,7 @@ strip_comments = csfc_lint.strip_comments
 
 CXX_SUFFIXES = (".h", ".cc")
 ALLOC_OK_MARKER = "csfc:alloc-ok("
+SPIN_OK_MARKER = "csfc:spin-ok("
 HOT_TOKEN = "CSFC_HOT"
 
 
@@ -393,17 +416,27 @@ def _definition_bodies(code: str, cls: Optional[str],
     return bodies
 
 
-def check_hot_alloc(tree: Tree) -> List[Finding]:
-    findings: List[Finding] = []
-    seen: Set[Tuple[str, int, str]] = set()
-    scrubbed = {p: scrub(t) for p, t in tree.items()
-                if p.startswith("src/")}
-    exempt = {p: ndebug_exempt_lines(c) for p, c in scrubbed.items()}
+def hot_function_bodies(
+        scrubbed: Dict[str, str]) -> List[Tuple[str, str, int, int]]:
+    """(path, label, body_start, body_end) for every CSFC_HOT function.
+
+    Resolves declaration-only annotations to their out-of-line
+    definitions in the same file (inline/template) or the .h/.cc
+    sibling, qualified by the enclosing class so same-named methods of
+    other classes (e.g. the reference implementations) are not swept
+    in. Shared by the hot-alloc and hot-blocking rule families.
+    """
+    bodies: List[Tuple[str, str, int, int]] = []
+    seen: Set[Tuple[str, int]] = set()
+
+    def add(path: str, label: str, start: int, end: int) -> None:
+        if (path, start) not in seen:
+            seen.add((path, start))
+            bodies.append((path, label, start, end))
 
     for path, code in sorted(scrubbed.items()):
         if path == "src/common/annotations.h":
             continue
-        text = tree[path]
         scopes = None
         for m in re.finditer(rf"\b{HOT_TOKEN}\b", code):
             line_start = code.rfind("\n", 0, m.start()) + 1
@@ -421,14 +454,8 @@ def check_hot_alloc(tree: Tree) -> List[Finding]:
                 continue
             name = name_m.group(1)
             if brace != -1 and (semi == -1 or brace < semi):
-                _scan_body(path, text, code, brace,
-                           match_delim(code, brace, "{", "}"), name,
-                           exempt[path], "hot function", seen, findings)
+                add(path, name, brace, match_delim(code, brace, "{", "}"))
                 continue
-            # Declaration only: find the out-of-line definition in this
-            # file (inline/template) or its .h/.cc sibling, qualified by
-            # the enclosing class so same-named methods of other classes
-            # (e.g. the reference implementations) are not swept in.
             if scopes is None:
                 scopes = class_scopes(code)
             cls = enclosing_class(scopes, m.start())
@@ -440,10 +467,25 @@ def check_hot_alloc(tree: Tree) -> List[Finding]:
             for cand in candidates:
                 for start, end in _definition_bodies(scrubbed[cand], cls,
                                                      name):
-                    _scan_body(cand, tree[cand], scrubbed[cand], start, end,
-                               label, exempt[cand], "hot function", seen,
-                               findings)
+                    add(cand, label, start, end)
+    return bodies
 
+
+def check_hot_alloc(tree: Tree) -> List[Finding]:
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, str]] = set()
+    scrubbed = {p: scrub(t) for p, t in tree.items()
+                if p.startswith("src/")}
+    exempt = {p: ndebug_exempt_lines(c) for p, c in scrubbed.items()}
+
+    for path, label, start, end in hot_function_bodies(scrubbed):
+        _scan_body(path, tree[path], scrubbed[path], start, end, label,
+                   exempt[path], "hot function", seen, findings)
+
+    for path, code in sorted(scrubbed.items()):
+        if path == "src/common/annotations.h":
+            continue
+        text = tree[path]
         # Lock-holding functions: REQUIRES(...) marks a region that runs
         # under a capability; allocating there stretches the critical
         # section by a potential syscall.
@@ -567,12 +609,458 @@ def check_exc_safety(tree: Tree, contracts: Contracts) -> List[Finding]:
     return findings
 
 
-def run_regex_engine(tree: Tree, manifest: Manifest,
-                     contracts: Contracts) -> List[Finding]:
+# --- rules 5-7: concurrency contracts (concurrency.toml) --------------------
+
+
+class AtomicRow(NamedTuple):
+    file: str
+    name: str
+    role: str
+    orders: Dict[str, Tuple[str, ...]]  # op kind -> allowed memory orders
+
+
+class LockRow(NamedTuple):
+    name: str
+    file: str
+    member: str
+
+
+class ConcurrencyManifest(NamedTuple):
+    atomics: Dict[str, AtomicRow]  # keyed by variable name
+    extra_types: List[str]  # declaration spellings that count as atomics
+    locks: List[LockRow]
+    lock_order: List[str]  # total acquisition order, outermost first
+
+
+VALID_ORDERS = {"relaxed", "consume", "acquire", "release", "acq_rel",
+                "seq_cst"}
+ATOMIC_OP_KINDS = ("load", "store", "rmw", "cas")
+ATOMIC_ROLES = {"publication flag", "sequence counter", "relaxed statistic"}
+
+
+def parse_concurrency(text: str) -> ConcurrencyManifest:
+    if tomllib is None:
+        raise RuntimeError("python >= 3.11 (tomllib) required")
+    data = tomllib.loads(text)
+    atomics: Dict[str, AtomicRow] = {}
+    for row in data.get("atomic", []):
+        name = row["name"]
+        if name in atomics:
+            raise ValueError(
+                f"duplicate [[atomic]] row `{name}` — op sites are resolved "
+                f"by variable name, so atomic names must be unique in src/")
+        role = row.get("role", "")
+        if role not in ATOMIC_ROLES:
+            raise ValueError(
+                f"[[atomic]] `{name}`: role {role!r} must be one of "
+                f"{sorted(ATOMIC_ROLES)}")
+        orders: Dict[str, Tuple[str, ...]] = {}
+        for kind in ATOMIC_OP_KINDS:
+            if kind not in row:
+                continue
+            vals = tuple(row[kind])
+            bad = sorted(set(vals) - VALID_ORDERS)
+            if bad:
+                raise ValueError(
+                    f"[[atomic]] `{name}`.{kind}: unknown memory orders "
+                    f"{bad}")
+            orders[kind] = vals
+        if not orders:
+            raise ValueError(
+                f"[[atomic]] `{name}` allows no operations — declare at "
+                f"least one of {ATOMIC_OP_KINDS}")
+        atomics[name] = AtomicRow(row["file"], name, role, orders)
+    locks = [LockRow(r["name"], r["file"], r["member"])
+             for r in data.get("lock", [])]
+    lock_names = [r.name for r in locks]
+    if len(set(lock_names)) != len(lock_names):
+        raise ValueError("duplicate [[lock]] names")
+    order = list(data.get("locks", {}).get("order", []))
+    unknown = sorted(set(order) - set(lock_names))
+    if unknown:
+        raise ValueError(f"[locks].order names unknown locks: {unknown}")
+    missing = [n for n in lock_names if n not in order]
+    if missing:
+        raise ValueError(
+            f"locks missing from [locks].order: {missing} — every lock "
+            f"needs a place in the acquisition order")
+    return ConcurrencyManifest(
+        atomics=atomics,
+        extra_types=list(data.get("atomics", {}).get("extra_types", [])),
+        locks=locks,
+        lock_order=order)
+
+
+# Longest-first so `compare_exchange_weak` never half-matches `exchange`.
+_ATOMIC_OPS = {
+    "load": "load", "store": "store", "exchange": "rmw",
+    "fetch_add": "rmw", "fetch_sub": "rmw", "fetch_and": "rmw",
+    "fetch_or": "rmw", "fetch_xor": "rmw",
+    "compare_exchange_weak": "cas", "compare_exchange_strong": "cas",
+}
+ATOMIC_OP_RE = re.compile(
+    r"(\w+)\s*(?:\.|->)\s*("
+    + "|".join(sorted(_ATOMIC_OPS, key=len, reverse=True)) + r")\s*\(")
+MEMORY_ORDER_RE = re.compile(r"\bmemory_order(?:_|::\s*)(\w+)")
+
+
+def _match_angle(code: str, open_idx: int) -> Optional[int]:
+    """Index just past the `>` matching code[open_idx] == '<', or None."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == "<":
+            depth += 1
+        elif code[i] == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif code[i] in ";{}":
+            return None  # ran off the declaration: a comparison, not a type
+    return None
+
+
+def find_atomic_decls(scrubbed: Dict[str, str],
+                      extra_types: List[str]) -> List[Tuple[str, str, int]]:
+    """(path, name, line) of every atomic variable declaration in src/.
+
+    Matches `std::atomic<...> name` plus any manifest-declared extra
+    spelling (template seams like the ring's AtomicSize parameter, which
+    tests instantiate with instrumented atomics). References, template
+    default arguments, and using-aliases contribute no declaration.
+    """
+    decls: List[Tuple[str, str, int]] = []
+    extra = [re.compile(rf"\b{re.escape(t)}\s+(\w+)\s*[;{{=]")
+             for t in extra_types]
+    for path, code in sorted(scrubbed.items()):
+        for m in re.finditer(r"\bstd::atomic\s*<", code):
+            close = _match_angle(code, m.end() - 1)
+            if close is None:
+                continue
+            name_m = re.match(r"\s*(\w+)\s*[;{=,]", code[close:])
+            if name_m:
+                decls.append((path, name_m.group(1),
+                              line_of(code, m.start())))
+        for pat in extra:
+            for m in pat.finditer(code):
+                decls.append((path, m.group(1), line_of(code, m.start())))
+    return decls
+
+
+def check_atomics(tree: Tree, cman: ConcurrencyManifest) -> List[Finding]:
+    findings: List[Finding] = []
+    scrubbed = {p: scrub(t) for p, t in tree.items()
+                if p.startswith("src/")}
+    decls = find_atomic_decls(scrubbed, cman.extra_types)
+    rows = cman.atomics
+
+    for path, name, line in decls:
+        row = rows.get(name)
+        if row is None:
+            findings.append(Finding(
+                "atomics-discipline", path, line,
+                f"unmanifested atomic `{name}` — every std::atomic in src/ "
+                f"needs an [[atomic]] row in "
+                f"tools/csfc_analyze/concurrency.toml declaring its role "
+                f"and allowed memory orders"))
+        elif row.file != path:
+            findings.append(Finding(
+                "atomics-discipline", path, line,
+                f"atomic `{name}` is declared here but its manifest row "
+                f"names {row.file} — fix the [[atomic]] row"))
+
+    declared = {(p, n) for p, n, _ in decls}
+    for name in sorted(rows):
+        row = rows[name]
+        if (row.file, name) not in declared:
+            findings.append(Finding(
+                "atomics-discipline", row.file, 0,
+                f"stale manifest row: atomic `{name}` is no longer "
+                f"declared in {row.file} — delete or update the "
+                f"[[atomic]] row"))
+
+    names = {n for _, n, _ in decls} | set(rows)
+    emitted: Set[Tuple[str, int, str]] = set()
+
+    def emit(f: Finding) -> None:
+        key = (f.path, f.line, f.message)
+        if key not in emitted:  # two ops on one line report once
+            emitted.add(key)
+            findings.append(f)
+
+    for path, code in sorted(scrubbed.items()):
+        for m in ATOMIC_OP_RE.finditer(code):
+            name, op = m.group(1), m.group(2)
+            if name not in names:
+                continue
+            kind = _ATOMIC_OPS[op]
+            line = line_of(code, m.start())
+            args_end = match_delim(code, m.end() - 1, "(", ")")
+            orders = MEMORY_ORDER_RE.findall(code[m.end():args_end])
+            if not orders:
+                emit(Finding(
+                    "atomics-discipline", path, line,
+                    f"`{name}.{op}` with implicit seq_cst — every atomic "
+                    f"op must spell an explicit std::memory_order so the "
+                    f"manifest can check it"))
+            row = rows.get(name)
+            if row is None:
+                continue  # already flagged at the declaration
+            allowed = row.orders.get(kind)
+            if allowed is None:
+                emit(Finding(
+                    "atomics-discipline", path, line,
+                    f"`{name}.{op}`: the manifest declares no allowed "
+                    f"{kind} orders for `{name}` ({row.role}) — extend the "
+                    f"[[atomic]] row or remove the operation"))
+                continue
+            for o in orders:
+                if o not in allowed:
+                    emit(Finding(
+                        "atomics-discipline", path, line,
+                        f"`{name}.{op}(memory_order_{o})` is outside the "
+                        f"declared set {sorted(allowed)} for `{name}` "
+                        f"({row.role})"))
+    return findings
+
+
+MUTEX_DECL_RE = re.compile(r"\b(?:mutable\s+)?Mutex\s+(\w+)\s*;")
+MUTEX_ACQUIRE_RE = re.compile(r"\bMutexLock\s+\w+\s*\(\s*([^()]*?)\s*\)")
+MUTEX_IMPL_FILE = "src/common/mutex.h"
+
+
+def _brace_pairs(code: str) -> List[Tuple[int, int]]:
+    pairs: List[Tuple[int, int]] = []
+    stack: List[int] = []
+    for i, c in enumerate(code):
+        if c == "{":
+            stack.append(i)
+        elif c == "}" and stack:
+            pairs.append((stack.pop(), i))
+    return pairs
+
+
+def check_lock_hierarchy(tree: Tree,
+                         cman: ConcurrencyManifest) -> List[Finding]:
+    findings: List[Finding] = []
+    scrubbed = {p: scrub(t) for p, t in tree.items()
+                if p.startswith("src/") and p != MUTEX_IMPL_FILE}
+    rank = {n: i for i, n in enumerate(cman.lock_order)}
+
+    decls: List[Tuple[str, str, int]] = []
+    for path, code in sorted(scrubbed.items()):
+        for m in MUTEX_DECL_RE.finditer(code):
+            decls.append((path, m.group(1), line_of(code, m.start())))
+    by_key = {(r.file, r.member): r for r in cman.locks}
+    for path, member, line in decls:
+        if (path, member) not in by_key:
+            findings.append(Finding(
+                "lock-hierarchy", path, line,
+                f"Mutex `{member}` has no [[lock]] row in "
+                f"tools/csfc_analyze/concurrency.toml — name it and place "
+                f"it in [locks].order"))
+    declared = {(p, m) for p, m, _ in decls}
+    for r in cman.locks:
+        if (r.file, r.member) not in declared:
+            findings.append(Finding(
+                "lock-hierarchy", r.file, 0,
+                f"stale manifest row: lock `{r.name}` "
+                f"({r.file}::{r.member}) is no longer declared — delete "
+                f"or update the [[lock]] row"))
+
+    def resolve(path: str, member: str) -> List[LockRow]:
+        # A MutexLock in foo.cc acquires a member declared in foo.h (or
+        # foo.cc itself): match manifest rows by member name within the
+        # .h/.cc sibling pair, so the four classes that all name their
+        # lock `mu_` stay distinct.
+        stem = path.rsplit(".", 1)[0]
+        return [r for r in cman.locks
+                if r.member == member and r.file.rsplit(".", 1)[0] == stem]
+
+    def emit(outer: str, inner: str, path: str, line: int) -> None:
+        if outer == inner:
+            findings.append(Finding(
+                "lock-hierarchy", path, line,
+                f"recursive acquisition of `{inner}` — Mutex is not "
+                f"reentrant"))
+        elif rank.get(inner, -1) <= rank.get(outer, -1):
+            findings.append(Finding(
+                "lock-hierarchy", path, line,
+                f"`{inner}` acquired while holding `{outer}` — "
+                f"[locks].order in concurrency.toml requires `{inner}` "
+                f"before `{outer}`; acquire in order or restructure"))
+
+    for path, code in sorted(scrubbed.items()):
+        pairs = _brace_pairs(code)
+
+        def hold_end(off: int) -> int:
+            # The scoped lock lives to the end of its innermost block.
+            best = -1
+            end = len(code)
+            for o, c in pairs:
+                if o < off < c and o > best:
+                    best, end = o, c
+            return end
+
+        acqs: List[Tuple[int, int, Optional[str], int]] = []
+        for m in MUTEX_ACQUIRE_RE.finditer(code):
+            ids = re.findall(r"\w+", m.group(1))
+            if not ids:
+                continue
+            member = ids[-1]
+            line = line_of(code, m.start())
+            cands = resolve(path, member)
+            if not cands:
+                findings.append(Finding(
+                    "lock-hierarchy", path, line,
+                    f"MutexLock on `{member}` resolves to no [[lock]] row "
+                    f"(no manifest entry with that member in this file's "
+                    f".h/.cc pair) — add one to concurrency.toml"))
+                node: Optional[str] = None
+            elif len(cands) > 1:
+                findings.append(Finding(
+                    "lock-hierarchy", path, line,
+                    f"MutexLock on `{member}` is ambiguous between "
+                    f"{[r.name for r in cands]} — manifest rows must be "
+                    f"unique per (file stem, member)"))
+                node = None
+            else:
+                node = cands[0].name
+            acqs.append((m.start(), hold_end(m.start()), node, line))
+
+        # REQUIRES(cap) regions hold `cap` for the whole body.
+        regions: List[Tuple[int, int, str]] = []
+        for m in re.finditer(r"\bREQUIRES\s*\(([^()]*)\)", code):
+            line_start = code.rfind("\n", 0, m.start()) + 1
+            if code[line_start:m.start()].lstrip().startswith("#"):
+                continue  # the macro definition
+            body = _body_after_signature(code, m.end())
+            if body is None:
+                continue
+            end = match_delim(code, body, "{", "}")
+            for cap in m.group(1).split(","):
+                ids = re.findall(r"\w+", cap)
+                if not ids:
+                    continue
+                cands = resolve(path, ids[-1])
+                if len(cands) == 1:
+                    regions.append((body, end, cands[0].name))
+
+        for off_a, end_a, node_a, _line_a in acqs:
+            if node_a is None:
+                continue
+            for off_b, _end_b, node_b, line_b in acqs:
+                if node_b is None or not (off_a < off_b < end_a):
+                    continue
+                emit(node_a, node_b, path, line_b)
+        for start, end, node_r in regions:
+            for off_b, _end_b, node_b, line_b in acqs:
+                if node_b is None or not (start < off_b < end):
+                    continue
+                emit(node_r, node_b, path, line_b)
+    return findings
+
+
+BLOCKING_PATTERNS: List[Tuple[re.Pattern, str]] = [
+    (re.compile(r"\bMutexLock\b"
+                r"|\bstd::(?:lock_guard|unique_lock|scoped_lock)\b"),
+     "mutex acquisition"),
+    (re.compile(r"(?:\.|->)\s*(?:Lock|lock|try_lock)\s*\("),
+     "mutex acquisition"),
+    (re.compile(r"(?:\.|->)\s*(?:Wait|WaitFor|wait|wait_for|wait_until)"
+                r"\s*\("),
+     "blocking wait"),
+    (re.compile(r"\bsleep_for\b|\bsleep_until\b|\busleep\s*\("
+                r"|\bnanosleep\s*\("),
+     "sleep"),
+    (re.compile(r"\b(?:printf|fprintf|puts|fputs|fwrite|fread|fopen"
+                r"|fclose|fflush|getline)\s*\("
+                r"|\bstd::c(?:out|err|log)\b|\bstd::[io]?fstream\b"),
+     "I/O"),
+]
+
+UNBOUNDED_LOOP_RE = re.compile(
+    r"\bfor\s*\(\s*;\s*;\s*\)|\bwhile\s*\(\s*(?:true|1)\s*\)")
+
+HOT_BLOCKING_MESSAGE = ("CSFC_HOT code must be wait-free on the happy "
+                        "path: no locks, condvar waits, sleeps, or I/O")
+
+
+def check_hot_blocking(tree: Tree,
+                       cman: ConcurrencyManifest) -> List[Finding]:
+    findings: List[Finding] = []
+    scrubbed = {p: scrub(t) for p, t in tree.items()
+                if p.startswith("src/")}
+    exempt = {p: ndebug_exempt_lines(c) for p, c in scrubbed.items()}
+    atomic_names = set(cman.atomics) | {
+        n for _, n, _ in find_atomic_decls(scrubbed, cman.extra_types)}
+    seen: Set[Tuple[str, int, str]] = set()
+
+    for path, label, start, end in hot_function_bodies(scrubbed):
+        code = scrubbed[path]
+        orig_lines = tree[path].splitlines()
+        code_lines = code.splitlines()
+        first = line_of(code, start) - 1
+        last = line_of(code, min(end, len(code) - 1) if code else 0) - 1
+        for idx in range(first, min(last + 1, len(code_lines))):
+            if idx in exempt[path]:
+                continue
+            sline = code_lines[idx]
+            for pat, what in BLOCKING_PATTERNS:
+                if not pat.search(sline):
+                    continue
+                key = (path, idx + 1, what)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(Finding(
+                    "hot-blocking", path, idx + 1,
+                    f"{what} in hot function `{label}` — "
+                    f"{HOT_BLOCKING_MESSAGE}"))
+
+        # Unbounded spin loops over atomics need a progress argument.
+        for m in UNBOUNDED_LOOP_RE.finditer(code, start, end):
+            idx = line_of(code, m.start()) - 1
+            if idx in exempt[path]:
+                continue
+            lb = code.find("{", m.end())
+            if lb < 0 or code[m.end():lb].strip():
+                continue  # braceless or unparsable loop body
+            le = match_delim(code, lb, "{", "}")
+            seg = code[lb:le]
+            spins = ("memory_order" in seg
+                     or any(mm.group(1) in atomic_names
+                            for mm in ATOMIC_OP_RE.finditer(seg)))
+            if not spins:
+                continue
+            marked = any(SPIN_OK_MARKER in orig_lines[i]
+                         for i in (idx - 1, idx)
+                         if 0 <= i < len(orig_lines))
+            key = (path, idx + 1, "spin")
+            if not marked and key not in seen:
+                seen.add(key)
+                findings.append(Finding(
+                    "hot-blocking", path, idx + 1,
+                    f"unbounded spin loop over atomics in hot function "
+                    f"`{label}` — prove progress is bounded and mark the "
+                    f"loop header with // csfc:spin-ok(reason)"))
+    return findings
+
+
+def run_concurrency_checks(tree: Tree,
+                           cman: ConcurrencyManifest) -> List[Finding]:
+    """Rules 5-7. Textual in both engines (see module docstring)."""
+    return (check_atomics(tree, cman)
+            + check_lock_hierarchy(tree, cman)
+            + check_hot_blocking(tree, cman))
+
+
+def run_regex_engine(tree: Tree, manifest: Manifest, contracts: Contracts,
+                     cman: ConcurrencyManifest) -> List[Finding]:
     return (check_layering(tree, manifest)
             + check_hot_alloc(tree)
             + check_hot_coverage(tree, manifest)
-            + check_exc_safety(tree, contracts))
+            + check_exc_safety(tree, contracts)
+            + run_concurrency_checks(tree, cman))
 
 
 # --- libclang engine --------------------------------------------------------
@@ -956,12 +1444,18 @@ class LibclangEngine:
         return findings
 
     def analyze(self, manifest: Manifest, contracts: Contracts,
+                cman: ConcurrencyManifest,
                 tree: Tree) -> Tuple[List[Finding], List[str]]:
         warnings = self.parse_all()
         findings = check_layering(tree, manifest)
         findings += self.hot_alloc_findings()
         findings += self.hot_coverage_findings(manifest, tree)
         findings += self.exc_safety_findings(contracts, tree)
+        # The concurrency families (5-7) share the textual implementation
+        # with the regex engine: memory_order arguments, MutexLock
+        # statements, and spin markers are lexical facts, so running the
+        # same code makes the required engine agreement structural.
+        findings += run_concurrency_checks(tree, cman)
         return findings, warnings
 
 
@@ -990,6 +1484,35 @@ allow = ["core/x.h"]
 SELFTEST_CONTRACTS = Contracts(
     nothrow_move=[("src/common/request.h", "Request")],
     nodiscard=[("src/common/status.h", "Status")])
+
+SELFTEST_CONCURRENCY = """
+[locks]
+order = ["wake", "stats"]
+
+[[lock]]
+name = "wake"
+file = "src/core/pump.h"
+member = "wake_mu_"
+
+[[lock]]
+name = "stats"
+file = "src/core/pump.h"
+member = "stats_mu_"
+
+[[atomic]]
+file = "src/core/ring.h"
+name = "tail_"
+role = "sequence counter"
+load = ["relaxed"]
+cas = ["relaxed"]
+
+[[atomic]]
+file = "src/core/ring.h"
+name = "flag_"
+role = "publication flag"
+load = ["acquire"]
+store = ["release"]
+"""
 
 
 def _clean_tree() -> Tree:
@@ -1032,6 +1555,42 @@ def _clean_tree() -> Tree:
             "  std::map<int, int>::iterator it;\n"
             "  return 0;\n"
             "}\n",
+        "src/core/ring.h":
+            "#include <atomic>\n"
+            "#include \"common/annotations.h\"\n"
+            "class Ring {\n"
+            " public:\n"
+            "  CSFC_HOT bool Claim() {\n"
+            "    for (;;) {  // csfc:spin-ok(bounded by one producer lap)\n"
+            "      size_t t = tail_.load(std::memory_order_relaxed);\n"
+            "      if (tail_.compare_exchange_weak(t, t + 1,\n"
+            "                                      "
+            "std::memory_order_relaxed)) {\n"
+            "        flag_.store(1, std::memory_order_release);\n"
+            "        return true;\n"
+            "      }\n"
+            "    }\n"
+            "  }\n"
+            "  int Check() { return flag_.load(std::memory_order_acquire);"
+            " }\n"
+            " private:\n"
+            "  std::atomic<size_t> tail_{0};\n"
+            "  std::atomic<int> flag_{0};\n"
+            "};\n",
+        "src/core/pump.h":
+            "#include \"common/mutex.h\"\n"
+            "class Pump {\n"
+            " public:\n"
+            "  void Snapshot() {\n"
+            "    MutexLock lock(wake_mu_);\n"
+            "    {\n"
+            "      MutexLock lock2(stats_mu_);\n"
+            "    }\n"
+            "  }\n"
+            " private:\n"
+            "  Mutex wake_mu_;\n"
+            "  Mutex stats_mu_;\n"
+            "};\n",
         "src/sched/registry.h": "#include \"core/x.h\"\n",
         "src/sched/sched.h":
             "#include \"common/annotations.h\"\n"
@@ -1048,10 +1607,12 @@ def _clean_tree() -> Tree:
 def self_test() -> int:
     manifest = parse_manifest(SELFTEST_MANIFEST)
     contracts = SELFTEST_CONTRACTS
+    cman = parse_concurrency(SELFTEST_CONCURRENCY)
     failures: List[str] = []
 
-    def run(tree: Tree, c: Contracts = contracts) -> List[Finding]:
-        return run_regex_engine(tree, manifest, c)
+    def run(tree: Tree, c: Contracts = contracts,
+            cm: Optional[ConcurrencyManifest] = None) -> List[Finding]:
+        return run_regex_engine(tree, manifest, c, cm or cman)
 
     def expect(name: str, findings: List[Finding], rule: str,
                fragment: str) -> None:
@@ -1122,6 +1683,100 @@ def self_test() -> int:
     t["src/common/status.h"] = "class Status {};\n"
     expect("nodiscard", run(t), "nodiscard", "[[nodiscard]]")
 
+    # 5. Atomics: implicit seq_cst (no memory_order argument).
+    t = _clean_tree()
+    t["src/core/ring.h"] = t["src/core/ring.h"].replace(
+        "flag_.load(std::memory_order_acquire)", "flag_.load()")
+    expect("atomic-implicit", run(t), "atomics-discipline",
+           "implicit seq_cst")
+
+    # 5b. Atomics: order outside the declared set (release -> relaxed).
+    t = _clean_tree()
+    t["src/core/ring.h"] = t["src/core/ring.h"].replace(
+        "flag_.store(1, std::memory_order_release)",
+        "flag_.store(1, std::memory_order_relaxed)")
+    expect("atomic-order", run(t), "atomics-discipline",
+           "outside the declared set")
+
+    # 5c. Atomics: a declaration with no manifest row.
+    t = _clean_tree()
+    t["src/core/ring.h"] = t["src/core/ring.h"].replace(
+        "  std::atomic<int> flag_{0};\n",
+        "  std::atomic<int> flag_{0};\n"
+        "  std::atomic<int> extra_{0};\n")
+    expect("atomic-unmanifested", run(t), "atomics-discipline",
+           "unmanifested atomic `extra_`")
+
+    # 5d. Atomics: an op kind the manifest does not allow for the var.
+    t = _clean_tree()
+    t["src/core/ring.h"] = t["src/core/ring.h"].replace(
+        "return flag_.load(std::memory_order_acquire);",
+        "flag_.fetch_add(1, std::memory_order_relaxed);\n"
+        "    return flag_.load(std::memory_order_acquire);")
+    expect("atomic-op-kind", run(t), "atomics-discipline",
+           "no allowed rmw orders")
+
+    # 5e. Atomics: stale manifest row after the variable is deleted.
+    stale = parse_concurrency(
+        SELFTEST_CONCURRENCY + "\n[[atomic]]\n"
+        "file = \"src/core/ring.h\"\nname = \"ghost_\"\n"
+        "role = \"publication flag\"\nload = [\"acquire\"]\n")
+    expect("atomic-stale", run(_clean_tree(), cm=stale),
+           "atomics-discipline", "stale manifest row")
+
+    # 6. Lock hierarchy: nested acquisition against [locks].order.
+    t = _clean_tree()
+    t["src/core/pump.h"] = t["src/core/pump.h"].replace(
+        "MutexLock lock(wake_mu_);", "MutexLock lock(stats_mu_);").replace(
+        "MutexLock lock2(stats_mu_);", "MutexLock lock2(wake_mu_);")
+    expect("lock-order", run(t), "lock-hierarchy", "while holding")
+
+    # 6b. Lock hierarchy: recursive acquisition of the same lock.
+    t = _clean_tree()
+    t["src/core/pump.h"] = t["src/core/pump.h"].replace(
+        "MutexLock lock2(stats_mu_);", "MutexLock lock2(wake_mu_);")
+    expect("lock-recursive", run(t), "lock-hierarchy", "recursive")
+
+    # 6c. Lock hierarchy: a Mutex with no manifest row.
+    t = _clean_tree()
+    t["src/core/pump.h"] = t["src/core/pump.h"].replace(
+        "  Mutex wake_mu_;\n", "  Mutex wake_mu_;\n  Mutex extra_mu_;\n")
+    expect("lock-unmanifested", run(t), "lock-hierarchy",
+           "no [[lock]] row")
+
+    # 6d. Lock hierarchy: REQUIRES(...) counts as holding for the body.
+    t = _clean_tree()
+    t["src/core/pump.h"] = t["src/core/pump.h"].replace(
+        "  void Snapshot() {",
+        "  void Flush() REQUIRES(stats_mu_) {\n"
+        "    MutexLock lock3(wake_mu_);\n"
+        "  }\n"
+        "  void Snapshot() {")
+    expect("lock-requires", run(t), "lock-hierarchy", "while holding")
+
+    # 7. Hot-blocking: a sleep inside a CSFC_HOT body.
+    t = _clean_tree()
+    t["src/core/ring.h"] = t["src/core/ring.h"].replace(
+        "      size_t t = tail_.load(std::memory_order_relaxed);",
+        "      std::this_thread::sleep_for(std::chrono::microseconds(1));"
+        "\n"
+        "      size_t t = tail_.load(std::memory_order_relaxed);")
+    expect("hot-sleep", run(t), "hot-blocking", "sleep")
+
+    # 7b. Hot-blocking: a mutex acquisition inside a CSFC_HOT body.
+    t = _clean_tree()
+    t["src/core/ring.h"] = t["src/core/ring.h"].replace(
+        "      size_t t = tail_.load(std::memory_order_relaxed);",
+        "      MutexLock guard(mu_);\n"
+        "      size_t t = tail_.load(std::memory_order_relaxed);")
+    expect("hot-lock", run(t), "hot-blocking", "mutex acquisition")
+
+    # 7c. Hot-blocking: the spin loop loses its csfc:spin-ok marker.
+    t = _clean_tree()
+    t["src/core/ring.h"] = t["src/core/ring.h"].replace(
+        "  // csfc:spin-ok(bounded by one producer lap)", "")
+    expect("hot-spin", run(t), "hot-blocking", "spin loop")
+
     # Controls: alloc-ok marker, NDEBUG block, comment tokens and
     # iterator typedefs must all stay silent (checked by the clean run
     # above — reassert to make the intent explicit).
@@ -1135,7 +1790,7 @@ def self_test() -> int:
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print("csfc_analyze self-test OK (4 rule families, "
+    print("csfc_analyze self-test OK (7 rule families, "
           "seeded violations all caught)")
     return 0
 
@@ -1170,11 +1825,52 @@ SEEDS: Dict[str, Dict[str, str]] = {
             "  int last_ = 0;\n"
             "};\n",
     },
+    "atomics-discipline": {
+        # Unmanifested atomic plus an implicit-seq_cst load: two findings
+        # from one file.
+        "src/svc/_seeded_atomics.h":
+            "#include <atomic>\n"
+            "class SeededAtomics {\n"
+            " public:\n"
+            "  int Peek() { return unmanifested_flag_.load(); }\n"
+            " private:\n"
+            "  std::atomic<int> unmanifested_flag_{0};\n"
+            "};\n",
+    },
+    "lock-hierarchy": {
+        # Acquires the two seeded locks in the reverse of the order
+        # apply_seed appends to [locks].order.
+        "src/svc/_seeded_locks.h":
+            "#include \"common/mutex.h\"\n"
+            "class SeededLocks {\n"
+            " public:\n"
+            "  void Reversed() {\n"
+            "    MutexLock inner_first(seeded_inner_mu_);\n"
+            "    MutexLock outer_second(seeded_outer_mu_);\n"
+            "  }\n"
+            " private:\n"
+            "  Mutex seeded_outer_mu_;\n"
+            "  Mutex seeded_inner_mu_;\n"
+            "};\n",
+    },
+    "hot-blocking": {
+        # A sleep keeps this seed independent of the lock manifest (a
+        # MutexLock here would also fire lock-hierarchy findings).
+        "src/core/_seeded_blocking.h":
+            "#include <chrono>\n"
+            "#include <thread>\n"
+            "#include \"common/annotations.h\"\n"
+            "CSFC_HOT inline void SeededHotBlock() {\n"
+            "  std::this_thread::sleep_for(std::chrono::microseconds(1));\n"
+            "}\n",
+    },
 }
 
 
-def apply_seed(rule: str, tree: Tree, contracts: Contracts,
-               manifest: Manifest) -> Tuple[Contracts, Manifest]:
+def apply_seed(
+        rule: str, tree: Tree, contracts: Contracts, manifest: Manifest,
+        cman: ConcurrencyManifest
+) -> Tuple[Contracts, Manifest, ConcurrencyManifest]:
     tree.update(SEEDS[rule])
     if rule == "exc-safety":
         contracts = Contracts(
@@ -1185,7 +1881,16 @@ def apply_seed(rule: str, tree: Tree, contracts: Contracts,
         manifest = manifest._replace(
             hot_entry_points=manifest.hot_entry_points
             + ["SeededCold::Push"])
-    return contracts, manifest
+    elif rule == "lock-hierarchy":
+        cman = cman._replace(
+            locks=cman.locks + [
+                LockRow("seeded_outer", "src/svc/_seeded_locks.h",
+                        "seeded_outer_mu_"),
+                LockRow("seeded_inner", "src/svc/_seeded_locks.h",
+                        "seeded_inner_mu_"),
+            ],
+            lock_order=cman.lock_order + ["seeded_outer", "seeded_inner"])
+    return contracts, manifest, cman
 
 
 # --- CLI --------------------------------------------------------------------
@@ -1204,6 +1909,9 @@ def main(argv: List[str]) -> int:
     parser.add_argument("--layers", type=Path, default=None,
                         help="layer manifest (default: layers.toml next to "
                              "this script)")
+    parser.add_argument("--concurrency", type=Path, default=None,
+                        help="concurrency manifest (default: "
+                             "concurrency.toml next to this script)")
     parser.add_argument("--engine", choices=("auto", "libclang", "regex"),
                         default="auto",
                         help="auto prefers libclang and falls back to the "
@@ -1237,6 +1945,18 @@ def main(argv: List[str]) -> int:
         print(f"csfc_analyze: bad manifest {layers_path}: {e}",
               file=sys.stderr)
         return 2
+    conc_path = args.concurrency or Path(__file__).resolve().parent / \
+        "concurrency.toml"
+    if not conc_path.is_file():
+        print(f"csfc_analyze: concurrency manifest {conc_path} not found",
+              file=sys.stderr)
+        return 2
+    try:
+        cman = parse_concurrency(conc_path.read_text(encoding="utf-8"))
+    except Exception as e:  # noqa: BLE001 - toml errors are user errors
+        print(f"csfc_analyze: bad manifest {conc_path}: {e}",
+              file=sys.stderr)
+        return 2
 
     tree = load_tree(repo)
     contracts = DEFAULT_CONTRACTS
@@ -1246,8 +1966,8 @@ def main(argv: List[str]) -> int:
                   "the libclang engine cannot see; use --engine=auto or "
                   "regex", file=sys.stderr)
             return 2
-        contracts, manifest = apply_seed(args.seed_violation, tree,
-                                         contracts, manifest)
+        contracts, manifest, cman = apply_seed(args.seed_violation, tree,
+                                               contracts, manifest, cman)
 
     compdb = args.compdb or repo / "build" / "compile_commands.json"
     use_libclang = False
@@ -1271,7 +1991,8 @@ def main(argv: List[str]) -> int:
     if use_libclang:
         try:
             engine = LibclangEngine(cx, repo, compdb)
-            findings, warnings = engine.analyze(manifest, contracts, tree)
+            findings, warnings = engine.analyze(manifest, contracts, cman,
+                                                tree)
             for w in warnings:
                 print(f"csfc_analyze: warning: {w}", file=sys.stderr)
             label = "libclang"
@@ -1282,10 +2003,10 @@ def main(argv: List[str]) -> int:
                 return 2
             print(f"csfc_analyze: libclang engine failed ({e}); falling "
                   f"back to regex engine", file=sys.stderr)
-            findings = run_regex_engine(tree, manifest, contracts)
+            findings = run_regex_engine(tree, manifest, contracts, cman)
             label = "regex"
     else:
-        findings = run_regex_engine(tree, manifest, contracts)
+        findings = run_regex_engine(tree, manifest, contracts, cman)
         label = "regex"
 
     for f in findings:
@@ -1294,7 +2015,7 @@ def main(argv: List[str]) -> int:
         print(f"csfc_analyze[{label}]: {len(findings)} finding(s) in "
               f"{len(tree)} files", file=sys.stderr)
         return 1
-    print(f"csfc_analyze[{label}]: OK ({len(tree)} files, 4 rule families)")
+    print(f"csfc_analyze[{label}]: OK ({len(tree)} files, 7 rule families)")
     return 0
 
 
