@@ -69,7 +69,9 @@ double Rng::Exponential(double mean) {
   do {
     u = NextDouble();
   } while (u <= 0.0);  // avoid log(0)
-  return -mean * std::log(u);
+  // Inverse-CDF transform: glibc's log is deterministic for a fixed
+  // libm build, and the golden ledger pins the produced streams.
+  return -mean * std::log(u);  // csfc:libm-ok(inverse-CDF shape; ledger-pinned)
 }
 
 double Rng::Normal(double mean, double stddev) {
@@ -78,8 +80,9 @@ double Rng::Normal(double mean, double stddev) {
     u1 = NextDouble();
   } while (u1 <= 0.0);
   const double u2 = NextDouble();
-  const double mag = std::sqrt(-2.0 * std::log(u1));
-  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+  // Box-Muller: one libm build -> one bit stream; ledger-pinned.
+  const double mag = std::sqrt(-2.0 * std::log(u1));  // csfc:libm-ok(Box-Muller)
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);  // csfc:libm-ok(Box-Muller)
 }
 
 bool Rng::Bernoulli(double p) {
@@ -94,7 +97,10 @@ namespace {
 
 double Zeta(uint64_t n, double theta) {
   double sum = 0.0;
-  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  // Zipf normalizer (Gray et al.): shape constants computed once per
+  // distribution; same libm -> same constants, ledger-pinned.
+  for (uint64_t i = 1; i <= n; ++i)
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);  // csfc:libm-ok(zeta)
   return sum;
 }
 
@@ -105,7 +111,9 @@ ZipfDistribution::ZipfDistribution(uint64_t n, double theta)
   alpha_ = 1.0 / (1.0 - theta_);
   zetan_ = Zeta(n_, theta_);
   const double zeta2 = Zeta(2, theta_);
-  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+  eta_ = (1.0 -
+          std::pow(2.0 / static_cast<double>(n_),  // csfc:libm-ok(Zipf shape)
+                   1.0 - theta_)) /
          (1.0 - zeta2 / zetan_);
 }
 
@@ -114,9 +122,12 @@ uint64_t ZipfDistribution::Sample(Rng& rng) const {
   const double u = rng.NextDouble();
   const double uz = u * zetan_;
   if (uz < 1.0) return 0;
-  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  // Rejection-free Zipf sampling (same libm -> same ranks; the golden
+  // ledger pins every stream that flows through this path).
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;  // csfc:libm-ok(Zipf sample)
   const uint64_t k = static_cast<uint64_t>(
-      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));  // csfc:libm-ok(Zipf sample)
   return k >= n_ ? n_ - 1 : k;
 }
 

@@ -42,7 +42,8 @@ class CascadedSfcScheduler final : public Scheduler {
   /// per-stage characterize events keep their exact shape.
   void EnqueueBatch(std::span<Request> batch,
                     const DispatchContext& ctx) override;
-  CSFC_HOT std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  CSFC_HOT CSFC_DETERMINISTIC
+  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return dispatcher_->size(); }
   void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
   /// Emits characterize events (with the per-stage SFC1/SFC2/SFC3

@@ -127,7 +127,8 @@ class Encapsulator {
       const EncapsulatorConfig& config);
 
   /// Computes v_c in [0, 1) for `r` given the disk state in `ctx`.
-  CSFC_HOT CValue Characterize(const Request& r, const DispatchContext& ctx) const;
+  CSFC_HOT CSFC_DETERMINISTIC
+  CValue Characterize(const Request& r, const DispatchContext& ctx) const;
 
   /// Characterize, also returning each stage's intermediate value.
   /// StageValues.vc is identical to what Characterize returns on the same
@@ -143,9 +144,10 @@ class Encapsulator {
   /// scales, the head-position and partition terms of SFC3 — are hoisted
   /// out of the loop once and each stage runs as a tight pass over the
   /// value array. Requires out.size() == reqs.size().
-  CSFC_HOT void CharacterizeBatch(std::span<const Request* const> reqs,
-                                  const DispatchContext& ctx,
-                                  std::span<CValue> out) const;
+  CSFC_HOT CSFC_DETERMINISTIC
+  void CharacterizeBatch(std::span<const Request* const> reqs,
+                         const DispatchContext& ctx,
+                         std::span<CValue> out) const;
 
   /// Batch sibling of CharacterizeStages (same hoisting; used by the
   /// tracing rekey path, which needs every stage's intermediate value).

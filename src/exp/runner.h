@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
 #include "workload/trace.h"
@@ -94,6 +95,7 @@ struct RunProgress {
 /// and the call returns Status::Cancelled (point errors that occurred
 /// before the abort still win, lowest index first, so an abort can never
 /// mask a failure).
+CSFC_DETERMINISTIC
 Result<std::vector<RunMetrics>> RunParallel(const std::vector<RunPoint>& points,
                                             unsigned num_threads = 0,
                                             RunProgress* progress = nullptr);

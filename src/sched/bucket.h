@@ -28,7 +28,8 @@ class BucketScheduler final : public Scheduler {
 
   std::string_view name() const override { return "bucket"; }
   void Enqueue(Request r, const DispatchContext& ctx) override;
-  CSFC_HOT std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  CSFC_HOT CSFC_DETERMINISTIC
+  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return size_; }
   void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 

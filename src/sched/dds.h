@@ -27,7 +27,8 @@ class DdsScheduler final : public Scheduler {
 
   std::string_view name() const override { return "dds"; }
   void Enqueue(Request r, const DispatchContext& ctx) override;
-  CSFC_HOT std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  CSFC_HOT CSFC_DETERMINISTIC
+  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return plan_.size(); }
   void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 

@@ -42,7 +42,8 @@ class SfcDdsScheduler final : public Scheduler {
 
   std::string_view name() const override { return "sfc-dds"; }
   void Enqueue(Request r, const DispatchContext& ctx) override;
-  CSFC_HOT std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  CSFC_HOT CSFC_DETERMINISTIC
+  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return inner_.queue_size(); }
   void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 
@@ -73,7 +74,8 @@ class SfcBucketScheduler final : public Scheduler {
 
   std::string_view name() const override { return "sfc-bucket"; }
   void Enqueue(Request r, const DispatchContext& ctx) override;
-  CSFC_HOT std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  CSFC_HOT CSFC_DETERMINISTIC
+  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return size_; }
   void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 

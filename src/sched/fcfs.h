@@ -16,7 +16,8 @@ class FcfsScheduler final : public Scheduler {
  public:
   std::string_view name() const override { return "fcfs"; }
   void Enqueue(Request r, const DispatchContext& ctx) override;
-  CSFC_HOT std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  CSFC_HOT CSFC_DETERMINISTIC
+  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return queue_.size(); }
   void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 

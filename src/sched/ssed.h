@@ -33,7 +33,8 @@ class SsedScheduler final : public Scheduler {
     return variant_ == SsedVariant::kOrdering ? "ssedo" : "ssedv";
   }
   void Enqueue(Request r, const DispatchContext& ctx) override;
-  CSFC_HOT std::optional<Request> Dispatch(const DispatchContext& ctx) override;
+  CSFC_HOT CSFC_DETERMINISTIC
+  std::optional<Request> Dispatch(const DispatchContext& ctx) override;
   size_t queue_size() const override { return queue_.size(); }
   void ForEachWaiting(FunctionRef<void(const Request&)> fn) const override;
 

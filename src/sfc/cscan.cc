@@ -7,6 +7,8 @@
 
 #include "sfc/curve.h"
 
+#include "common/annotations.h"
+
 #include <cassert>
 
 namespace csfc {
@@ -19,6 +21,7 @@ class CScanCurve final : public SpaceFillingCurve {
 
   std::string_view name() const override { return "cscan"; }
 
+  CSFC_DETERMINISTIC
   uint64_t Index(std::span<const uint32_t> point) const override {
     assert(point.size() == dims());
     uint64_t index = 0;
@@ -29,6 +32,7 @@ class CScanCurve final : public SpaceFillingCurve {
     return index;
   }
 
+  CSFC_DETERMINISTIC
   void Point(uint64_t index, std::span<uint32_t> out) const override {
     assert(out.size() == dims());
     const uint64_t mask = side() - 1;

@@ -31,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 
 namespace csfc {
@@ -82,6 +83,7 @@ class SpaceFillingCurve {
   /// lane-parallel sweep behind common/simd.h, honoring the CSFC_SIMD
   /// override. Bit-identical to per-point Index() on every backend — the
   /// ops are integer — and property-tested as such.
+  CSFC_DETERMINISTIC
   virtual void IndexBatch(std::span<const uint32_t> flat,
                           std::span<uint64_t> out) const;
 

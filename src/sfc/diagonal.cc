@@ -11,6 +11,8 @@
 
 #include "sfc/curve.h"
 
+#include "common/annotations.h"
+
 #include <algorithm>
 #include <cassert>
 #include <vector>
@@ -44,6 +46,7 @@ class DiagonalCurve final : public SpaceFillingCurve {
 
   std::string_view name() const override { return "diagonal"; }
 
+  CSFC_DETERMINISTIC
   uint64_t Index(std::span<const uint32_t> point) const override {
     assert(point.size() == dims());
     uint64_t t = 0;
@@ -62,6 +65,7 @@ class DiagonalCurve final : public SpaceFillingCurve {
     return PlaneOffset(t) + rank;
   }
 
+  CSFC_DETERMINISTIC
   void Point(uint64_t index, std::span<uint32_t> out) const override {
     assert(out.size() == dims());
     // Locate the plane: largest t with PlaneOffset(t) <= index.

@@ -5,6 +5,8 @@
 
 #include "sfc/curve.h"
 
+#include "common/annotations.h"
+
 #include <cassert>
 
 #include "common/simd.h"
@@ -42,16 +44,19 @@ class GrayCurve final : public SpaceFillingCurve {
 
   std::string_view name() const override { return "gray"; }
 
+  CSFC_DETERMINISTIC
   uint64_t Index(std::span<const uint32_t> point) const override {
     assert(point.size() == dims());
     return GrayDecode(InterleaveBits(point, dims(), bits()));
   }
 
+  CSFC_DETERMINISTIC
   void Point(uint64_t index, std::span<uint32_t> out) const override {
     assert(out.size() == dims());
     DeinterleaveBits(GrayCode(index), dims(), bits(), out);
   }
 
+  CSFC_DETERMINISTIC
   void IndexBatch(std::span<const uint32_t> flat,
                   std::span<uint64_t> out) const override {
     assert(flat.size() == out.size() * dims());

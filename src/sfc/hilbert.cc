@@ -9,6 +9,8 @@
 
 #include "sfc/curve.h"
 
+#include "common/annotations.h"
+
 #include <cassert>
 
 namespace csfc {
@@ -68,6 +70,7 @@ class HilbertCurve final : public SpaceFillingCurve {
 
   std::string_view name() const override { return "hilbert"; }
 
+  CSFC_DETERMINISTIC
   uint64_t Index(std::span<const uint32_t> point) const override {
     assert(point.size() == dims());
     uint32_t x[16];
@@ -88,6 +91,7 @@ class HilbertCurve final : public SpaceFillingCurve {
     return index;
   }
 
+  CSFC_DETERMINISTIC
   void Point(uint64_t index, std::span<uint32_t> out) const override {
     assert(out.size() == dims());
     uint32_t x[16] = {};

@@ -8,6 +8,8 @@
 
 #include "sfc/curve.h"
 
+#include "common/annotations.h"
+
 #include <cassert>
 
 namespace csfc {
@@ -25,6 +27,7 @@ class ScanCurve final : public SpaceFillingCurve {
   // The running reflection flag therefore toggles on the parity of the
   // *coordinate*, on both directions of the mapping.
 
+  CSFC_DETERMINISTIC
   uint64_t Index(std::span<const uint32_t> point) const override {
     assert(point.size() == dims());
     const uint64_t n = side();
@@ -40,6 +43,7 @@ class ScanCurve final : public SpaceFillingCurve {
     return index;
   }
 
+  CSFC_DETERMINISTIC
   void Point(uint64_t index, std::span<uint32_t> out) const override {
     assert(out.size() == dims());
     const uint64_t n = side();

@@ -12,6 +12,8 @@
 
 #include "sfc/curve.h"
 
+#include "common/annotations.h"
+
 #include <cassert>
 
 namespace csfc {
@@ -35,6 +37,7 @@ class SpiralCurve final : public SpaceFillingCurve {
 
   std::string_view name() const override { return "spiral"; }
 
+  CSFC_DETERMINISTIC
   uint64_t Index(std::span<const uint32_t> point) const override {
     assert(point.size() == dims());
     const uint32_t s = Shell(point);
@@ -43,6 +46,7 @@ class SpiralCurve final : public SpaceFillingCurve {
     return offset + LexRankInShell(point, s);
   }
 
+  CSFC_DETERMINISTIC
   void Point(uint64_t index, std::span<uint32_t> out) const override {
     assert(out.size() == dims());
     const uint32_t s = ShellOfIndex(index);

@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/annotations.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "disk/disk_model.h"
@@ -66,7 +67,10 @@ class DiskServerSimulator {
   static Result<DiskServerSimulator> Create(const SimulatorConfig& config);
 
   /// Runs `gen` through `sched` to completion and returns the metrics.
-  RunMetrics Run(RequestGenerator& gen, Scheduler& sched);
+  /// Deterministic contract: the metrics (and any emitted trace) are a
+  /// pure function of the config, the generator stream, and the
+  /// scheduler — enforced by csfc_analyze's determinism-taint family.
+  CSFC_DETERMINISTIC RunMetrics Run(RequestGenerator& gen, Scheduler& sched);
 
   const DiskModel& disk() const { return disk_; }
 

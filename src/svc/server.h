@@ -53,6 +53,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/clock.h"
 #include "common/histogram.h"
 #include "common/mutex.h"
@@ -123,8 +124,10 @@ class ServiceServer {
 
   /// Runs the offered arrival stream (sorted by Request::arrival) to
   /// completion in virtual time on the calling thread and returns the
-  /// run's stats. Must not be mixed with Start().
-  ServiceStats RunVirtual(std::vector<Request> offered);
+  /// run's stats. Must not be mixed with Start(). Bit-identical to the
+  /// offline simulator over the admitted set (and to itself, run twice);
+  /// csfc_analyze's determinism-taint family audits the path.
+  CSFC_DETERMINISTIC ServiceStats RunVirtual(std::vector<Request> offered);
 
   // --- wall-clock mode --------------------------------------------------
 

@@ -74,7 +74,11 @@ def main(argv: list) -> int:
             # with exactly one contract breach into the scanned tree.
             ("atomics-discipline", "_seeded_atomics.h"),
             ("lock-hierarchy", "_seeded_locks.h"),
-            ("hot-blocking", "_seeded_blocking.h")):
+            ("hot-blocking", "_seeded_blocking.h"),
+            # Determinism families (rules 8-10, determinism.toml).
+            ("determinism-taint", "_seeded_det.h"),
+            ("fp-contract", "_seeded_fp.h"),
+            ("rng-seed-flow", "_seeded_rng.h")):
         check(f"seed-{rule}",
               run_cli(*base, f"--seed-violation={rule}"), 1, fragment)
 

@@ -14,18 +14,18 @@ Rules (all scoped to src/, tools/, DESIGN.md — tests may break them):
                     std::function (FunctionRef or templates instead; the
                     one sanctioned use is the SchedulerFactory alias in
                     sched/scheduler.h — a cold-path factory seam).
-  determinism       No rand()/srand()/time()/std::random_device/
-                    wall-clock types in src/ outside common/random and the
-                    common/clock seam: every run must be reproducible from
-                    its seed, and real time may enter only through a Clock
-                    (which tests replace with the deterministic
-                    VirtualClock).
   include-hygiene   src/core and src/sched may include from obs/ only the
                     tracer seam; the scheduler core must not grow a
                     dependency on sinks, recorders or exporters. The seam
                     set is read from tools/csfc_analyze/layers.toml (the
                     layering manifest csfc_analyze enforces in full), with
                     a builtin fallback when the manifest is absent.
+
+The former textual `determinism` rule (rand/time/wall-clock token ban)
+retired in favor of csfc_analyze's manifest-driven determinism families
+(determinism-taint / fp-contract / rng-seed-flow, driven by
+tools/csfc_analyze/determinism.toml) — the same single-source-of-truth
+move that folded include-hygiene onto layers.toml.
 
 Run `csfc_lint.py --repo <root>` (CI, and `cmake --build build --target
 lint`); `--self-test` checks each rule catches a seeded violation.
@@ -279,30 +279,6 @@ def check_no_std_function(tree: Tree) -> List[Finding]:
     return findings
 
 
-# --- determinism ------------------------------------------------------------
-
-NONDETERMINISM_RE = re.compile(
-    r"(\brand\s*\(|\bsrand\s*\(|std::random_device|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)|"
-    r"system_clock|steady_clock|high_resolution_clock)")
-
-
-def check_determinism(tree: Tree) -> List[Finding]:
-    findings: List[Finding] = []
-    for path, text in sorted(tree.items()):
-        if not path.startswith("src/") or path.startswith(
-                ("src/common/random", "src/common/clock")):
-            continue
-        code = strip_comments(text)
-        for m in re.finditer(NONDETERMINISM_RE, code):
-            findings.append(Finding(
-                "determinism", path, line_of(code, m.start()),
-                f"nondeterministic source `{m.group(1).strip()}` outside "
-                f"common/random — thread seeds through common/random (and "
-                f"real time through common/clock) so runs replay "
-                f"bit-identically"))
-    return findings
-
-
 # --- include-hygiene --------------------------------------------------------
 
 TRACER_SEAM = {"obs/tracer.h", "obs/trace_event.h"}
@@ -351,7 +327,6 @@ ALL_CHECKS = [
     check_registry,
     check_trace_contract,
     check_no_std_function,
-    check_determinism,
     check_include_hygiene,
 ]
 
@@ -444,10 +419,18 @@ def self_test() -> int:
     expect("unemitted-kind", found, "trace-contract", "no emission site")
     expect("undocumented-kind", found, "trace-contract", "not documented")
 
-    # 4. rand() outside common/random.
+    # 4. (retired) The textual determinism rule moved to csfc_analyze's
+    # manifest-driven families — determinism-taint / fp-contract /
+    # rng-seed-flow, driven by tools/csfc_analyze/determinism.toml — which
+    # see annotations and the call graph instead of banning tokens. Assert
+    # the retirement so a stray reintroduction of the old rule fails loudly.
     t = _clean_tree()
     t["src/sim/simulator.cc"] += "int jitter = rand() % 7;\n"
-    expect("rand-in-sim", run_checks(t), "determinism", "rand")
+    leftovers = [f for f in run_checks(t) if f.rule == "determinism"]
+    if leftovers:
+        failures.append(
+            "determinism rule should be retired (csfc_analyze owns it): "
+            + "; ".join(f.render() for f in leftovers))
 
     # 5. Core reaching past the tracer seam into a sink.
     t = _clean_tree()
